@@ -1,0 +1,26 @@
+//! Table II bench: area/leakage model vs the paper's synthesis results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::table2_area;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n[table2/area] model vs paper synthesis (22 nm):");
+    for (p, area, leak) in table2_area() {
+        eprintln!(
+            "  {}_{}p: area {:.3} vs {:.3} mm2 ({:+.1}%), leakage {:.3} vs {:.3} mW ({:+.1}%)",
+            p.sspm_kb,
+            p.ports,
+            area,
+            p.area_mm2,
+            (area / p.area_mm2 - 1.0) * 100.0,
+            leak,
+            p.leakage_mw,
+            (leak / p.leakage_mw - 1.0) * 100.0,
+        );
+    }
+    c.bench_function("table2_area_model", |b| b.iter(|| black_box(table2_area())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

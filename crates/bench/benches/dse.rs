@@ -1,0 +1,31 @@
+//! Figure 9 bench: SSPM size/port design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::{fig9_dse, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig9_dse(&ExperimentScale::quick());
+    eprintln!(
+        "\n[fig9/dse quick suite] paper: SpMV +2/+26/+33%, SpMA +4/+16/+20%, SpMM +8/+5/+11%"
+    );
+    for r in &rows {
+        eprintln!(
+            "  {:<6} SpMV {:.2}x  SpMA {:.2}x  SpMM {:.2}x",
+            r.config, r.spmv, r.spma, r.spmm
+        );
+    }
+    let tiny = ExperimentScale {
+        matrices: 2,
+        min_rows: 96,
+        max_rows: 160,
+        density_range: (0.001, 0.026),
+        seed: 4,
+    };
+    c.bench_function("fig9_dse_tiny_suite", |b| {
+        b.iter(|| black_box(fig9_dse(black_box(&tiny))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 11 bench: SpMA merge vs VIA CAM merge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::{fig11_spma, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let (rows, mean) = fig11_spma(&ExperimentScale::quick());
+    eprintln!("\n[fig11/spma quick suite] mean {:.2}x (paper 6.14x)", mean);
+    for r in &rows {
+        eprintln!("  median nnz {:>8.0}: {:.2}x", r.median_key, r.speedup);
+    }
+    let tiny = ExperimentScale {
+        matrices: 3,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 2,
+    };
+    c.bench_function("fig11_spma_tiny_suite", |b| {
+        b.iter(|| black_box(fig11_spma(black_box(&tiny))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! SpMM bench (paper §VII-C): inner product vs VIA CAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::{fig11_spmm, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let (rows, mean) = fig11_spmm(&ExperimentScale::quick());
+    eprintln!("\n[spmm quick suite] mean {:.2}x (paper 6.00x)", mean);
+    for r in &rows {
+        eprintln!("  median nnz/row {:>6.2}: {:.2}x", r.median_key, r.speedup);
+    }
+    let tiny = ExperimentScale {
+        matrices: 3,
+        min_rows: 64,
+        max_rows: 128,
+        density_range: (0.001, 0.026),
+        seed: 3,
+    };
+    c.bench_function("spmm_tiny_suite", |b| {
+        b.iter(|| black_box(fig11_spmm(black_box(&tiny))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 10 bench: SpMV across formats, baseline vs VIA.
+//!
+//! Prints the paper-comparison table on a quick suite, then measures the
+//! end-to-end experiment runtime under criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::{fig10_spmv, ExperimentScale};
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let result = fig10_spmv(&scale);
+    eprintln!(
+        "\n[fig10/spmv quick suite] paper means: CSR 1.25x, SPC5 1.24x, Sell 1.31x, CSB 4.22x"
+    );
+    for row in &result.rows {
+        eprintln!(
+            "  {:<14} mean {:.2}x (paper {:.2}x), categories {:?}",
+            row.format,
+            row.mean,
+            row.paper_mean,
+            row.categories
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        );
+    }
+    eprintln!(
+        "  energy ratio {:.2}x (paper 3.8x), bandwidth ratio {:.2}x (paper 2.5x)",
+        result.energy_ratio, result.bandwidth_ratio
+    );
+    let tiny = ExperimentScale {
+        matrices: 3,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 1,
+    };
+    c.bench_function("fig10_spmv_tiny_suite", |b| {
+        b.iter(|| black_box(fig10_spmv(black_box(&tiny))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 12.b bench: 4x4 Gaussian stencil scalar/vector/VIA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_bench::fig12b_stencil;
+use via_formats::stats::geomean;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig12b_stencil(&[64, 128], 0x12b);
+    eprintln!("\n[fig12b/stencil] paper: 3.39x vs its VIA-oblivious baseline");
+    for r in &rows {
+        eprintln!(
+            "  {0}x{0}: vs scalar {1:.2}x, vs vector {2:.2}x",
+            r.side,
+            r.vs_scalar(),
+            r.vs_vector()
+        );
+    }
+    eprintln!(
+        "  mean vs scalar: {:.2}x",
+        geomean(&rows.iter().map(|r| r.vs_scalar()).collect::<Vec<_>>())
+    );
+    c.bench_function("fig12b_stencil_small", |b| {
+        b.iter(|| black_box(fig12b_stencil(black_box(&[48]), 7)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 9: design-space exploration of SSPM size and ports.
+
+use via_bench::report::{banner, render_table, speedup};
+use via_bench::{fig9_dse, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale {
+        matrices: 8,
+        ..ExperimentScale::default()
+    }
+    .from_args(&args);
+    print!(
+        "{}",
+        banner(
+            "Figure 9 — SSPM size/ports design-space exploration",
+            "vs 4_2p: SpMV +2%/+26%/+33%, SpMA +4%/+16%/+20%, SpMM +8%/+5%/+11% \
+             for 4_4p/16_2p/16_4p (paper §VI-A)",
+        )
+    );
+    let eff = scale.dse();
+    eprintln!(
+        "suite: {} matrices, {}..{} rows, density {:.1}%..{:.1}%, seed {}",
+        eff.matrices,
+        eff.min_rows,
+        eff.max_rows,
+        eff.density_range.0 * 100.0,
+        eff.density_range.1 * 100.0,
+        eff.seed
+    );
+    let rows = fig9_dse(&eff);
+    let header: Vec<String> = ["config", "SpMV (CSB)", "SpMA", "SpMM"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let paper: std::collections::HashMap<&str, [f64; 3]> = [
+        ("4_2p", [1.0, 1.0, 1.0]),
+        ("4_4p", [1.02, 1.04, 1.08]),
+        ("16_2p", [1.26, 1.16, 1.05]),
+        ("16_4p", [1.33, 1.20, 1.11]),
+    ]
+    .into_iter()
+    .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let p = paper[r.config.as_str()];
+            vec![
+                r.config.clone(),
+                format!("{} (paper {})", speedup(r.spmv), speedup(p[0])),
+                format!("{} (paper {})", speedup(r.spma), speedup(p[1])),
+                format!("{} (paper {})", speedup(r.spmm), speedup(p[2])),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &table));
+}

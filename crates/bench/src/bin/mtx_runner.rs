@@ -1,0 +1,89 @@
+//! Run the Figure-10-style SpMV comparison on real Matrix Market files
+//! (e.g. SuiteSparse downloads), replacing the synthetic suite.
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin mtx_runner -- path/to/*.mtx
+//! ```
+
+use via_bench::report::{banner, render_table, speedup};
+use via_core::ViaConfig;
+use via_formats::{gen, mm, Csb, Csr};
+use via_kernels::{spmv, SimContext};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    print!(
+        "{}",
+        banner(
+            "Matrix Market runner",
+            "SpMV on user-supplied SuiteSparse matrices (paper §V-B input set)",
+        )
+    );
+    if args.is_empty() {
+        eprintln!("usage: mtx_runner <file.mtx> [more.mtx ...]");
+        eprintln!("no files given — nothing to do");
+        return;
+    }
+    let ctx = SimContext::default();
+    let bs = ctx.via.csb_block_size();
+    let header: Vec<String> = [
+        "matrix",
+        "rows",
+        "nnz",
+        "block density",
+        "baseline cyc",
+        "VIA cyc",
+        "speedup",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for path in &args {
+        let coo = match mm::read_matrix_market_file(path) {
+            Ok(coo) => coo,
+            Err(err) => {
+                eprintln!("skipping {path}: {err}");
+                continue;
+            }
+        };
+        let csr = Csr::from_coo(&coo);
+        if csr.rows() == 0 || csr.nnz() == 0 {
+            eprintln!("skipping {path}: empty matrix");
+            continue;
+        }
+        let x = gen::dense_vector(csr.cols(), 0xA11CE);
+        let csb = match Csb::from_csr(&csr, bs) {
+            Ok(csb) => csb,
+            Err(err) => {
+                eprintln!("skipping {path}: {err}");
+                continue;
+            }
+        };
+        let base = spmv::csb_software(&csb, &x, &ctx);
+        let via = spmv::via_csb(&csb, &x, &ctx);
+        assert!(
+            via_formats::vec_approx_eq(&base.output, &via.output, 1e-6),
+            "verification failed on {path}"
+        );
+        rows.push(vec![
+            path.rsplit('/').next().unwrap_or(path).to_string(),
+            csr.rows().to_string(),
+            csr.nnz().to_string(),
+            format!("{:.1}", csb.mean_block_density()),
+            base.cycles().to_string(),
+            via.cycles().to_string(),
+            speedup(base.cycles() as f64 / via.cycles() as f64),
+        ]);
+    }
+    if rows.is_empty() {
+        eprintln!("no usable matrices");
+        return;
+    }
+    print!("{}", render_table(&header, &rows));
+    println!(
+        "(VIA config {}: CSB block {}, paper reports 4.22x average over its suite)",
+        ViaConfig::default().name(),
+        bs
+    );
+}

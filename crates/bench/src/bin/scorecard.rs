@@ -1,0 +1,108 @@
+//! One-shot reproduction scorecard: runs every headline experiment and
+//! scores the measured numbers against the paper's published claims.
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin scorecard [-- --matrices N ...]
+//! ```
+
+use via_bench::paper::{claim, verdict, Verdict};
+use via_bench::report::{banner, render_table};
+use via_bench::{
+    experiments, fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil,
+    ExperimentScale,
+};
+use via_core::ViaConfig;
+use via_energy::AreaModel;
+use via_formats::stats::geomean;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::default().from_args(&args);
+    print!(
+        "{}",
+        banner(
+            "Reproduction scorecard",
+            "all headline claims, measured in one run and scored against the paper",
+        )
+    );
+    eprintln!(
+        "suite: {} matrices, {}..{} rows, seed {} (this takes a minute or two)",
+        scale.matrices, scale.min_rows, scale.max_rows, scale.seed
+    );
+
+    let mut measured: Vec<(&'static str, f64)> = Vec::new();
+
+    let spmv = fig10_spmv(&scale);
+    for row in &spmv.rows {
+        let id = match row.format.as_str() {
+            "CSR" => "fig10/csr",
+            "SPC5" => "fig10/spc5",
+            "Sell-C-sigma" => "fig10/sell",
+            "CSB" => "fig10/csb",
+            other => panic!("unknown format {other}"),
+        };
+        measured.push((id, row.mean));
+    }
+    measured.push(("via/energy", spmv.energy_ratio));
+    measured.push(("via/bandwidth", spmv.bandwidth_ratio));
+    let _ = experiments::csb_row(&spmv);
+
+    let (_, spma_mean) = fig11_spma(&scale);
+    measured.push(("fig11/spma", spma_mean));
+    let (_, spmm_mean) = fig11_spmm(&scale);
+    measured.push(("spmm", spmm_mean));
+
+    let hist = fig12a_histogram(12_000, 0x5c0);
+    measured.push((
+        "fig12a/scalar",
+        geomean(&hist.iter().map(|r| r.vs_scalar()).collect::<Vec<_>>()),
+    ));
+    measured.push((
+        "fig12a/vector",
+        geomean(&hist.iter().map(|r| r.vs_vector()).collect::<Vec<_>>()),
+    ));
+
+    let stencil = fig12b_stencil(&[128], 0x5c0);
+    measured.push((
+        "fig12b/stencil",
+        geomean(&stencil.iter().map(|r| r.vs_scalar()).collect::<Vec<_>>()),
+    ));
+
+    let model = AreaModel::new();
+    let cfg = ViaConfig::new(16, 2);
+    measured.push(("table2/area-16_2p", model.area_mm2(&cfg)));
+    measured.push(("table2/leak-16_2p", model.leakage_mw(&cfg)));
+
+    let header: Vec<String> = ["claim", "source", "paper", "measured", "verdict"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    let (mut reproduced, mut shape, mut failed) = (0, 0, 0);
+    for (id, value) in &measured {
+        let c = claim(id);
+        let v = verdict(c, *value);
+        match v {
+            Verdict::Reproduced => reproduced += 1,
+            Verdict::ShapeOnly => shape += 1,
+            Verdict::NotReproduced => failed += 1,
+        }
+        rows.push(vec![
+            c.description.to_string(),
+            c.source.to_string(),
+            format!("{:.3}", c.paper),
+            format!("{value:.3}"),
+            match v {
+                Verdict::Reproduced => "REPRODUCED".to_string(),
+                Verdict::ShapeOnly => "shape only".to_string(),
+                Verdict::NotReproduced => "NOT reproduced".to_string(),
+            },
+        ]);
+    }
+    print!("{}", render_table(&header, &rows));
+    println!(
+        "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
+         (of {})",
+        measured.len()
+    );
+}

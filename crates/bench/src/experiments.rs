@@ -1,0 +1,514 @@
+//! One runner per paper table/figure.
+
+use crate::suite::{default_threads, parallel_map, ExperimentScale, Suite};
+use via_core::ViaConfig;
+use via_energy::{AreaModel, EnergyModel, SynthesisPoint, PAPER_SYNTHESIS};
+use via_formats::gen::GenMatrix;
+use via_formats::stats::{geomean, split_categories};
+use via_formats::{gen, Csb, SellCSigma, Spc5};
+use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext};
+
+/// One row of the Figure 9 design-space exploration: the speedup of each
+/// configuration over the `4_2p` baseline for the three kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseRow {
+    /// Configuration name (`4_2p`, `4_4p`, `16_2p`, `16_4p`).
+    pub config: String,
+    /// VIA-SpMV (CSB) speedup over 4_2p.
+    pub spmv: f64,
+    /// VIA-SpMA (CSR) speedup over 4_2p.
+    pub spma: f64,
+    /// VIA-SpMM (CSR×CSC) speedup over 4_2p.
+    pub spmm: f64,
+}
+
+/// Figure 9: performance of the SSPM design points, normalized to `4_2p`
+/// per kernel (paper §VI-A).
+pub fn fig9_dse(scale: &ExperimentScale) -> Vec<DseRow> {
+    let spmv_suite = Suite::generate(scale);
+    let spmm_scale = scale.spmm();
+    let spmm_suite = Suite::generate(&spmm_scale);
+    let threads = default_threads();
+
+    let configs = ViaConfig::dse_points();
+    let mut per_config: Vec<(String, f64, f64, f64)> = Vec::new();
+    for config in configs {
+        let ctx = SimContext::with_via(config);
+        // SpMV with CSB tuned to this config's scratchpad.
+        let bs = config.csb_block_size();
+        let spmv_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, threads, |m| {
+            let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+            let x = gen::dense_vector(m.csr.cols(), m.seed);
+            spmv::via_csb(&csb, &x, &ctx).cycles() as f64
+        });
+        let spma_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, threads, |m| {
+            let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+            spma::via_cam(&m.csr, &b, &ctx).cycles() as f64
+        });
+        let spmm_cycles: Vec<f64> = parallel_map(&spmm_suite.matrices, threads, |m| {
+            let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
+            spmm::via_cam(&m.csr, &b, &ctx).cycles() as f64
+        });
+        per_config.push((
+            config.name(),
+            geomean(&spmv_cycles),
+            geomean(&spma_cycles),
+            geomean(&spmm_cycles),
+        ));
+    }
+    let base = per_config
+        .iter()
+        .find(|(n, _, _, _)| n == "4_2p")
+        .expect("4_2p present")
+        .clone();
+    per_config
+        .into_iter()
+        .map(|(config, v, a, m)| DseRow {
+            config,
+            spmv: base.1 / v,
+            spma: base.2 / a,
+            spmm: base.3 / m,
+        })
+        .collect()
+}
+
+/// Table II: model area/leakage next to the published synthesis numbers.
+pub fn table2_area() -> Vec<(SynthesisPoint, f64, f64)> {
+    let model = AreaModel::new();
+    PAPER_SYNTHESIS
+        .iter()
+        .map(|p| {
+            let cfg = ViaConfig::new(p.sspm_kb, p.ports);
+            (*p, model.area_mm2(&cfg), model.leakage_mw(&cfg))
+        })
+        .collect()
+}
+
+/// One Figure 10 row: per-block-density-category speedups for one format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvFormatRow {
+    /// Format name.
+    pub format: String,
+    /// Geomean speedup per block-density category (low → high).
+    pub categories: Vec<f64>,
+    /// Geomean speedup over the whole suite.
+    pub mean: f64,
+    /// The paper's reported average for this format.
+    pub paper_mean: f64,
+}
+
+/// Figure 10 plus the §VII-A energy/bandwidth claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvResult {
+    /// Per-format category rows.
+    pub rows: Vec<SpmvFormatRow>,
+    /// Median CSB block density per category.
+    pub category_medians: Vec<f64>,
+    /// Total-energy ratio (CSB software baseline / VIA-CSB); paper: 3.8×.
+    pub energy_ratio: f64,
+    /// Achieved-DRAM-bandwidth ratio (VIA-CSB / baseline); paper: 2.5×.
+    pub bandwidth_ratio: f64,
+}
+
+/// Figure 10: VIA-SpMV speedup over each format's software implementation,
+/// bucketed by CSB block density (paper §VII-A).
+pub fn fig10_spmv(scale: &ExperimentScale) -> SpmvResult {
+    let suite = Suite::generate(scale);
+    let ctx = SimContext::default();
+    let bs = ctx.via.csb_block_size();
+    let threads = default_threads();
+    let vl = ctx.vl();
+
+    struct PerMatrix {
+        block_density: f64,
+        speedups: [f64; 4], // csr, spc5, sell, csb
+        energy_ratio: f64,
+        bandwidth_ratio: f64,
+    }
+
+    let runs: Vec<PerMatrix> = parallel_map(&suite.matrices, threads, |m| {
+        let x = gen::dense_vector(m.csr.cols(), m.seed);
+        let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+        let spc5_m = Spc5::from_csr(&m.csr, vl).expect("valid block height");
+        let sell_m = SellCSigma::from_csr(&m.csr, vl, (vl * 8).min(m.csr.rows().max(vl)))
+            .unwrap_or_else(|_| SellCSigma::from_csr(&m.csr, vl, vl).expect("c=sigma"));
+
+        let base_csr = spmv::csr_vec(&m.csr, &x, &ctx);
+        let via_csr = spmv::via_csr(&m.csr, &x, &ctx);
+        let base_spc5 = spmv::spc5(&spc5_m, &x, &ctx);
+        let via_spc5 = spmv::via_spc5(&spc5_m, &x, &ctx);
+        let base_sell = spmv::sell(&sell_m, &x, &ctx);
+        let via_sell = spmv::via_sell(&sell_m, &x, &ctx);
+        let base_csb = spmv::csb_software(&csb, &x, &ctx);
+        let via_csb = spmv::via_csb(&csb, &x, &ctx);
+
+        let energy = EnergyModel::default();
+        let energy_ratio = energy.energy_ratio(
+            &base_csb.stats,
+            &via_csb.stats,
+            &via_csb.sspm_events.expect("via run"),
+            &ctx.via,
+        );
+        let bandwidth_ratio =
+            via_csb.stats.dram_bandwidth() / base_csb.stats.dram_bandwidth().max(1e-12);
+        PerMatrix {
+            block_density: csb.mean_block_density(),
+            speedups: [
+                base_csr.cycles() as f64 / via_csr.cycles() as f64,
+                base_spc5.cycles() as f64 / via_spc5.cycles() as f64,
+                base_sell.cycles() as f64 / via_sell.cycles() as f64,
+                base_csb.cycles() as f64 / via_csb.cycles() as f64,
+            ],
+            energy_ratio,
+            bandwidth_ratio,
+        }
+    });
+
+    let cats = split_categories(&runs, 4, |r| r.block_density);
+    let formats = ["CSR", "SPC5", "Sell-C-sigma", "CSB"];
+    let paper_means = [1.25, 1.24, 1.31, 4.22];
+    let rows = formats
+        .iter()
+        .enumerate()
+        .map(|(f, name)| {
+            let categories = cats
+                .iter()
+                .map(|c| {
+                    geomean(
+                        &c.indices
+                            .iter()
+                            .map(|&i| runs[i].speedups[f])
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let mean = geomean(&runs.iter().map(|r| r.speedups[f]).collect::<Vec<_>>());
+            SpmvFormatRow {
+                format: name.to_string(),
+                categories,
+                mean,
+                paper_mean: paper_means[f],
+            }
+        })
+        .collect();
+    SpmvResult {
+        rows,
+        category_medians: cats.iter().map(|c| c.median_key).collect(),
+        energy_ratio: geomean(&runs.iter().map(|r| r.energy_ratio).collect::<Vec<_>>()),
+        bandwidth_ratio: geomean(&runs.iter().map(|r| r.bandwidth_ratio).collect::<Vec<_>>()),
+    }
+}
+
+/// One category bucket of Figure 11 (SpMA) or the SpMM series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryRow {
+    /// Category label (median sort-key value).
+    pub median_key: f64,
+    /// Geomean speedup in this category.
+    pub speedup: f64,
+}
+
+/// Figure 11 (SpMA): VIA-CSR-SpMA speedup over the scalar merge, bucketed
+/// into four nnz categories (paper §VII-B; average 6.14×).
+pub fn fig11_spma(scale: &ExperimentScale) -> (Vec<CategoryRow>, f64) {
+    let suite = Suite::generate(scale);
+    let ctx = SimContext::default();
+    let threads = default_threads();
+    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, threads, |m| {
+        let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+        let base = spma::merge_csr(&m.csr, &b, &ctx);
+        let via = spma::via_cam(&m.csr, &b, &ctx);
+        (
+            m.csr.nnz() as f64,
+            base.cycles() as f64 / via.cycles() as f64,
+        )
+    });
+    bucket_speedups(runs)
+}
+
+/// Figure 11 companion (SpMM, §VII-C): VIA speedup over the inner-product
+/// baseline, bucketed by average non-zeros per row (the statistic the paper
+/// says constrains the kernel); average 6.00×.
+pub fn fig11_spmm(scale: &ExperimentScale) -> (Vec<CategoryRow>, f64) {
+    let spmm_scale = scale.spmm();
+    let suite = Suite::generate(&spmm_scale);
+    let ctx = SimContext::default();
+    let threads = default_threads();
+    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, threads, |m| {
+        let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
+        let base = spmm::inner_product(&m.csr, &b, &ctx);
+        let via = spmm::via_cam(&m.csr, &b, &ctx);
+        (
+            m.csr.nnz() as f64 / m.csr.rows().max(1) as f64,
+            base.cycles() as f64 / via.cycles() as f64,
+        )
+    });
+    bucket_speedups(runs)
+}
+
+fn bucket_speedups(runs: Vec<(f64, f64)>) -> (Vec<CategoryRow>, f64) {
+    let cats = split_categories(&runs, 4, |r| r.0);
+    let rows = cats
+        .iter()
+        .map(|c| CategoryRow {
+            median_key: c.median_key,
+            speedup: geomean(&c.indices.iter().map(|&i| runs[i].1).collect::<Vec<_>>()),
+        })
+        .collect();
+    let mean = geomean(&runs.iter().map(|r| r.1).collect::<Vec<_>>());
+    (rows, mean)
+}
+
+/// One Figure 12.a histogram workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRow {
+    /// Workload label.
+    pub workload: String,
+    /// Scalar baseline cycles.
+    pub scalar_cycles: u64,
+    /// AVX-512CD-style vector baseline cycles.
+    pub vector_cycles: u64,
+    /// VIA cycles.
+    pub via_cycles: u64,
+}
+
+impl HistogramRow {
+    /// VIA speedup over the scalar baseline (paper mean 5.49×).
+    pub fn vs_scalar(&self) -> f64 {
+        self.scalar_cycles as f64 / self.via_cycles as f64
+    }
+
+    /// VIA speedup over the vector baseline (paper mean 4.51×).
+    pub fn vs_vector(&self) -> f64 {
+        self.vector_cycles as f64 / self.via_cycles as f64
+    }
+}
+
+/// Figure 12.a: histogram speedups over uniform and skewed key streams
+/// (paper §VII-D).
+pub fn fig12a_histogram(keys_per_workload: usize, seed: u64) -> Vec<HistogramRow> {
+    let ctx = SimContext::default();
+    let workloads: Vec<(String, Vec<u32>, usize)> = vec![
+        (
+            "uniform/256".into(),
+            uniform_keys(keys_per_workload, 256, seed),
+            256,
+        ),
+        (
+            "uniform/2048".into(),
+            uniform_keys(keys_per_workload, 2048, seed ^ 1),
+            2048,
+        ),
+        (
+            "skewed/256".into(),
+            skewed_keys(keys_per_workload, 256, seed ^ 2),
+            256,
+        ),
+        (
+            "skewed/2048".into(),
+            skewed_keys(keys_per_workload, 2048, seed ^ 3),
+            2048,
+        ),
+    ];
+    workloads
+        .into_iter()
+        .map(|(workload, keys, nbins)| HistogramRow {
+            workload,
+            scalar_cycles: histogram::scalar(&keys, nbins, &ctx).cycles(),
+            vector_cycles: histogram::vector_cd(&keys, nbins, &ctx).cycles(),
+            via_cycles: histogram::via(&keys, nbins, &ctx).cycles(),
+        })
+        .collect()
+}
+
+fn uniform_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..nbins as u32)).collect()
+}
+
+fn skewed_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
+    use rand::{RngExt, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            (((u * u) * nbins as f64) as u32).min(nbins as u32 - 1)
+        })
+        .collect()
+}
+
+/// One Figure 12.b stencil image size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilRow {
+    /// Image side in pixels.
+    pub side: usize,
+    /// Scalar baseline cycles.
+    pub scalar_cycles: u64,
+    /// Vectorized baseline cycles.
+    pub vector_cycles: u64,
+    /// VIA cycles.
+    pub via_cycles: u64,
+}
+
+impl StencilRow {
+    /// VIA speedup over the scalar baseline (the paper's 3.39× average is
+    /// against its VIA-oblivious baseline).
+    pub fn vs_scalar(&self) -> f64 {
+        self.scalar_cycles as f64 / self.via_cycles as f64
+    }
+
+    /// VIA speedup over the vectorized baseline.
+    pub fn vs_vector(&self) -> f64 {
+        self.vector_cycles as f64 / self.via_cycles as f64
+    }
+}
+
+/// Figure 12.b: 4×4 Gaussian filter over 128/256/512-pixel images (paper
+/// §VII-D).
+pub fn fig12b_stencil(sides: &[usize], seed: u64) -> Vec<StencilRow> {
+    let ctx = SimContext::default();
+    let filter = stencil::gaussian4();
+    sides
+        .iter()
+        .map(|&side| {
+            let image: Vec<f64> = gen::dense_vector(side * side, seed + side as u64)
+                .into_iter()
+                .map(|v| v.abs())
+                .collect();
+            StencilRow {
+                side,
+                scalar_cycles: stencil::scalar(&image, side, side, &filter, &ctx).cycles(),
+                vector_cycles: stencil::vector(&image, side, side, &filter, &ctx).cycles(),
+                via_cycles: stencil::via(&image, side, side, &filter, &ctx).cycles(),
+            }
+        })
+        .collect()
+}
+
+/// Convenience accessor used by tests: the CSB speedup row of a
+/// [`SpmvResult`].
+pub fn csb_row(result: &SpmvResult) -> &SpmvFormatRow {
+    result
+        .rows
+        .iter()
+        .find(|r| r.format == "CSB")
+        .expect("CSB row present")
+}
+
+/// Test helper: build the inputs one matrix of the suite would use.
+pub fn spmv_inputs(m: &GenMatrix, ctx: &SimContext) -> (Csb, Vec<f64>) {
+    let bs = ctx.via.csb_block_size();
+    (
+        Csb::from_csr(&m.csr, bs).expect("power-of-two block"),
+        gen::dense_vector(m.csr.cols(), m.seed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            matrices: 5,
+            min_rows: 96,
+            max_rows: 256,
+            density_range: (0.001, 0.026),
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_within_15_percent() {
+        for (paper, area, leak) in table2_area() {
+            assert!((area / paper.area_mm2 - 1.0).abs() < 0.15);
+            assert!((leak / paper.leakage_mw - 1.0).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn fig10_produces_four_categories_and_csb_wins() {
+        let result = fig10_spmv(&tiny());
+        assert_eq!(result.category_medians.len(), 4);
+        for row in &result.rows {
+            assert_eq!(row.categories.len(), 4);
+            assert!(row.mean.is_finite() && row.mean > 0.0);
+        }
+        let csb = csb_row(&result);
+        let csr = result.rows.iter().find(|r| r.format == "CSR").unwrap();
+        assert!(
+            csb.mean > csr.mean,
+            "CSB ({:.2}) should benefit more than CSR ({:.2})",
+            csb.mean,
+            csr.mean
+        );
+        assert!(csb.mean > 1.0, "VIA-CSB must win: {:.2}", csb.mean);
+        assert!(result.energy_ratio > 1.0);
+    }
+
+    #[test]
+    fn fig11_spma_speedups_positive() {
+        let (rows, mean) = fig11_spma(&tiny());
+        assert_eq!(rows.len(), 4);
+        assert!(mean > 1.0, "SpMA mean speedup {mean:.2}");
+        // Categories are sorted by nnz.
+        assert!(rows[0].median_key <= rows[3].median_key);
+    }
+
+    #[test]
+    fn fig11_spmm_speedups_positive() {
+        let (rows, mean) = fig11_spmm(&tiny());
+        assert_eq!(rows.len(), 4);
+        assert!(mean > 1.0, "SpMM mean speedup {mean:.2}");
+    }
+
+    #[test]
+    fn fig9_normalizes_to_4_2p() {
+        let rows = fig9_dse(&ExperimentScale {
+            matrices: 4,
+            min_rows: 96,
+            max_rows: 192,
+            density_range: (0.001, 0.026),
+            seed: 5,
+        });
+        assert_eq!(rows.len(), 4);
+        let base = rows.iter().find(|r| r.config == "4_2p").unwrap();
+        assert!((base.spmv - 1.0).abs() < 1e-9);
+        assert!((base.spma - 1.0).abs() < 1e-9);
+        assert!((base.spmm - 1.0).abs() < 1e-9);
+        // Bigger scratchpads should not hurt.
+        let big = rows.iter().find(|r| r.config == "16_4p").unwrap();
+        assert!(big.spmv >= base.spmv * 0.9);
+    }
+
+    #[test]
+    fn fig12a_via_wins_everywhere() {
+        for row in fig12a_histogram(3000, 11) {
+            assert!(
+                row.vs_scalar() > 1.0,
+                "{}: {:.2}",
+                row.workload,
+                row.vs_scalar()
+            );
+            assert!(
+                row.vs_vector() > 1.0,
+                "{}: {:.2}",
+                row.workload,
+                row.vs_vector()
+            );
+        }
+    }
+
+    #[test]
+    fn fig12b_via_beats_scalar() {
+        for row in fig12b_stencil(&[32, 48], 13) {
+            assert!(
+                row.vs_scalar() > 1.0,
+                "{}px: {:.2}",
+                row.side,
+                row.vs_scalar()
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing every table and figure of the VIA paper.
+//!
+//! One module per experiment; each `cargo run -p via-bench --release --bin
+//! <exp>` binary prints the same rows/series the paper reports next to the
+//! paper's published numbers. Scale knobs:
+//!
+//! * `--matrices <N>` — suite size (default: a CI-friendly subset; the
+//!   paper uses 1,024),
+//! * `--max-rows <N>` — largest matrix dimension (default 1,024–2,048 per
+//!   experiment; the paper caps at 20,000),
+//! * `--seed <S>` — suite seed.
+//!
+//! The expectation is *shape* reproduction: who wins, by roughly what
+//! factor, and how the trend moves across categories — not absolute cycle
+//! counts (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod paper;
+pub mod report;
+pub mod suite;
+
+pub use experiments::{
+    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse, table2_area,
+    CategoryRow, DseRow, HistogramRow, SpmvFormatRow, StencilRow,
+};
+pub use suite::{parallel_map, ExperimentScale, Suite};

@@ -1,0 +1,195 @@
+//! The paper's published numbers, as data.
+//!
+//! Single source of truth for every quantitative claim the reproduction
+//! compares against, with the section it comes from. The `scorecard`
+//! binary evaluates all of them in one run.
+
+/// How a measured value compares to the paper's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the band and same direction.
+    Reproduced,
+    /// Same direction (same winner / same trend), magnitude outside band.
+    ShapeOnly,
+    /// Wrong direction.
+    NotReproduced,
+}
+
+/// One quantitative claim from the paper.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Identifier, e.g. `"fig10/csb"`.
+    pub id: &'static str,
+    /// Where the paper states it.
+    pub source: &'static str,
+    /// What the number means.
+    pub description: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+    /// Acceptance band: measured/paper within `[1/band, band]` counts as
+    /// reproduced; a measured value `> 1.0` when `paper > 1.0` (a speedup
+    /// in the same direction) outside the band counts as shape-only.
+    pub band: f64,
+}
+
+/// Every headline claim the scorecard checks.
+pub const CLAIMS: &[Claim] = &[
+    Claim {
+        id: "fig10/csb",
+        source: "§VII-A / Figure 10",
+        description: "VIA-CSB SpMV speedup over software CSB",
+        paper: 4.22,
+        band: 2.0,
+    },
+    Claim {
+        id: "fig10/csr",
+        source: "§VII-A / Figure 10",
+        description: "VIA-CSR SpMV speedup over vectorized CSR",
+        paper: 1.25,
+        band: 1.5,
+    },
+    Claim {
+        id: "fig10/spc5",
+        source: "§VII-A / Figure 10",
+        description: "VIA-SPC5 SpMV speedup over SPC5",
+        paper: 1.24,
+        band: 1.5,
+    },
+    Claim {
+        id: "fig10/sell",
+        source: "§VII-A / Figure 10",
+        description: "VIA-Sell-C-sigma SpMV speedup over Sell-C-sigma",
+        paper: 1.31,
+        band: 1.5,
+    },
+    Claim {
+        id: "via/energy",
+        source: "§VII-A",
+        description: "VIA-CSB total-energy reduction",
+        paper: 3.8,
+        band: 2.0,
+    },
+    Claim {
+        id: "via/bandwidth",
+        source: "§VII-A",
+        description: "VIA-CSB achieved-bandwidth increase",
+        paper: 2.5,
+        band: 3.0,
+    },
+    Claim {
+        id: "fig11/spma",
+        source: "§VII-B / Figure 11",
+        description: "VIA SpMA speedup over the Eigen-style merge",
+        paper: 6.14,
+        band: 2.0,
+    },
+    Claim {
+        id: "spmm",
+        source: "§VII-C",
+        description: "VIA SpMM speedup over the inner-product kernel",
+        paper: 6.00,
+        band: 2.0,
+    },
+    Claim {
+        id: "fig12a/scalar",
+        source: "§VII-D / Figure 12.a",
+        description: "VIA histogram speedup over Intel scalar",
+        paper: 5.49,
+        band: 2.0,
+    },
+    Claim {
+        id: "fig12a/vector",
+        source: "§VII-D / Figure 12.a",
+        description: "VIA histogram speedup over Intel vector",
+        paper: 4.51,
+        band: 2.5,
+    },
+    Claim {
+        id: "fig12b/stencil",
+        source: "§VII-D / Figure 12.b",
+        description: "VIA stencil speedup over the VIA-oblivious baseline",
+        paper: 3.39,
+        band: 2.0,
+    },
+    Claim {
+        id: "table2/area-16_2p",
+        source: "§VI-B / Table II",
+        description: "16_2p SSPM area in mm2 (22 nm)",
+        paper: 0.515,
+        band: 1.15,
+    },
+    Claim {
+        id: "table2/leak-16_2p",
+        source: "§VI-B / Table II",
+        description: "16_2p SSPM leakage in mW",
+        paper: 0.50,
+        band: 1.15,
+    },
+];
+
+/// Scores a measured value against a claim.
+pub fn verdict(claim: &Claim, measured: f64) -> Verdict {
+    if !measured.is_finite() || measured <= 0.0 {
+        return Verdict::NotReproduced;
+    }
+    let ratio = measured / claim.paper;
+    if ratio >= 1.0 / claim.band && ratio <= claim.band {
+        return Verdict::Reproduced;
+    }
+    // Direction: for speedup-style claims (> 1), direction = also > 1.
+    let same_direction = (claim.paper > 1.0) == (measured > 1.0);
+    if same_direction {
+        Verdict::ShapeOnly
+    } else {
+        Verdict::NotReproduced
+    }
+}
+
+/// Looks up a claim by id.
+///
+/// # Panics
+///
+/// Panics if the id is unknown (scorecard bug).
+pub fn claim(id: &str) -> &'static Claim {
+    CLAIMS
+        .iter()
+        .find(|c| c.id == id)
+        .unwrap_or_else(|| panic!("unknown claim id {id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_have_unique_ids() {
+        for (i, a) in CLAIMS.iter().enumerate() {
+            for b in &CLAIMS[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_bands_work() {
+        let c = claim("fig10/csb"); // paper 4.22, band 2.0
+        assert_eq!(verdict(c, 4.22), Verdict::Reproduced);
+        assert_eq!(verdict(c, 6.3), Verdict::Reproduced); // within 2x
+        assert_eq!(verdict(c, 2.2), Verdict::Reproduced);
+        assert_eq!(verdict(c, 9.0), Verdict::ShapeOnly); // right direction
+        assert_eq!(verdict(c, 0.8), Verdict::NotReproduced); // VIA loses
+        assert_eq!(verdict(c, f64::NAN), Verdict::NotReproduced);
+    }
+
+    #[test]
+    fn lookup_panics_on_unknown() {
+        assert!(std::panic::catch_unwind(|| claim("nope")).is_err());
+    }
+
+    #[test]
+    fn every_claim_reproduces_itself() {
+        for c in CLAIMS {
+            assert_eq!(verdict(c, c.paper), Verdict::Reproduced, "{}", c.id);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders a table: header row plus data rows, columns padded to fit.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    let render_row = |cells: &[String], widths: &[usize]| {
+        let mut s = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            s.push_str(&format!(" {c:<w$} |"));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(&widths));
+    out.push_str(&render_row(header, &widths));
+    out.push_str(&line(&widths));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out.push_str(&line(&widths));
+    out
+}
+
+/// Formats a speedup as `N.NNx`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Standard banner for every experiment binary.
+pub fn banner(experiment: &str, paper_claim: &str) -> String {
+    format!("== VIA reproduction :: {experiment} ==\npaper reference: {paper_claim}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let header = vec!["name".to_string(), "value".to_string()];
+        let rows = vec![
+            vec!["a-long-name".to_string(), "1".to_string()],
+            vec!["b".to_string(), "12345".to_string()],
+        ];
+        let t = render_table(&header, &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(t.contains("a-long-name"));
+        assert!(t.contains("12345"));
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(4.217), "4.22x");
+    }
+
+    #[test]
+    fn banner_mentions_experiment() {
+        let b = banner("Figure 9", "DSE");
+        assert!(b.contains("Figure 9"));
+        assert!(b.contains("DSE"));
+    }
+}

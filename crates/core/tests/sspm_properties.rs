@@ -1,0 +1,180 @@
+//! Property tests: the SSPM functional model must agree with simple
+//! reference semantics (an array + valid flags for direct mode, a map for
+//! CAM mode) under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use via_core::{Sspm, ViaConfig};
+
+#[derive(Debug, Clone)]
+enum DirectOp {
+    Write(u16, i32),
+    Read(u16),
+    Clear,
+    ClearSegment(u16, u16),
+}
+
+fn arb_direct_ops(entries: u16) -> impl Strategy<Value = Vec<DirectOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..entries, -1000i32..1000).prop_map(|(i, v)| DirectOp::Write(i, v)),
+            (0..entries).prop_map(DirectOp::Read),
+            Just(DirectOp::Clear),
+            (0..entries, 0..entries).prop_map(move |(s, l)| {
+                let len = l.min(entries - s);
+                DirectOp::ClearSegment(s, len)
+            }),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn direct_mode_matches_array_model(ops in arb_direct_ops(512)) {
+        let config = ViaConfig::new(4, 2); // 512 entries
+        let mut sspm = Sspm::new(config);
+        let mut model: Vec<Option<f64>> = vec![None; config.entries()];
+        for op in ops {
+            match op {
+                DirectOp::Write(i, v) => {
+                    sspm.write_direct(i as usize, v as f64);
+                    model[i as usize] = Some(v as f64);
+                }
+                DirectOp::Read(i) => {
+                    let got = sspm.read_direct(i as usize);
+                    let want = model[i as usize].unwrap_or(0.0);
+                    prop_assert_eq!(got, want);
+                }
+                DirectOp::Clear => {
+                    sspm.clear();
+                    model.iter_mut().for_each(|m| *m = None);
+                }
+                DirectOp::ClearSegment(s, l) => {
+                    sspm.clear_segment(s as usize, l as usize);
+                    for m in &mut model[s as usize..(s + l) as usize] {
+                        *m = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CamOp {
+    Write(u32, i32),
+    Update(u32, i32),
+    Read(u32),
+    Count,
+    Clear,
+}
+
+fn arb_cam_ops() -> impl Strategy<Value = Vec<CamOp>> {
+    // Index space of 64 over a 128-entry CAM: overflow impossible, hits
+    // common.
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..64, -100i32..100).prop_map(|(i, v)| CamOp::Write(i, v)),
+            (0u32..64, -100i32..100).prop_map(|(i, v)| CamOp::Update(i, v)),
+            (0u32..96).prop_map(CamOp::Read),
+            Just(CamOp::Count),
+            Just(CamOp::Clear),
+        ],
+        0..150,
+    )
+}
+
+proptest! {
+    #[test]
+    fn cam_mode_matches_map_model(ops in arb_cam_ops()) {
+        let mut sspm = Sspm::new(ViaConfig::new(4, 2)); // 128 CAM entries
+        let mut model: HashMap<u32, f64> = HashMap::new();
+        let mut insertion_order: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                CamOp::Write(i, v) => {
+                    sspm.write_cam(i, v as f64);
+                    if !model.contains_key(&i) {
+                        insertion_order.push(i);
+                    }
+                    model.insert(i, v as f64);
+                }
+                CamOp::Update(i, v) => {
+                    sspm.update_cam(i, |old| old + v as f64);
+                    if !model.contains_key(&i) {
+                        insertion_order.push(i);
+                    }
+                    *model.entry(i).or_insert(0.0) += v as f64;
+                }
+                CamOp::Read(i) => {
+                    let got = sspm.read_cam(i);
+                    let want = model.get(&i).copied().unwrap_or(0.0);
+                    prop_assert!((got - want).abs() < 1e-9);
+                }
+                CamOp::Count => {
+                    prop_assert_eq!(sspm.count(), model.len());
+                    // Tracked indices come out in insertion order.
+                    for (pos, &idx) in insertion_order.iter().enumerate() {
+                        prop_assert_eq!(sspm.tracked_index(pos), idx);
+                    }
+                }
+                CamOp::Clear => {
+                    sspm.clear();
+                    model.clear();
+                    insertion_order.clear();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cam_capacity_is_exact(extra in 0usize..4) {
+        // Filling exactly to capacity succeeds; one more insert panics.
+        let config = ViaConfig::new(4, 2);
+        let cap = config.cam_entries();
+        let mut sspm = Sspm::new(config);
+        for i in 0..cap {
+            sspm.write_cam(i as u32, 1.0);
+        }
+        prop_assert_eq!(sspm.count(), cap);
+        // Updates to existing indices never overflow.
+        for i in 0..extra {
+            sspm.update_cam((i % cap) as u32, |v| v + 1.0);
+        }
+        prop_assert_eq!(sspm.count(), cap);
+        let overflow = std::panic::catch_unwind(move || {
+            sspm.write_cam(cap as u32 + 1, 1.0);
+        });
+        prop_assert!(overflow.is_err());
+    }
+
+    #[test]
+    fn events_are_monotone(ops in arb_cam_ops()) {
+        let mut sspm = Sspm::new(ViaConfig::new(4, 2));
+        let mut last = sspm.events();
+        for op in ops {
+            match op {
+                CamOp::Write(i, v) => {
+                    sspm.write_cam(i, v as f64);
+                }
+                CamOp::Update(i, v) => {
+                    sspm.update_cam(i, |old| old + v as f64);
+                }
+                CamOp::Read(i) => {
+                    sspm.read_cam(i);
+                }
+                CamOp::Count => {}
+                CamOp::Clear => sspm.clear(),
+            }
+            let now = sspm.events();
+            prop_assert!(now.sram_reads >= last.sram_reads);
+            prop_assert!(now.sram_writes >= last.sram_writes);
+            prop_assert!(now.cam_searches >= last.cam_searches);
+            prop_assert!(now.cam_inserts >= last.cam_inserts);
+            prop_assert!(now.bank_activations >= last.bank_activations);
+            prop_assert!(now.clears >= last.clears);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! CACTI-like area and leakage model calibrated to the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+use via_core::ViaConfig;
+
+/// One synthesized design point (paper Table II / §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisPoint {
+    /// SSPM size in KiB.
+    pub sspm_kb: usize,
+    /// Port count.
+    pub ports: u32,
+    /// Area in mm² (22 nm).
+    pub area_mm2: f64,
+    /// Leakage power in mW.
+    pub leakage_mw: f64,
+}
+
+/// The six synthesis results the paper publishes (Table II plus the two
+/// extra 8 KB points of §VI-B).
+pub const PAPER_SYNTHESIS: [SynthesisPoint; 6] = [
+    SynthesisPoint {
+        sspm_kb: 16,
+        ports: 4,
+        area_mm2: 0.827,
+        leakage_mw: 0.69,
+    },
+    SynthesisPoint {
+        sspm_kb: 16,
+        ports: 2,
+        area_mm2: 0.515,
+        leakage_mw: 0.50,
+    },
+    SynthesisPoint {
+        sspm_kb: 8,
+        ports: 4,
+        area_mm2: 0.43,
+        leakage_mw: 0.39,
+    },
+    SynthesisPoint {
+        sspm_kb: 8,
+        ports: 2,
+        area_mm2: 0.29,
+        leakage_mw: 0.28,
+    },
+    SynthesisPoint {
+        sspm_kb: 4,
+        ports: 4,
+        area_mm2: 0.180,
+        leakage_mw: 0.22,
+    },
+    SynthesisPoint {
+        sspm_kb: 4,
+        ports: 2,
+        area_mm2: 0.118,
+        leakage_mw: 0.14,
+    },
+];
+
+/// Area of a 22 nm Haswell core in mm², used by the paper's §VI-B overhead
+/// comparison ("VIA increases the [core] area by 5 % for 16_4p and 3 % for
+/// 16_2p").
+pub const HASWELL_CORE_MM2: f64 = 17.0;
+
+/// Analytical area/leakage model: `c0 + c1·size + c2·size·ports +
+/// c3·ports` (a linear SRAM capacity term plus a Live-Value-Table
+/// multiporting term that scales with capacity × ports, §VI-B).
+///
+/// The constants are least-squares fits over [`PAPER_SYNTHESIS`]; the
+/// model interpolates/extrapolates the rest of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    area_coef: [f64; 4],
+    leak_coef: [f64; 4],
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            // Least-squares fit to the six published points (see tests).
+            area_coef: [0.0295, 0.011_446_428_571_428, 0.010_464_285_714_286, -0.012],
+            leak_coef: [-0.01, 0.020_357_142_857_143, 0.004_642_857_142_857, 0.02],
+        }
+    }
+}
+
+impl AreaModel {
+    /// The calibrated model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn eval(coef: &[f64; 4], size_kb: f64, ports: f64) -> f64 {
+        coef[0] + coef[1] * size_kb + coef[2] * size_kb * ports + coef[3] * ports
+    }
+
+    /// SSPM area in mm² at 22 nm for a configuration.
+    pub fn area_mm2(&self, config: &ViaConfig) -> f64 {
+        Self::eval(&self.area_coef, config.sspm_kb as f64, config.ports as f64)
+    }
+
+    /// SSPM leakage power in mW for a configuration.
+    pub fn leakage_mw(&self, config: &ViaConfig) -> f64 {
+        Self::eval(&self.leak_coef, config.sspm_kb as f64, config.ports as f64)
+    }
+
+    /// Area overhead relative to a 22 nm Haswell core (§VI-B).
+    pub fn core_overhead(&self, config: &ViaConfig) -> f64 {
+        self.area_mm2(config) / HASWELL_CORE_MM2
+    }
+
+    /// Model-vs-paper relative error for a published point.
+    pub fn relative_error(&self, point: &SynthesisPoint) -> (f64, f64) {
+        let cfg = ViaConfig::new(point.sspm_kb, point.ports);
+        (
+            self.area_mm2(&cfg) / point.area_mm2 - 1.0,
+            self.leakage_mw(&cfg) / point.leakage_mw - 1.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reproduces_all_published_points_within_15_percent() {
+        let model = AreaModel::new();
+        for point in &PAPER_SYNTHESIS {
+            let (ea, el) = model.relative_error(point);
+            assert!(
+                ea.abs() < 0.15,
+                "area error {:.1}% at {}_{}p",
+                ea * 100.0,
+                point.sspm_kb,
+                point.ports
+            );
+            assert!(
+                el.abs() < 0.15,
+                "leakage error {:.1}% at {}_{}p",
+                el * 100.0,
+                point.sspm_kb,
+                point.ports
+            );
+        }
+    }
+
+    #[test]
+    fn headline_points_are_close() {
+        // The two Table II points the paper's §VI-B discussion leans on.
+        let model = AreaModel::new();
+        let c16_2 = ViaConfig::new(16, 2);
+        let c16_4 = ViaConfig::new(16, 4);
+        assert!((model.area_mm2(&c16_2) - 0.515).abs() < 0.02);
+        assert!((model.area_mm2(&c16_4) - 0.827).abs() < 0.02);
+        assert!((model.leakage_mw(&c16_2) - 0.50).abs() < 0.02);
+    }
+
+    #[test]
+    fn area_grows_with_size_and_ports() {
+        let model = AreaModel::new();
+        let a = |kb, p| model.area_mm2(&ViaConfig::new(kb, p));
+        assert!(a(16, 2) > a(8, 2));
+        assert!(a(8, 2) > a(4, 2));
+        assert!(a(16, 4) > a(16, 2));
+    }
+
+    #[test]
+    fn core_overhead_matches_paper_percentages() {
+        // Paper §VI-B: +5 % of a Haswell core for 16_4p, +3 % for 16_2p.
+        let model = AreaModel::new();
+        let ov4 = model.core_overhead(&ViaConfig::new(16, 4));
+        let ov2 = model.core_overhead(&ViaConfig::new(16, 2));
+        assert!((0.03..0.07).contains(&ov4), "16_4p overhead {ov4:.3}");
+        assert!((0.02..0.05).contains(&ov2), "16_2p overhead {ov2:.3}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_between_anchors() {
+        let model = AreaModel::new();
+        let a8 = model.area_mm2(&ViaConfig::new(8, 2));
+        let a4 = model.area_mm2(&ViaConfig::new(4, 2));
+        let a16 = model.area_mm2(&ViaConfig::new(16, 2));
+        assert!(a4 < a8 && a8 < a16);
+    }
+}

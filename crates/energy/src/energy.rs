@@ -1,0 +1,219 @@
+//! McPAT-like event-energy model.
+//!
+//! Dynamic energy = Σ (event count × per-event energy); leakage = leakage
+//! power × execution time. Per-event energies are 22 nm order-of-magnitude
+//! values from the CACTI/McPAT literature; what the experiments report are
+//! *ratios* between baseline and VIA runs, which depend on the relative
+//! magnitudes (DRAM ≫ LLC ≫ L1 ≫ SSPM), not the absolute picojoules.
+
+use crate::area::AreaModel;
+use serde::{Deserialize, Serialize};
+use via_core::{SspmEvents, ViaConfig};
+use via_sim::RunStats;
+
+/// Per-event energies in picojoules (22 nm class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// L1D access.
+    pub l1_pj: f64,
+    /// L2 access.
+    pub l2_pj: f64,
+    /// L3 access.
+    pub l3_pj: f64,
+    /// DRAM transfer per byte.
+    pub dram_pj_per_byte: f64,
+    /// Scalar ALU op.
+    pub scalar_pj: f64,
+    /// Vector ALU op (all lanes).
+    pub vector_pj: f64,
+    /// Extra per-element cost of a gather/scatter (AGU + port arbitration).
+    pub indexed_elem_pj: f64,
+    /// SSPM SRAM entry read/write.
+    pub sspm_access_pj: f64,
+    /// CAM index-table bank activation (one bank, one search).
+    pub cam_bank_pj: f64,
+    /// Flash clear.
+    pub clear_pj: f64,
+    /// Core static power in mW (pipeline + caches, excluding the SSPM whose
+    /// leakage comes from the [`AreaModel`]).
+    pub core_leakage_mw: f64,
+    /// Clock frequency in GHz (converts cycles to seconds).
+    pub freq_ghz: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            l1_pj: 15.0,
+            l2_pj: 45.0,
+            l3_pj: 120.0,
+            dram_pj_per_byte: 20.0,
+            scalar_pj: 5.0,
+            vector_pj: 15.0,
+            indexed_elem_pj: 8.0,
+            sspm_access_pj: 1.5,
+            cam_bank_pj: 1.2,
+            clear_pj: 4.0,
+            core_leakage_mw: 150.0,
+            freq_ghz: 2.0,
+        }
+    }
+}
+
+/// The energy of one run, split by component (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Cache hierarchy dynamic energy.
+    pub cache_pj: f64,
+    /// DRAM dynamic energy.
+    pub dram_pj: f64,
+    /// Core (ALU + indexed access) dynamic energy.
+    pub core_pj: f64,
+    /// SSPM dynamic energy (zero for baseline runs).
+    pub sspm_pj: f64,
+    /// Leakage energy over the run (core + SSPM).
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.cache_pj + self.dram_pj + self.core_pj + self.sspm_pj + self.leakage_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a run. `sspm` carries the SSPM event counters for VIA runs
+    /// (pass `None` for baselines); `via_config` sizes the SSPM leakage.
+    pub fn energy(
+        &self,
+        stats: &RunStats,
+        sspm: Option<&SspmEvents>,
+        via_config: Option<&ViaConfig>,
+    ) -> EnergyBreakdown {
+        let cache_pj = self.l1_pj * stats.l1.accesses() as f64
+            + self.l2_pj * stats.l2.accesses() as f64
+            + self.l3_pj * stats.l3.accesses() as f64;
+        let dram_pj = self.dram_pj_per_byte * stats.dram_bytes() as f64;
+        let core_pj = self.scalar_pj * (stats.scalar_ops + stats.branches) as f64
+            + self.vector_pj * stats.vector_ops as f64
+            + self.indexed_elem_pj * stats.indexed_elems as f64;
+        let sspm_pj = sspm
+            .map(|ev| {
+                self.sspm_access_pj * (ev.sram_reads + ev.sram_writes) as f64
+                    + self.cam_bank_pj * ev.bank_activations as f64
+                    + self.clear_pj * ev.clears as f64
+            })
+            .unwrap_or(0.0);
+        let seconds = stats.cycles as f64 / (self.freq_ghz * 1e9);
+        let sspm_leak_mw = via_config
+            .map(|cfg| AreaModel::new().leakage_mw(cfg))
+            .unwrap_or(0.0);
+        // mW × s = mJ = 1e9 pJ.
+        let leakage_pj = (self.core_leakage_mw + sspm_leak_mw) * seconds * 1e9;
+        EnergyBreakdown {
+            cache_pj,
+            dram_pj,
+            core_pj,
+            sspm_pj,
+            leakage_pj,
+        }
+    }
+
+    /// Convenience: the total-energy ratio `baseline / via` (the paper's
+    /// §VII-A "reduces the total energy consumption by a factor of 3.8×").
+    pub fn energy_ratio(
+        &self,
+        baseline: &RunStats,
+        via_stats: &RunStats,
+        via_events: &SspmEvents,
+        via_config: &ViaConfig,
+    ) -> f64 {
+        let base = self.energy(baseline, None, None).total_pj();
+        let via = self
+            .energy(via_stats, Some(via_events), Some(via_config))
+            .total_pj();
+        base / via
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            instructions: cycles,
+            ..RunStats::default()
+        }
+    }
+
+    #[test]
+    fn leakage_scales_with_cycles() {
+        let m = EnergyModel::default();
+        let e1 = m.energy(&stats(1_000), None, None);
+        let e2 = m.energy(&stats(2_000), None, None);
+        assert!((e2.leakage_pj / e1.leakage_pj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_dominates_cache_per_event() {
+        let m = EnergyModel::default();
+        // One DRAM line (64 B) must cost far more than one L1 access.
+        assert!(64.0 * m.dram_pj_per_byte > 10.0 * m.l1_pj);
+    }
+
+    #[test]
+    fn sspm_events_add_energy_only_for_via_runs() {
+        let m = EnergyModel::default();
+        let s = stats(100);
+        let ev = SspmEvents {
+            sram_reads: 100,
+            sram_writes: 50,
+            cam_searches: 10,
+            cam_inserts: 5,
+            bank_activations: 20,
+            clears: 1,
+        };
+        let base = m.energy(&s, None, None);
+        let cfg = ViaConfig::default();
+        let via = m.energy(&s, Some(&ev), Some(&cfg));
+        assert_eq!(base.sspm_pj, 0.0);
+        assert!(via.sspm_pj > 0.0);
+        // SSPM leakage also added.
+        assert!(via.leakage_pj > base.leakage_pj);
+    }
+
+    #[test]
+    fn energy_ratio_favors_fewer_dram_bytes() {
+        let m = EnergyModel::default();
+        let mut base = stats(10_000);
+        base.dram_read_bytes = 1_000_000;
+        let mut via_s = stats(5_000);
+        via_s.dram_read_bytes = 300_000;
+        let ev = SspmEvents::default();
+        let cfg = ViaConfig::default();
+        let ratio = m.energy_ratio(&base, &via_s, &ev, &cfg);
+        assert!(ratio > 1.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn breakdown_totals_sum() {
+        let m = EnergyModel::default();
+        let mut s = stats(1_000);
+        s.scalar_ops = 500;
+        s.vector_ops = 100;
+        s.l1.hits = 300;
+        s.dram_read_bytes = 6_400;
+        let e = m.energy(&s, None, None);
+        let manual = e.cache_pj + e.dram_pj + e.core_pj + e.sspm_pj + e.leakage_pj;
+        assert!((e.total_pj() - manual).abs() < 1e-9);
+        assert!(e.total_uj() > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Roofline analysis of simulated runs.
+//!
+//! Places a kernel run on the classic roofline: arithmetic intensity
+//! (flops per DRAM byte) against achieved flops/cycle, bounded by the
+//! machine's compute ceiling and its memory-bandwidth diagonal. Useful for
+//! explaining *why* a kernel speeds up — VIA's SpMV wins by raising
+//! arithmetic intensity (the dense vector stops moving through DRAM), not
+//! by adding compute.
+
+use serde::{Deserialize, Serialize};
+use via_sim::{CoreConfig, MemConfig, RunStats};
+
+/// Which ceiling binds at a run's arithmetic intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Below the ridge point: DRAM bandwidth bounds performance.
+    Memory,
+    /// At or above the ridge point: the FP datapath bounds performance.
+    Compute,
+}
+
+/// A kernel run placed on the roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Useful floating-point operations the kernel performed.
+    pub flops: u64,
+    /// DRAM bytes moved (reads + writebacks).
+    pub dram_bytes: u64,
+    /// Arithmetic intensity in flops/byte (∞ when no DRAM traffic).
+    pub intensity: f64,
+    /// Achieved flops per cycle.
+    pub achieved: f64,
+    /// The machine's compute ceiling in flops/cycle.
+    pub compute_ceiling: f64,
+    /// The bandwidth-bound ceiling at this intensity in flops/cycle.
+    pub bandwidth_ceiling: f64,
+    /// Which ceiling binds.
+    pub bound: Bound,
+    /// Achieved / binding ceiling (0..1).
+    pub efficiency: f64,
+}
+
+/// The machine's peak FP throughput in flops/cycle: vector ALUs × lanes ×
+/// 2 (FMA counts two flops).
+pub fn compute_ceiling(core: &CoreConfig) -> f64 {
+    core.vector_alus as f64 * core.vl as f64 * 2.0
+}
+
+/// Places a run on the roofline. `flops` is the kernel's useful work
+/// (e.g. `2 * nnz` for SpMV), which the caller knows and [`RunStats`]
+/// does not.
+pub fn analyze(stats: &RunStats, core: &CoreConfig, mem: &MemConfig, flops: u64) -> RooflinePoint {
+    let dram_bytes = stats.dram_bytes();
+    let intensity = if dram_bytes == 0 {
+        f64::INFINITY
+    } else {
+        flops as f64 / dram_bytes as f64
+    };
+    let compute = compute_ceiling(core);
+    let bandwidth = if intensity.is_finite() {
+        mem.dram_bytes_per_cycle * intensity
+    } else {
+        f64::INFINITY
+    };
+    let achieved = if stats.cycles == 0 {
+        0.0
+    } else {
+        flops as f64 / stats.cycles as f64
+    };
+    let (bound, ceiling) = if bandwidth < compute {
+        (Bound::Memory, bandwidth)
+    } else {
+        (Bound::Compute, compute)
+    };
+    RooflinePoint {
+        flops,
+        dram_bytes,
+        intensity,
+        achieved,
+        compute_ceiling: compute,
+        bandwidth_ceiling: bandwidth,
+        bound,
+        efficiency: if ceiling > 0.0 && ceiling.is_finite() {
+            achieved / ceiling
+        } else if ceiling == f64::INFINITY {
+            achieved / compute
+        } else {
+            0.0
+        },
+    }
+}
+
+impl RooflinePoint {
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.3} flops/byte, {:.2} flops/cycle achieved, {}-bound \
+             (ceiling {:.2}), {:.0}% of roof",
+            self.intensity,
+            self.achieved,
+            match self.bound {
+                Bound::Memory => "memory",
+                Bound::Compute => "compute",
+            },
+            match self.bound {
+                Bound::Memory => self.bandwidth_ceiling,
+                Bound::Compute => self.compute_ceiling,
+            },
+            self.efficiency * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, dram: u64) -> RunStats {
+        RunStats {
+            cycles,
+            dram_read_bytes: dram,
+            ..RunStats::default()
+        }
+    }
+
+    #[test]
+    fn low_intensity_is_memory_bound() {
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        // 0.1 flops/byte << ridge (and a physically possible run: moving
+        // 100 KB takes at least ~7.8k cycles at 12.8 B/cycle).
+        let p = analyze(&stats(20_000, 100_000), &core, &mem, 10_000);
+        assert_eq!(p.bound, Bound::Memory);
+        assert!(p.intensity < 1.0);
+        assert!(p.efficiency <= 1.01);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        // 100 flops/byte >> ridge (ridge = 16/12.8 = 1.25 fl/B).
+        let p = analyze(&stats(100_000, 10_000), &core, &mem, 1_000_000);
+        assert_eq!(p.bound, Bound::Compute);
+        assert_eq!(p.compute_ceiling, 16.0); // 2 ALUs x 4 lanes x 2
+    }
+
+    #[test]
+    fn no_dram_traffic_is_compute_bound_with_infinite_intensity() {
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        let p = analyze(&stats(1000, 0), &core, &mem, 4000);
+        assert!(p.intensity.is_infinite());
+        assert_eq!(p.bound, Bound::Compute);
+        assert!((p.achieved - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_never_exceeds_flops_over_cycles() {
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        let p = analyze(&stats(500, 64_000), &core, &mem, 1_000);
+        assert!((p.achieved - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_names_the_bound() {
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        let p = analyze(&stats(1000, 1_000_000), &core, &mem, 1_000);
+        assert!(p.summary().contains("memory-bound"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Compressed Sparse Block format (Buluç et al.; paper §II-B, Figures 1.b/1.d).
+
+use crate::{Coo, Csr, FormatError, Index, Value};
+
+/// A sparse matrix in Compressed Sparse Block form.
+///
+/// CSB partitions the matrix into square `block_size` x `block_size` blocks
+/// laid out row-major over the block grid. Within a block, each non-zero
+/// stores a *merged* in-block index `(row_in_block << idx_bits) | col_in_block`
+/// — the single-array optimization the paper describes ("a single in-block
+/// index array can be created, merging the row and column indices"). The
+/// `block_ptr` array locates every grid block in the `idx`/`data` arrays.
+///
+/// This is the format VIA's `vldxblkmult` instruction consumes: the merged
+/// index is split in hardware at `idx_bits` into the SSPM read index
+/// (column) and the SSPM accumulate index (row).
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csb};
+///
+/// let coo = Coo::from_triplets(4, 4, [(0, 0, 1.0), (3, 3, 2.0)])?;
+/// let csb = Csb::from_coo(&coo, 2)?;
+/// assert_eq!(csb.block_size(), 2);
+/// assert_eq!(csb.nnz(), 2);
+/// // (0,0) lives in block (0,0); (3,3) in block (1,1) with in-block (1,1).
+/// let blk = csb.block(1, 1);
+/// assert_eq!(blk.idx, &[(1 << csb.idx_bits()) | 1]);
+/// # Ok::<(), via_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csb {
+    rows: usize,
+    cols: usize,
+    block_size: usize,
+    idx_bits: u32,
+    nblock_rows: usize,
+    nblock_cols: usize,
+    block_ptr: Vec<usize>,
+    idx: Vec<Index>,
+    data: Vec<Value>,
+}
+
+/// A borrowed view of one CSB block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsbBlock<'a> {
+    /// Block-row coordinate in the block grid.
+    pub block_row: usize,
+    /// Block-column coordinate in the block grid.
+    pub block_col: usize,
+    /// Merged in-block indices: `(r << idx_bits) | c`.
+    pub idx: &'a [Index],
+    /// Non-zero values, aligned with `idx`.
+    pub data: &'a [Value],
+    /// Number of bits used by the column part of each merged index.
+    pub idx_bits: u32,
+}
+
+impl<'a> CsbBlock<'a> {
+    /// Number of non-zeros in this block.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Splits a merged index into `(row_in_block, col_in_block)`.
+    pub fn split(&self, merged: Index) -> (usize, usize) {
+        (
+            (merged >> self.idx_bits) as usize,
+            (merged & ((1 << self.idx_bits) - 1)) as usize,
+        )
+    }
+
+    /// Iterates `(matrix_row, matrix_col, value)` for this block given the
+    /// block size.
+    pub fn iter_global(
+        &self,
+        block_size: usize,
+    ) -> impl Iterator<Item = (usize, usize, Value)> + 'a {
+        let base_r = self.block_row * block_size;
+        let base_c = self.block_col * block_size;
+        let bits = self.idx_bits;
+        self.idx.iter().zip(self.data).map(move |(&m, &v)| {
+            let r = (m >> bits) as usize;
+            let c = (m & ((1 << bits) - 1)) as usize;
+            (base_r + r, base_c + c, v)
+        })
+    }
+}
+
+impl Csb {
+    /// Builds a CSB matrix from COO with the given square block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidStructure`] if `block_size` is zero or
+    /// not a power of two (the merged in-block index requires a power-of-two
+    /// split point).
+    pub fn from_coo(coo: &Coo, block_size: usize) -> Result<Self, FormatError> {
+        if block_size == 0 || !block_size.is_power_of_two() {
+            return Err(FormatError::InvalidStructure(format!(
+                "block_size {block_size} must be a non-zero power of two"
+            )));
+        }
+        let idx_bits = block_size.trailing_zeros();
+        let nblock_rows = coo.rows().div_ceil(block_size).max(1);
+        let nblock_cols = coo.cols().div_ceil(block_size).max(1);
+        let nblocks = nblock_rows * nblock_cols;
+
+        // Bucket-count entries per block, then place them.
+        let block_of =
+            |r: usize, c: usize| -> usize { (r / block_size) * nblock_cols + (c / block_size) };
+        let canonical;
+        let coo = if coo.is_canonical() {
+            coo
+        } else {
+            canonical = coo.clone().into_canonical();
+            &canonical
+        };
+        let mut counts = vec![0usize; nblocks + 1];
+        for &(r, c, _) in coo.entries() {
+            counts[block_of(r as usize, c as usize) + 1] += 1;
+        }
+        for i in 0..nblocks {
+            counts[i + 1] += counts[i];
+        }
+        let block_ptr = counts.clone();
+        let mut cursor = block_ptr.clone();
+        let mut idx = vec![0 as Index; coo.nnz()];
+        let mut data = vec![0.0; coo.nnz()];
+        for &(r, c, v) in coo.entries() {
+            let (r, c) = (r as usize, c as usize);
+            let b = block_of(r, c);
+            let pos = cursor[b];
+            cursor[b] += 1;
+            let rb = (r % block_size) as Index;
+            let cb = (c % block_size) as Index;
+            idx[pos] = (rb << idx_bits) | cb;
+            data[pos] = v;
+        }
+        // Canonical COO order is row-major over the matrix; within a block we
+        // therefore already get row-major in-block order.
+        Ok(Csb {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            block_size,
+            idx_bits,
+            nblock_rows,
+            nblock_cols,
+            block_ptr,
+            idx,
+            data,
+        })
+    }
+
+    /// Builds a CSB matrix from CSR.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Csb::from_coo`].
+    pub fn from_csr(csr: &Csr, block_size: usize) -> Result<Self, FormatError> {
+        Csb::from_coo(&csr.to_coo(), block_size)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Side length of the square blocks.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Bits used by the column component of the merged in-block index — the
+    /// `idx_offset` operand of `vldxblkmult`.
+    pub fn idx_bits(&self) -> u32 {
+        self.idx_bits
+    }
+
+    /// Block grid dimensions `(block_rows, block_cols)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.nblock_rows, self.nblock_cols)
+    }
+
+    /// Number of structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The block pointer array (`block_rows * block_cols + 1` entries,
+    /// row-major grid order).
+    pub fn block_ptr(&self) -> &[usize] {
+        &self.block_ptr
+    }
+
+    /// The merged in-block index array.
+    pub fn idx(&self) -> &[Index] {
+        &self.idx
+    }
+
+    /// The value array.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// A view of the block at grid coordinates `(block_row, block_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the block grid.
+    pub fn block(&self, block_row: usize, block_col: usize) -> CsbBlock<'_> {
+        assert!(block_row < self.nblock_rows && block_col < self.nblock_cols);
+        let b = block_row * self.nblock_cols + block_col;
+        let lo = self.block_ptr[b];
+        let hi = self.block_ptr[b + 1];
+        CsbBlock {
+            block_row,
+            block_col,
+            idx: &self.idx[lo..hi],
+            data: &self.data[lo..hi],
+            idx_bits: self.idx_bits,
+        }
+    }
+
+    /// Iterates over the non-empty blocks in row-major grid order.
+    pub fn blocks(&self) -> impl Iterator<Item = CsbBlock<'_>> + '_ {
+        (0..self.nblock_rows)
+            .flat_map(move |br| (0..self.nblock_cols).map(move |bc| self.block(br, bc)))
+            .filter(|b| !b.idx.is_empty())
+    }
+
+    /// Number of blocks that contain at least one non-zero.
+    pub fn occupied_blocks(&self) -> usize {
+        self.blocks().count()
+    }
+
+    /// Mean non-zeros per occupied block — the "block density" statistic the
+    /// paper sorts Figure 10's categories by.
+    pub fn mean_block_density(&self) -> f64 {
+        let occ = self.occupied_blocks();
+        if occ == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / occ as f64
+        }
+    }
+
+    /// Converts back to canonical COO form.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::new(self.rows, self.cols);
+        for b in self.blocks() {
+            for (r, c, v) in b.iter_global(self.block_size) {
+                coo.push(r, c, v);
+            }
+        }
+        coo.into_canonical()
+    }
+
+    /// Converts to CSR form.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_coo(&self.to_coo())
+    }
+
+    /// Memory footprint of the compressed representation in bytes
+    /// (8-byte values, 4-byte merged indices, 8-byte block pointers).
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() * 8 + self.idx.len() * 4 + self.block_ptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // 4x4 with a dense 2x2 top-left block and scattered others.
+        Coo::from_triplets(
+            4,
+            4,
+            [
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (2, 3, 5.0),
+                (3, 0, 6.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn block_size_must_be_power_of_two() {
+        let coo = sample();
+        assert!(Csb::from_coo(&coo, 3).is_err());
+        assert!(Csb::from_coo(&coo, 0).is_err());
+        assert!(Csb::from_coo(&coo, 2).is_ok());
+    }
+
+    #[test]
+    fn grid_dimensions_round_up() {
+        let coo = Coo::new(5, 3);
+        let csb = Csb::from_coo(&coo, 2).unwrap();
+        assert_eq!(csb.grid(), (3, 2));
+    }
+
+    #[test]
+    fn entries_land_in_the_right_blocks() {
+        let csb = Csb::from_coo(&sample(), 2).unwrap();
+        assert_eq!(csb.block(0, 0).nnz(), 4);
+        assert_eq!(csb.block(1, 1).nnz(), 1);
+        assert_eq!(csb.block(1, 0).nnz(), 1);
+        assert_eq!(csb.block(0, 1).nnz(), 0);
+    }
+
+    #[test]
+    fn merged_index_splits_back() {
+        let csb = Csb::from_coo(&sample(), 2).unwrap();
+        let blk = csb.block(1, 1);
+        // Entry (2,3) → in-block (0,1).
+        assert_eq!(blk.split(blk.idx[0]), (0, 1));
+    }
+
+    #[test]
+    fn round_trip_preserves_matrix() {
+        let coo = sample().into_canonical();
+        for bs in [1usize, 2, 4, 8] {
+            let csb = Csb::from_coo(&coo, bs).unwrap();
+            assert_eq!(csb.to_coo(), coo, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn block_density_statistic() {
+        let csb = Csb::from_coo(&sample(), 2).unwrap();
+        // 6 nnz over 3 occupied blocks.
+        assert_eq!(csb.occupied_blocks(), 3);
+        assert!((csb.mean_block_density() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let csr = Csr::from_coo(&sample());
+        let back = Csb::from_csr(&csr, 4).unwrap().to_csr();
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn iter_global_reconstructs_coordinates() {
+        let csb = Csb::from_coo(&sample(), 2).unwrap();
+        let blk = csb.block(1, 0);
+        let trips: Vec<_> = blk.iter_global(2).collect();
+        assert_eq!(trips, vec![(3, 0, 6.0)]);
+    }
+
+    #[test]
+    fn empty_matrix_has_empty_blocks() {
+        let csb = Csb::from_coo(&Coo::new(4, 4), 2).unwrap();
+        assert_eq!(csb.nnz(), 0);
+        assert_eq!(csb.occupied_blocks(), 0);
+        assert_eq!(csb.mean_block_density(), 0.0);
+    }
+}

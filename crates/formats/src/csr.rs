@@ -1,0 +1,375 @@
+//! Compressed Sparse Row format (paper §II-A, Figure 1.a).
+
+use crate::{Coo, Csc, FormatError, Index, Value};
+
+/// A sparse matrix in Compressed Sparse Row form.
+///
+/// CSR uses three arrays (paper §II-A): `row_ptr` (the start of each row in
+/// the other two arrays), `col_idx` (the column of each non-zero), and
+/// `data` (the non-zero values). It is the baseline format of the Eigen
+/// kernels the paper compares against for SpMV, SpMA and SpMM.
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr};
+///
+/// let coo = Coo::from_triplets(2, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])?;
+/// let csr = Csr::from_coo(&coo);
+/// assert_eq!(csr.row_ptr(), &[0, 2, 3]);
+/// assert_eq!(csr.col_idx(), &[0, 2, 1]);
+/// assert_eq!(csr.data(), &[1.0, 2.0, 3.0]);
+/// # Ok::<(), via_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    data: Vec<Value>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from a COO matrix (a canonical copy is made if
+    /// needed).
+    pub fn from_coo(coo: &Coo) -> Self {
+        let canonical;
+        let coo = if coo.is_canonical() {
+            coo
+        } else {
+            canonical = coo.clone().into_canonical();
+            &canonical
+        };
+        let mut row_ptr = vec![0usize; coo.rows() + 1];
+        for &(r, _, _) in coo.entries() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.rows() {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = Vec::with_capacity(coo.nnz());
+        let mut data = Vec::with_capacity(coo.nnz());
+        for &(_, c, v) in coo.entries() {
+            col_idx.push(c);
+            data.push(v);
+        }
+        Csr {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            data,
+        }
+    }
+
+    /// Builds a CSR matrix directly from its raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidStructure`] if the arrays are
+    /// inconsistent: `row_ptr` must have `rows + 1` monotonically
+    /// non-decreasing entries ending at `col_idx.len()`, `col_idx` and
+    /// `data` must have equal length, column indices must be strictly
+    /// increasing within each row and within bounds.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        data: Vec<Value>,
+    ) -> Result<Self, FormatError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(FormatError::InvalidStructure(format!(
+                "row_ptr has {} entries, expected {}",
+                row_ptr.len(),
+                rows + 1
+            )));
+        }
+        if col_idx.len() != data.len() {
+            return Err(FormatError::InvalidStructure(format!(
+                "col_idx ({}) and data ({}) lengths differ",
+                col_idx.len(),
+                data.len()
+            )));
+        }
+        if row_ptr[0] != 0 || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(FormatError::InvalidStructure(
+                "row_ptr must start at 0 and end at nnz".into(),
+            ));
+        }
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(FormatError::InvalidStructure(format!(
+                    "row_ptr decreases at row {r}"
+                )));
+            }
+            let slice = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for pair in slice.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(FormatError::InvalidStructure(format!(
+                        "columns not strictly increasing in row {r}"
+                    )));
+                }
+            }
+            if let Some(&last) = slice.last() {
+                if last as usize >= cols {
+                    return Err(FormatError::InvalidStructure(format!(
+                        "column {last} out of bounds in row {r}"
+                    )));
+                }
+            }
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            data,
+        })
+    }
+
+    /// Creates an empty `rows` x `cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structural non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array.
+    pub fn col_idx(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// The column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> (&[Index], &[Value]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.data[lo..hi])
+    }
+
+    /// Number of non-zeros in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Looks up the value at `(row, col)`, if structurally present.
+    pub fn get(&self, row: usize, col: usize) -> Option<Value> {
+        if row >= self.rows {
+            return None;
+        }
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&(col as Index))
+            .ok()
+            .map(|pos| vals[pos])
+    }
+
+    /// Converts back to canonical COO form.
+    pub fn to_coo(&self) -> Coo {
+        let mut coo = Coo::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                coo.push(r, *c as usize, *v);
+            }
+        }
+        coo
+    }
+
+    /// Converts to CSC form (column-major compression of the same matrix).
+    pub fn to_csc(&self) -> Csc {
+        Csc::from_coo(&self.to_coo())
+    }
+
+    /// Returns the transpose as a CSR matrix.
+    pub fn transpose(&self) -> Csr {
+        Csr::from_coo(&self.to_coo().transpose())
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(move |(c, v)| (r, *c as usize, *v))
+        })
+    }
+
+    /// Density of the matrix.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Memory footprint of the compressed representation in bytes
+    /// (8-byte values, 4-byte column indices, 8-byte row pointers), used by
+    /// the memory-traffic accounting in the simulator.
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() * 8 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 3]
+        // [4 5 0]
+        let coo = Coo::from_triplets(
+            3,
+            3,
+            [
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
+        )
+        .unwrap();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_builds_expected_arrays() {
+        let m = sample();
+        assert_eq!(m.row_ptr(), &[0, 2, 3, 5]);
+        assert_eq!(m.col_idx(), &[0, 2, 2, 0, 1]);
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn rows_are_sliced_correctly() {
+        let m = sample();
+        let (cols, vals) = m.row(2);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[4.0, 5.0]);
+        assert_eq!(m.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn get_finds_present_and_absent() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), Some(2.0));
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.get(9, 0), None);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let m = sample();
+        let back = Csr::from_coo(&m.to_coo());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(2, 0), Some(2.0));
+        assert_eq!(t.get(0, 2), Some(4.0));
+    }
+
+    #[test]
+    fn from_raw_validates_row_ptr_length() {
+        let err = Csr::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_raw_validates_monotonicity() {
+        let err = Csr::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_raw_validates_sorted_columns() {
+        let err = Csr::from_raw(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_raw_validates_column_bounds() {
+        let err = Csr::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_raw_accepts_valid_input() {
+        let m = Csr::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let m = sample();
+        let trips: Vec<_> = m.iter().collect();
+        assert_eq!(trips[0], (0, 0, 1.0));
+        assert_eq!(trips.len(), 5);
+        assert!(trips
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    }
+
+    #[test]
+    fn zero_matrix_has_no_entries() {
+        let z = Csr::zero(4, 4);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.row_ptr(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn footprint_counts_all_arrays() {
+        let m = sample();
+        assert_eq!(m.footprint_bytes(), 5 * 8 + 5 * 4 + 4 * 8);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dense matrix helper used by the golden-model reference kernels.
+
+use crate::{Coo, Csr, Value};
+
+/// A row-major dense matrix, used as the unambiguous golden model that every
+/// sparse kernel (baseline and VIA alike) is validated against.
+///
+/// # Example
+///
+/// ```
+/// use via_formats::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zero(2, 2);
+/// m.set(0, 1, 5.0);
+/// assert_eq!(m.get(0, 1), 5.0);
+/// assert_eq!(m.matvec(&[0.0, 1.0]), vec![5.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled `rows` x `cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a dense matrix from a sparse CSR matrix.
+    pub fn from_csr(csr: &Csr) -> Self {
+        let mut m = DenseMatrix::zero(csr.rows(), csr.cols());
+        for (r, c, v) in csr.iter() {
+            m.data[r * m.cols + c] = v;
+        }
+        m
+    }
+
+    /// Builds a dense matrix from a COO matrix (duplicates are summed).
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut m = DenseMatrix::zero(coo.rows(), coo.cols());
+        for &(r, c, v) in coo.entries() {
+            m.data[r as usize * m.cols + c as usize] += v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: Value) {
+        assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Dense matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Dense matrix-matrix product `A * B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows);
+        let mut out = DenseMatrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.data[k * other.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `A + B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Converts to a CSR matrix, dropping exact zeros.
+    pub fn to_csr(&self) -> Csr {
+        let mut coo = Coo::new(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.data[r * self.cols + c];
+                if v != 0.0 {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    /// Whether every element differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Whether two vectors differ element-wise by at most `tol`.
+pub fn vec_approx_eq(a: &[Value], b: &[Value], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut m = DenseMatrix::zero(3, 2);
+        m.set(2, 1, 7.5);
+        assert_eq!(m.get(2, 1), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let coo = Coo::from_triplets(3, 3, [(0, 1, 2.0), (2, 0, -1.0)]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let dense = DenseMatrix::from_csr(&csr);
+        assert_eq!(dense.to_csr(), csr);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut m = DenseMatrix::zero(2, 3);
+        m.set(0, 0, 1.0);
+        m.set(0, 2, 2.0);
+        m.set(1, 1, 3.0);
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut id = DenseMatrix::zero(2, 2);
+        id.set(0, 0, 1.0);
+        id.set(1, 1, 1.0);
+        let mut a = DenseMatrix::zero(2, 2);
+        a.set(0, 1, 4.0);
+        a.set(1, 0, 5.0);
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let mut a = DenseMatrix::zero(2, 2);
+        a.set(0, 0, 1.0);
+        let mut b = DenseMatrix::zero(2, 2);
+        b.set(0, 0, 2.0);
+        b.set(1, 1, 3.0);
+        let c = a.add(&b);
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        let mut a = DenseMatrix::zero(1, 1);
+        a.set(0, 0, 1.0);
+        let mut b = DenseMatrix::zero(1, 1);
+        b.set(0, 0, 1.0 + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let mut coo = Coo::new(1, 1);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        let dense = DenseMatrix::from_coo(&coo);
+        assert_eq!(dense.get(0, 0), 3.0);
+    }
+}

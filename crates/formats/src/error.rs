@@ -1,0 +1,116 @@
+//! Error type shared by the format constructors and the Matrix Market parser.
+
+use std::fmt;
+
+/// Error produced when constructing, converting, or parsing a sparse matrix.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// An index was outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// The internal arrays of a compressed format were inconsistent.
+    InvalidStructure(String),
+    /// A Matrix Market file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "entry ({row}, {col}) is outside a {rows}x{cols} matrix"),
+            FormatError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            FormatError::InvalidStructure(msg) => {
+                write!(f, "invalid compressed structure: {msg}")
+            }
+            FormatError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FormatError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(err: std::io::Error) -> Self {
+        FormatError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = FormatError::IndexOutOfBounds {
+            row: 5,
+            col: 6,
+            rows: 4,
+            cols: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("(5, 6)"));
+        assert!(text.contains("4x4"));
+    }
+
+    #[test]
+    fn io_error_round_trips_as_source() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err = FormatError::from(io);
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn dimension_mismatch_mentions_both_shapes() {
+        let err = FormatError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+    }
+}

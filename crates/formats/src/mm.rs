@@ -1,0 +1,260 @@
+//! Matrix Market I/O.
+//!
+//! Supports the `matrix coordinate real/integer/pattern general/symmetric`
+//! subset, which covers the SuiteSparse matrices the paper selects (real,
+//! square). This lets real SuiteSparse files be dropped into the benches in
+//! place of the synthetic suite.
+
+use crate::{Coo, FormatError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a Matrix Market stream into a canonical [`Coo`] matrix.
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Parse`] for malformed content and
+/// [`FormatError::Io`] for underlying I/O failures. Only
+/// `matrix coordinate {real,integer,pattern} {general,symmetric}` headers
+/// are accepted.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, FormatError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let (first_no, first) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty input"))?
+        .map_parse(1)?;
+    let header: Vec<&str> = first.split_whitespace().collect();
+    if header.len() < 4 || !header[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(parse_err(first_no + 1, "missing %%MatrixMarket header"));
+    }
+    if !header[1].eq_ignore_ascii_case("matrix") || !header[2].eq_ignore_ascii_case("coordinate") {
+        return Err(parse_err(
+            first_no + 1,
+            "only `matrix coordinate` files are supported",
+        ));
+    }
+    let field = header[3].to_ascii_lowercase();
+    if !matches!(field.as_str(), "real" | "integer" | "pattern") {
+        return Err(parse_err(
+            first_no + 1,
+            format!("unsupported field type `{field}`"),
+        ));
+    }
+    let symmetry = header
+        .get(4)
+        .map(|s| s.to_ascii_lowercase())
+        .unwrap_or_else(|| "general".into());
+    if !matches!(symmetry.as_str(), "general" | "symmetric") {
+        return Err(parse_err(
+            first_no + 1,
+            format!("unsupported symmetry `{symmetry}`"),
+        ));
+    }
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for (no, line) in &mut lines {
+        let line = line.map_err(FormatError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some((no, trimmed.to_string()));
+        break;
+    }
+    let (size_no, size_line) =
+        size_line.ok_or_else(|| parse_err(first_no + 2, "missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|tok| tok.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(size_no + 1, format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_err(size_no + 1, "size line needs `rows cols nnz`"));
+    }
+    let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::new(rows, cols);
+    let mut read = 0usize;
+    for (no, line) in &mut lines {
+        let line = line.map_err(FormatError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        let need = if field == "pattern" { 2 } else { 3 };
+        if toks.len() < need {
+            return Err(parse_err(no + 1, "entry line too short"));
+        }
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|e| parse_err(no + 1, format!("bad row index: {e}")))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|e| parse_err(no + 1, format!("bad column index: {e}")))?;
+        if r == 0 || c == 0 {
+            return Err(parse_err(no + 1, "matrix market indices are 1-based"));
+        }
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            toks[2]
+                .parse()
+                .map_err(|e| parse_err(no + 1, format!("bad value: {e}")))?
+        };
+        coo.try_push(r - 1, c - 1, v)?;
+        if symmetry == "symmetric" && r != c {
+            coo.try_push(c - 1, r - 1, v)?;
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(parse_err(
+            size_no + 1,
+            format!("size line promised {nnz} entries but file has {read}"),
+        ));
+    }
+    Ok(coo.into_canonical())
+}
+
+/// Reads a Matrix Market file from disk.
+///
+/// # Errors
+///
+/// Same conditions as [`read_matrix_market`].
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<Coo, FormatError> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(file)
+}
+
+/// Writes a matrix in `matrix coordinate real general` form.
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(mut writer: W, coo: &Coo) -> Result<(), FormatError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by via-formats")?;
+    writeln!(writer, "{} {} {}", coo.rows(), coo.cols(), coo.nnz())?;
+    for &(r, c, v) in coo.entries() {
+        writeln!(writer, "{} {} {:?}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> FormatError {
+    FormatError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+trait MapParse<T> {
+    fn map_parse(self, line: usize) -> Result<(usize, T), FormatError>;
+}
+
+impl MapParse<String> for (usize, std::io::Result<String>) {
+    fn map_parse(self, _line: usize) -> Result<(usize, String), FormatError> {
+        let (no, res) = self;
+        res.map(|s| (no, s)).map_err(FormatError::Io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 1.5\n\
+        2 3 -2.0\n\
+        3 1 4.0\n\
+        3 3 0.5\n";
+
+    #[test]
+    fn parses_general_real() {
+        let coo = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(coo.rows(), 3);
+        assert_eq!(coo.nnz(), 4);
+        assert_eq!(
+            coo.entries(),
+            &[(0, 0, 1.5), (1, 2, -2.0), (2, 0, 4.0), (2, 2, 0.5)]
+        );
+    }
+
+    #[test]
+    fn parses_symmetric_mirrors_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+            2 2 2\n\
+            1 1 1.0\n\
+            2 1 5.0\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.entries(), &[(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+            2 2 1\n\
+            2 2\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.entries(), &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(read_matrix_market("3 3 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        let err = read_matrix_market(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("promised 5"));
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let coo = read_matrix_market(SAMPLE.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(coo, back);
+    }
+
+    #[test]
+    fn round_trip_preserves_precision() {
+        let mut coo = Coo::new(1, 1);
+        coo.push(0, 0, 0.1 + 0.2); // not exactly representable in short decimal
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(coo.entries()[0].2, back.entries()[0].2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Golden-model reference kernels.
+//!
+//! Every simulated kernel — baseline or VIA — is validated against the
+//! functions in this module, which implement the paper's Algorithms 1–3
+//! (plus histogram and stencil references) in the most straightforward way
+//! possible.
+
+use crate::{Csc, Csr, FormatError, Value};
+use std::collections::BTreeMap;
+
+/// CSR-based SpMV `y = A * x` (paper Algorithm 1 without the accumulate).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv(a: &Csr, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "x length must equal matrix columns");
+    let mut y = vec![0.0; a.rows()];
+    spmv_acc(a, x, &mut y);
+    y
+}
+
+/// CSR-based accumulating SpMV `y += A * x` (paper Algorithm 1).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn spmv_acc(a: &Csr, x: &[Value], y: &mut [Value]) {
+    assert_eq!(x.len(), a.cols(), "x length must equal matrix columns");
+    assert_eq!(y.len(), a.rows(), "y length must equal matrix rows");
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        let mut acc = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            acc += v * x[*c as usize];
+        }
+        y[i] += acc;
+    }
+}
+
+/// Sparse matrix addition `C = A + B` (paper Algorithm 2): a two-pointer
+/// merge of each row pair, keeping entries whose indices match summed and
+/// copying the rest.
+///
+/// Entries summing to exactly zero are kept as structural non-zeros, which
+/// matches how Eigen's `A + B` behaves and keeps nnz accounting simple.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] if the shapes differ.
+pub fn spma(a: &Csr, b: &Csr) -> Result<Csr, FormatError> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return Err(FormatError::DimensionMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..a.rows() {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() && q < bc.len() {
+            match ac[p].cmp(&bc[q]) {
+                std::cmp::Ordering::Less => {
+                    col_idx.push(ac[p]);
+                    data.push(av[p]);
+                    p += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    col_idx.push(bc[q]);
+                    data.push(bv[q]);
+                    q += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    col_idx.push(ac[p]);
+                    data.push(av[p] + bv[q]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        col_idx.extend_from_slice(&ac[p..]);
+        data.extend_from_slice(&av[p..]);
+        col_idx.extend_from_slice(&bc[q..]);
+        data.extend_from_slice(&bv[q..]);
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), a.cols(), row_ptr, col_idx, data)
+}
+
+/// Inner-product SpMM `C = A * B` with `A` in CSR and `B` in CSC (paper
+/// Algorithm 3): for every (row of A, column of B) pair, index-match the
+/// column indices of the row against the row indices of the column.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spmm(a: &Csr, b: &Csc) -> Result<Csr, FormatError> {
+    if a.cols() != b.rows() {
+        return Err(FormatError::DimensionMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let mut row_ptr = Vec::with_capacity(a.rows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..a.rows() {
+        let (ac, av) = a.row(i);
+        if ac.is_empty() {
+            row_ptr.push(col_idx.len());
+            continue;
+        }
+        for j in 0..b.cols() {
+            let (br, bv) = b.col(j);
+            // Two-pointer index matching of sorted index lists.
+            let (mut p, mut q) = (0usize, 0usize);
+            let mut acc = 0.0;
+            let mut hit = false;
+            while p < ac.len() && q < br.len() {
+                match ac[p].cmp(&br[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        acc += av[p] * bv[q];
+                        hit = true;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            if hit {
+                col_idx.push(j as crate::Index);
+                data.push(acc);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), b.cols(), row_ptr, col_idx, data)
+}
+
+/// Row-wise (Gustavson) SpMM used as a cross-check for [`spmm`]; both must
+/// produce the same structure and values.
+///
+/// # Errors
+///
+/// Returns [`FormatError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn spmm_gustavson(a: &Csr, b: &Csr) -> Result<Csr, FormatError> {
+    if a.cols() != b.rows() {
+        return Err(FormatError::DimensionMismatch {
+            left: (a.rows(), a.cols()),
+            right: (b.rows(), b.cols()),
+        });
+    }
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..a.rows() {
+        let (ac, av) = a.row(i);
+        let mut acc: BTreeMap<crate::Index, Value> = BTreeMap::new();
+        for (k, va) in ac.iter().zip(av) {
+            let (bc, bv) = b.row(*k as usize);
+            for (c, vb) in bc.iter().zip(bv) {
+                *acc.entry(*c).or_insert(0.0) += va * vb;
+            }
+        }
+        for (c, v) in acc {
+            col_idx.push(c);
+            data.push(v);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(a.rows(), b.cols(), row_ptr, col_idx, data)
+}
+
+/// Histogram of `keys` over `nbins` bins (paper §IV-F1 golden model).
+///
+/// # Panics
+///
+/// Panics if any key is `>= nbins`.
+pub fn histogram(keys: &[u32], nbins: usize) -> Vec<u64> {
+    let mut bins = vec![0u64; nbins];
+    for &k in keys {
+        bins[k as usize] += 1;
+    }
+    bins
+}
+
+/// 2-D convolution of `image` (row-major, `width` x `height`) with a square
+/// `filter` (row-major, side `fside`), zero-padded borders — the Gaussian
+/// filter golden model (paper §IV-F2).
+///
+/// # Panics
+///
+/// Panics if `image.len() != width * height` or
+/// `filter.len() != fside * fside`.
+pub fn convolve2d(
+    image: &[Value],
+    width: usize,
+    height: usize,
+    filter: &[Value],
+    fside: usize,
+) -> Vec<Value> {
+    assert_eq!(image.len(), width * height);
+    assert_eq!(filter.len(), fside * fside);
+    let mut out = vec![0.0; width * height];
+    let half = fside / 2;
+    for y in 0..height {
+        for x in 0..width {
+            let mut acc = 0.0;
+            for fy in 0..fside {
+                for fx in 0..fside {
+                    let iy = y as isize + fy as isize - half as isize;
+                    let ix = x as isize + fx as isize - half as isize;
+                    if iy >= 0 && iy < height as isize && ix >= 0 && ix < width as isize {
+                        acc += filter[fy * fside + fx] * image[iy as usize * width + ix as usize];
+                    }
+                }
+            }
+            out[y * width + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Coo, DenseMatrix};
+
+    fn small_pair() -> (Csr, Csr) {
+        let a = Csr::from_coo(
+            &Coo::from_triplets(3, 3, [(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0)])
+                .unwrap(),
+        );
+        let b = Csr::from_coo(
+            &Coo::from_triplets(3, 3, [(0, 1, 5.0), (1, 1, 6.0), (2, 2, 7.0), (2, 0, 8.0)])
+                .unwrap(),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let (a, _) = small_pair();
+        let x = [1.0, 2.0, 3.0];
+        let dense = DenseMatrix::from_csr(&a);
+        assert_eq!(spmv(&a, &x), dense.matvec(&x));
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let (a, _) = small_pair();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = vec![10.0, 10.0, 10.0];
+        spmv_acc(&a, &x, &mut y);
+        assert_eq!(y, vec![13.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn spma_matches_dense() {
+        let (a, b) = small_pair();
+        let c = spma(&a, &b).unwrap();
+        let expected = DenseMatrix::from_csr(&a).add(&DenseMatrix::from_csr(&b));
+        assert!(DenseMatrix::from_csr(&c).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn spma_rejects_shape_mismatch() {
+        let (a, _) = small_pair();
+        let b = Csr::zero(2, 3);
+        assert!(spma(&a, &b).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let (a, b) = small_pair();
+        let c = spmm(&a, &b.to_csc()).unwrap();
+        let expected = DenseMatrix::from_csr(&a).matmul(&DenseMatrix::from_csr(&b));
+        assert!(DenseMatrix::from_csr(&c).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn spmm_inner_equals_gustavson() {
+        let (a, b) = small_pair();
+        let inner = spmm(&a, &b.to_csc()).unwrap();
+        let gust = spmm_gustavson(&a, &b).unwrap();
+        // Gustavson may emit exact-zero accumulations that the inner product
+        // also emits; values must agree everywhere.
+        assert!(DenseMatrix::from_csr(&inner).approx_eq(&DenseMatrix::from_csr(&gust), 1e-12));
+    }
+
+    #[test]
+    fn spmm_rejects_shape_mismatch() {
+        let (a, _) = small_pair();
+        let b = Csr::zero(2, 2).to_csc();
+        assert!(spmm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let keys = [0u32, 1, 1, 3, 3, 3];
+        assert_eq!(histogram(&keys, 4), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn convolve_identity_filter() {
+        let image: Vec<f64> = (0..9).map(|v| v as f64).collect();
+        let mut filter = vec![0.0; 9];
+        filter[4] = 1.0; // center
+        assert_eq!(convolve2d(&image, 3, 3, &filter, 3), image);
+    }
+
+    #[test]
+    fn convolve_border_is_zero_padded() {
+        let image = vec![1.0; 4]; // 2x2
+        let filter = vec![1.0; 9]; // 3x3 box
+        let out = convolve2d(&image, 2, 2, &filter, 3);
+        // Every output sums the 4 in-bounds ones.
+        assert_eq!(out, vec![4.0; 4]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Sell-C-σ sliced-ELL format (Kreutzer et al.; paper §V-B baseline).
+
+use crate::{Csr, FormatError, Index, Value};
+
+/// A sparse matrix in Sell-C-σ form.
+///
+/// Sell-C-σ groups rows into *chunks* of `c` consecutive rows (after sorting
+/// rows by length inside windows of `σ` rows, which reduces padding) and pads
+/// every row of a chunk to the chunk's maximum length. Data is stored
+/// column-major inside each chunk so that a width-`c` SIMD unit reads one
+/// element per row per step — the vectorization-friendly layout the paper
+/// uses as one of its SpMV baselines.
+///
+/// Padding entries carry column `0` and value `0.0`; they are benign for
+/// SpMV but counted separately in [`SellCSigma::padding`] because padded
+/// lanes are exactly the ALU-utilization loss the paper attributes to
+/// zero-padding techniques (§II-C).
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr, SellCSigma};
+///
+/// let coo = Coo::from_triplets(4, 4, [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0), (3, 2, 4.0)])?;
+/// let csr = Csr::from_coo(&coo);
+/// let sell = SellCSigma::from_csr(&csr, 2, 4)?;
+/// let y = sell.spmv(&[1.0; 4]);
+/// assert_eq!(y, vec![1.0, 5.0, 0.0, 4.0]);
+/// # Ok::<(), via_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCSigma {
+    rows: usize,
+    cols: usize,
+    c: usize,
+    sigma: usize,
+    /// `perm[packed_row] = original_row`.
+    perm: Vec<Index>,
+    /// `inv_perm[original_row] = packed_row`.
+    inv_perm: Vec<Index>,
+    /// Offset of each chunk in `col_idx`/`data` (in elements), len = nchunks+1.
+    chunk_ptr: Vec<usize>,
+    /// Width (padded row length) of each chunk.
+    chunk_width: Vec<usize>,
+    /// Actual (unpadded) length of each packed row.
+    row_len: Vec<usize>,
+    col_idx: Vec<Index>,
+    data: Vec<Value>,
+    padding: usize,
+}
+
+impl SellCSigma {
+    /// Builds a Sell-C-σ matrix from CSR with chunk height `c` and sorting
+    /// window `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidStructure`] if `c == 0`, `sigma == 0`,
+    /// or `sigma` is not a multiple of `c` (the standard constraint: sorting
+    /// windows contain whole chunks).
+    pub fn from_csr(csr: &Csr, c: usize, sigma: usize) -> Result<Self, FormatError> {
+        if c == 0 || sigma == 0 {
+            return Err(FormatError::InvalidStructure(
+                "sell-c-sigma requires c > 0 and sigma > 0".into(),
+            ));
+        }
+        if !sigma.is_multiple_of(c) {
+            return Err(FormatError::InvalidStructure(format!(
+                "sigma ({sigma}) must be a multiple of c ({c})"
+            )));
+        }
+        let rows = csr.rows();
+        // Sort rows by descending length within each sigma window.
+        let mut perm: Vec<Index> = (0..rows as Index).collect();
+        for window in perm.chunks_mut(sigma) {
+            window.sort_by_key(|&r| std::cmp::Reverse(csr.row_nnz(r as usize)));
+        }
+        let mut inv_perm = vec![0 as Index; rows];
+        for (packed, &orig) in perm.iter().enumerate() {
+            inv_perm[orig as usize] = packed as Index;
+        }
+
+        let nchunks = rows.div_ceil(c);
+        let mut chunk_ptr = Vec::with_capacity(nchunks + 1);
+        let mut chunk_width = Vec::with_capacity(nchunks);
+        let mut row_len = vec![0usize; rows];
+        chunk_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut data = Vec::new();
+        let mut padding = 0usize;
+        for chunk in 0..nchunks {
+            let lo = chunk * c;
+            let hi = ((chunk + 1) * c).min(rows);
+            let width = (lo..hi)
+                .map(|p| csr.row_nnz(perm[p] as usize))
+                .max()
+                .unwrap_or(0);
+            chunk_width.push(width);
+            // Column-major within the chunk; lanes past `hi` (tail chunk) and
+            // lanes past a row's own length are padding.
+            for w in 0..width {
+                for lane in 0..c {
+                    let packed = lo + lane;
+                    if packed < hi {
+                        let orig = perm[packed] as usize;
+                        let (cols_r, vals_r) = csr.row(orig);
+                        if w < cols_r.len() {
+                            col_idx.push(cols_r[w]);
+                            data.push(vals_r[w]);
+                            continue;
+                        }
+                    }
+                    col_idx.push(0);
+                    data.push(0.0);
+                    padding += 1;
+                }
+            }
+            for packed in lo..hi {
+                row_len[packed] = csr.row_nnz(perm[packed] as usize);
+            }
+            chunk_ptr.push(col_idx.len());
+        }
+        Ok(SellCSigma {
+            rows,
+            cols: csr.cols(),
+            c,
+            sigma,
+            perm,
+            inv_perm,
+            chunk_ptr,
+            chunk_width,
+            row_len,
+            col_idx,
+            data,
+            padding,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Chunk height `C`.
+    pub fn chunk_height(&self) -> usize {
+        self.c
+    }
+
+    /// Sorting window `σ`.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_width.len()
+    }
+
+    /// Padded width of chunk `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.num_chunks()`.
+    pub fn chunk_width(&self, k: usize) -> usize {
+        self.chunk_width[k]
+    }
+
+    /// Offset of chunk `k` in the storage arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.num_chunks()`.
+    pub fn chunk_offset(&self, k: usize) -> usize {
+        self.chunk_ptr[k]
+    }
+
+    /// The row permutation: `perm()[packed_row]` is the original row index.
+    pub fn perm(&self) -> &[Index] {
+        &self.perm
+    }
+
+    /// The padded column index array (column-major within chunks).
+    pub fn col_idx(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The padded value array.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Number of padding elements inserted (the zero lanes that waste vector
+    /// ALU slots).
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Number of structural non-zeros (excluding padding).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len() - self.padding
+    }
+
+    /// Fraction of stored elements that are padding.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.col_idx.is_empty() {
+            0.0
+        } else {
+            self.padding as f64 / self.col_idx.len() as f64
+        }
+    }
+
+    /// Reference SpMV `y = A * x` (functional golden model for the simulated
+    /// kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.cols, "x length must equal matrix columns");
+        let mut y = vec![0.0; self.rows];
+        for k in 0..self.num_chunks() {
+            let base = self.chunk_ptr[k];
+            let width = self.chunk_width[k];
+            for w in 0..width {
+                for lane in 0..self.c {
+                    let packed = k * self.c + lane;
+                    if packed >= self.rows {
+                        continue;
+                    }
+                    let pos = base + w * self.c + lane;
+                    let col = self.col_idx[pos] as usize;
+                    y[self.perm[packed] as usize] += self.data[pos] * x[col];
+                }
+            }
+        }
+        y
+    }
+
+    /// Memory footprint in bytes (values, column indices, chunk metadata,
+    /// permutation).
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() * 8
+            + self.col_idx.len() * 4
+            + (self.chunk_ptr.len() + self.chunk_width.len()) * 8
+            + self.perm.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample_csr() -> Csr {
+        // Row lengths 1, 3, 0, 2 — forces sorting + padding.
+        let coo = Coo::from_triplets(
+            4,
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 0, 2.0),
+                (1, 2, 3.0),
+                (1, 3, 4.0),
+                (3, 0, 5.0),
+                (3, 3, 6.0),
+            ],
+        )
+        .unwrap();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let csr = sample_csr();
+        assert!(SellCSigma::from_csr(&csr, 0, 4).is_err());
+        assert!(SellCSigma::from_csr(&csr, 2, 0).is_err());
+        assert!(SellCSigma::from_csr(&csr, 2, 3).is_err());
+    }
+
+    #[test]
+    fn spmv_matches_csr_reference() {
+        let csr = sample_csr();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let expected = crate::reference::spmv(&csr, &x);
+        for (c, sigma) in [(1, 1), (2, 2), (2, 4), (4, 4)] {
+            let sell = SellCSigma::from_csr(&csr, c, sigma).unwrap();
+            assert_eq!(sell.spmv(&x), expected, "c={c} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_padding() {
+        let csr = sample_csr();
+        let unsorted = SellCSigma::from_csr(&csr, 2, 2).unwrap();
+        let sorted = SellCSigma::from_csr(&csr, 2, 4).unwrap();
+        assert!(sorted.padding() <= unsorted.padding());
+    }
+
+    #[test]
+    fn nnz_excludes_padding() {
+        let csr = sample_csr();
+        let sell = SellCSigma::from_csr(&csr, 2, 4).unwrap();
+        assert_eq!(sell.nnz(), csr.nnz());
+        assert_eq!(sell.col_idx().len(), sell.nnz() + sell.padding());
+    }
+
+    #[test]
+    fn perm_is_a_permutation() {
+        let csr = sample_csr();
+        let sell = SellCSigma::from_csr(&csr, 2, 4).unwrap();
+        let mut seen = [false; 4];
+        for &p in sell.perm() {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn tail_chunk_handles_non_multiple_rows() {
+        let coo = Coo::from_triplets(3, 3, [(2, 2, 9.0)]).unwrap();
+        let csr = Csr::from_coo(&coo);
+        let sell = SellCSigma::from_csr(&csr, 2, 2).unwrap();
+        assert_eq!(sell.num_chunks(), 2);
+        let y = sell.spmv(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_ratio_bounds() {
+        let csr = sample_csr();
+        let sell = SellCSigma::from_csr(&csr, 4, 4).unwrap();
+        let ratio = sell.padding_ratio();
+        assert!((0.0..1.0).contains(&ratio));
+    }
+}

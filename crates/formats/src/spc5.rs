@@ -1,0 +1,297 @@
+//! SPC5-style row-block/bitmask format (Bramas & Kus; paper §V-B baseline).
+
+use crate::{Csr, FormatError, Index, Value};
+
+/// One packed column segment of an SPC5 row block: all the non-zeros that a
+/// block of up to 8 consecutive rows holds in one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spc5Segment {
+    /// The matrix column this segment covers.
+    pub col: Index,
+    /// Bit `i` set ⇔ row `block_base + i` has a non-zero in this column.
+    pub mask: u8,
+    /// Offset of this segment's packed values in the value array.
+    pub val_offset: usize,
+}
+
+impl Spc5Segment {
+    /// Number of packed values in this segment.
+    pub fn len(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Whether the segment is empty (never true for stored segments).
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+}
+
+/// A sparse matrix in an SPC5-style β(r,1) block format.
+///
+/// SPC5 (Bramas et al.) packs the non-zeros of `r` consecutive rows
+/// column-by-column: each *segment* stores one column index, an `r`-bit mask
+/// of which rows are present, and the packed values — **no zero padding**,
+/// which is SPC5's defining property versus ELL-style formats. A vectorized
+/// SpMV broadcasts `x[col]`, expands the packed values through the mask, and
+/// FMAs into an `r`-lane accumulator.
+///
+/// This reproduction uses `r = block_height ≤ 8` so the mask fits a byte
+/// (matching the AVX-512 `vexpandpd` idiom the original targets).
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr, Spc5};
+///
+/// let coo = Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0)])?;
+/// let spc5 = Spc5::from_csr(&Csr::from_coo(&coo), 2)?;
+/// assert_eq!(spc5.segments().len(), 2); // columns 0 and 1 of the single block
+/// assert_eq!(spc5.segments()[0].mask, 0b11);
+/// # Ok::<(), via_formats::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spc5 {
+    rows: usize,
+    cols: usize,
+    block_height: usize,
+    /// Segment index range per row block, len = nblocks + 1.
+    block_ptr: Vec<usize>,
+    segments: Vec<Spc5Segment>,
+    data: Vec<Value>,
+}
+
+impl Spc5 {
+    /// Builds an SPC5 matrix from CSR with row blocks of `block_height` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidStructure`] if `block_height` is zero or
+    /// greater than 8 (the mask is a byte).
+    pub fn from_csr(csr: &Csr, block_height: usize) -> Result<Self, FormatError> {
+        if block_height == 0 || block_height > 8 {
+            return Err(FormatError::InvalidStructure(format!(
+                "block_height {block_height} must be in 1..=8"
+            )));
+        }
+        let rows = csr.rows();
+        let nblocks = rows.div_ceil(block_height);
+        let mut block_ptr = Vec::with_capacity(nblocks + 1);
+        block_ptr.push(0);
+        let mut segments = Vec::new();
+        let mut data = Vec::new();
+        // Merge the (sorted) rows of each block column-by-column.
+        let mut cursors = vec![0usize; block_height];
+        for b in 0..nblocks {
+            let base = b * block_height;
+            let height = block_height.min(rows - base);
+            for (lane, cur) in cursors.iter_mut().enumerate().take(height) {
+                *cur = csr.row_ptr()[base + lane];
+            }
+            loop {
+                // Find the smallest pending column across the block's rows.
+                let mut next_col: Option<Index> = None;
+                for lane in 0..height {
+                    let end = csr.row_ptr()[base + lane + 1];
+                    if cursors[lane] < end {
+                        let c = csr.col_idx()[cursors[lane]];
+                        next_col = Some(match next_col {
+                            Some(nc) => nc.min(c),
+                            None => c,
+                        });
+                    }
+                }
+                let Some(col) = next_col else { break };
+                let mut mask = 0u8;
+                let val_offset = data.len();
+                for lane in 0..height {
+                    let end = csr.row_ptr()[base + lane + 1];
+                    if cursors[lane] < end && csr.col_idx()[cursors[lane]] == col {
+                        mask |= 1 << lane;
+                        data.push(csr.data()[cursors[lane]]);
+                        cursors[lane] += 1;
+                    }
+                }
+                segments.push(Spc5Segment {
+                    col,
+                    mask,
+                    val_offset,
+                });
+            }
+            block_ptr.push(segments.len());
+        }
+        Ok(Spc5 {
+            rows,
+            cols: csr.cols(),
+            block_height,
+            block_ptr,
+            segments,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Height of each row block.
+    pub fn block_height(&self) -> usize {
+        self.block_height
+    }
+
+    /// Number of row blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_ptr.len() - 1
+    }
+
+    /// All segments, in block order then column order.
+    pub fn segments(&self) -> &[Spc5Segment] {
+        &self.segments
+    }
+
+    /// The segments of row block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= self.num_blocks()`.
+    pub fn block_segments(&self, b: usize) -> &[Spc5Segment] {
+        &self.segments[self.block_ptr[b]..self.block_ptr[b + 1]]
+    }
+
+    /// The packed value array.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Number of structural non-zeros (no padding, by construction).
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reference SpMV `y = A * x` (functional golden model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.cols, "x length must equal matrix columns");
+        let mut y = vec![0.0; self.rows];
+        for b in 0..self.num_blocks() {
+            let base = b * self.block_height;
+            for seg in self.block_segments(b) {
+                let xv = x[seg.col as usize];
+                let mut off = seg.val_offset;
+                for lane in 0..self.block_height {
+                    if seg.mask & (1 << lane) != 0 {
+                        y[base + lane] += self.data[off] * xv;
+                        off += 1;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    /// Memory footprint in bytes (values, per-segment col+mask, block
+    /// pointers).
+    pub fn footprint_bytes(&self) -> usize {
+        self.data.len() * 8 + self.segments.len() * 5 + self.block_ptr.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample_csr() -> Csr {
+        let coo = Coo::from_triplets(
+            5,
+            4,
+            [
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 0, 3.0),
+                (2, 2, 4.0),
+                (3, 2, 5.0),
+                (4, 1, 6.0),
+            ],
+        )
+        .unwrap();
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn rejects_bad_block_height() {
+        let csr = sample_csr();
+        assert!(Spc5::from_csr(&csr, 0).is_err());
+        assert!(Spc5::from_csr(&csr, 9).is_err());
+    }
+
+    #[test]
+    fn segments_share_columns_across_rows() {
+        let csr = sample_csr();
+        let spc5 = Spc5::from_csr(&csr, 4).unwrap();
+        // Block 0 covers rows 0..4: columns 0 (rows 0,1), 2 (rows 2,3), 3 (row 0).
+        let segs = spc5.block_segments(0);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].col, 0);
+        assert_eq!(segs[0].mask, 0b0011);
+        assert_eq!(segs[1].col, 2);
+        assert_eq!(segs[1].mask, 0b1100);
+        assert_eq!(segs[2].col, 3);
+        assert_eq!(segs[2].mask, 0b0001);
+    }
+
+    #[test]
+    fn no_zero_padding() {
+        let csr = sample_csr();
+        let spc5 = Spc5::from_csr(&csr, 8).unwrap();
+        assert_eq!(spc5.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn spmv_matches_csr_reference() {
+        let csr = sample_csr();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let expected = crate::reference::spmv(&csr, &x);
+        for h in 1..=8 {
+            let spc5 = Spc5::from_csr(&csr, h).unwrap();
+            assert_eq!(spc5.spmv(&x), expected, "block height {h}");
+        }
+    }
+
+    #[test]
+    fn tail_block_smaller_than_height() {
+        let csr = sample_csr();
+        let spc5 = Spc5::from_csr(&csr, 4).unwrap();
+        assert_eq!(spc5.num_blocks(), 2);
+        let segs = spc5.block_segments(1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].col, 1);
+        assert_eq!(segs[0].mask, 0b0001);
+    }
+
+    #[test]
+    fn values_packed_in_row_order_within_segment() {
+        let csr = sample_csr();
+        let spc5 = Spc5::from_csr(&csr, 4).unwrap();
+        let seg = spc5.block_segments(0)[0]; // col 0, rows 0 and 1
+        assert_eq!(
+            &spc5.data()[seg.val_offset..seg.val_offset + seg.len()],
+            &[1.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let spc5 = Spc5::from_csr(&Csr::zero(3, 3), 4).unwrap();
+        assert_eq!(spc5.nnz(), 0);
+        assert_eq!(spc5.spmv(&[0.0; 3]), vec![0.0; 3]);
+    }
+}

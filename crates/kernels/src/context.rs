@@ -1,0 +1,113 @@
+//! Shared simulation context and kernel result types.
+
+use via_core::{SspmEvents, ViaConfig};
+use via_sim::{CoreConfig, Engine, MemConfig, RunStats};
+
+/// Everything needed to instantiate a simulated machine for one kernel run.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct SimContext {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemConfig,
+    /// VIA hardware configuration (only used by VIA kernels).
+    pub via: ViaConfig,
+}
+
+
+impl SimContext {
+    /// A context with the given VIA configuration (core/memory defaults).
+    pub fn with_via(via: ViaConfig) -> Self {
+        SimContext {
+            via,
+            ..SimContext::default()
+        }
+    }
+
+    /// An engine for a baseline kernel (no FIVU).
+    pub fn baseline_engine(&self) -> Engine {
+        Engine::new(self.core.clone(), self.mem.clone())
+    }
+
+    /// An engine for a VIA kernel (FIVU attached).
+    pub fn via_engine(&self) -> Engine {
+        Engine::new(self.core.clone().with_custom_unit(), self.mem.clone())
+    }
+
+    /// The machine vector length in 64-bit lanes.
+    pub fn vl(&self) -> usize {
+        self.core.vl as usize
+    }
+}
+
+/// The outcome of one simulated kernel run: the functional output plus the
+/// timing statistics (and, for VIA kernels, the SSPM event counters feeding
+/// the energy model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun<T> {
+    /// The kernel's computed result (validated against golden models in
+    /// tests).
+    pub output: T,
+    /// Timing and memory statistics.
+    pub stats: RunStats,
+    /// SSPM events (VIA kernels only).
+    pub sspm_events: Option<SspmEvents>,
+}
+
+impl<T> KernelRun<T> {
+    /// Wraps a baseline run (no SSPM events).
+    pub fn baseline(output: T, stats: RunStats) -> Self {
+        KernelRun {
+            output,
+            stats,
+            sspm_events: None,
+        }
+    }
+
+    /// Wraps a VIA run.
+    pub fn via(output: T, stats: RunStats, events: SspmEvents) -> Self {
+        KernelRun {
+            output,
+            stats,
+            sspm_events: Some(events),
+        }
+    }
+
+    /// Cycles taken.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_has_paper_config() {
+        let ctx = SimContext::default();
+        assert_eq!(ctx.via.name(), "16_2p");
+        assert_eq!(ctx.vl(), 4);
+    }
+
+    #[test]
+    fn engines_differ_in_custom_units() {
+        let ctx = SimContext::default();
+        assert_eq!(ctx.baseline_engine().core_config().custom_units, 0);
+        assert_eq!(ctx.via_engine().core_config().custom_units, 1);
+    }
+
+    #[test]
+    fn kernel_run_accessors() {
+        let run = KernelRun::baseline(
+            vec![1.0],
+            RunStats {
+                cycles: 42,
+                ..RunStats::default()
+            },
+        );
+        assert_eq!(run.cycles(), 42);
+        assert!(run.sspm_events.is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated-memory layouts for the sparse formats.
+//!
+//! Kernels need byte addresses for every array they stream. These helpers
+//! place a format's arrays into the simulated [`AddressSpace`] exactly as
+//! the real data structures are laid out (8-byte values and row pointers,
+//! 4-byte indices), so cache behaviour and DRAM traffic match the paper's
+//! formats.
+
+use via_formats::{Csb, Csr, SellCSigma, Spc5};
+use via_sim::{AddressSpace, Region};
+
+/// A dense vector's placement.
+#[derive(Debug, Clone, Copy)]
+pub struct VecLayout {
+    /// The value array (8 B elements).
+    pub data: Region,
+}
+
+impl VecLayout {
+    /// Allocates a vector of `len` f64 elements.
+    pub fn new(alloc: &mut AddressSpace, len: usize) -> Self {
+        VecLayout {
+            data: alloc.alloc_f64(len.max(1)),
+        }
+    }
+}
+
+/// A CSR matrix's placement (`row_ptr` 8 B, `col_idx` 4 B, `data` 8 B).
+#[derive(Debug, Clone, Copy)]
+pub struct CsrLayout {
+    /// Row pointer array.
+    pub row_ptr: Region,
+    /// Column index array.
+    pub col_idx: Region,
+    /// Value array.
+    pub data: Region,
+}
+
+impl CsrLayout {
+    /// Places a CSR matrix.
+    pub fn new(alloc: &mut AddressSpace, m: &Csr) -> Self {
+        CsrLayout {
+            row_ptr: alloc.alloc_u64(m.rows() + 1),
+            col_idx: alloc.alloc_u32(m.nnz().max(1)),
+            data: alloc.alloc_f64(m.nnz().max(1)),
+        }
+    }
+}
+
+/// A CSB matrix's placement (`block_ptr` 8 B, merged `idx` 4 B, `data` 8 B).
+#[derive(Debug, Clone, Copy)]
+pub struct CsbLayout {
+    /// Block pointer array.
+    pub block_ptr: Region,
+    /// Merged in-block index array.
+    pub idx: Region,
+    /// Value array.
+    pub data: Region,
+}
+
+impl CsbLayout {
+    /// Places a CSB matrix.
+    pub fn new(alloc: &mut AddressSpace, m: &Csb) -> Self {
+        CsbLayout {
+            block_ptr: alloc.alloc_u64(m.block_ptr().len()),
+            idx: alloc.alloc_u32(m.nnz().max(1)),
+            data: alloc.alloc_f64(m.nnz().max(1)),
+        }
+    }
+}
+
+/// A Sell-C-σ matrix's placement.
+#[derive(Debug, Clone, Copy)]
+pub struct SellLayout {
+    /// Chunk offset array (8 B).
+    pub chunk_ptr: Region,
+    /// Chunk width array (8 B).
+    pub chunk_width: Region,
+    /// Padded column index array (4 B).
+    pub col_idx: Region,
+    /// Padded value array (8 B).
+    pub data: Region,
+    /// Row permutation (4 B).
+    pub perm: Region,
+}
+
+impl SellLayout {
+    /// Places a Sell-C-σ matrix.
+    pub fn new(alloc: &mut AddressSpace, m: &SellCSigma) -> Self {
+        SellLayout {
+            chunk_ptr: alloc.alloc_u64(m.num_chunks() + 1),
+            chunk_width: alloc.alloc_u64(m.num_chunks().max(1)),
+            col_idx: alloc.alloc_u32(m.col_idx().len().max(1)),
+            data: alloc.alloc_f64(m.data().len().max(1)),
+            perm: alloc.alloc_u32(m.rows().max(1)),
+        }
+    }
+}
+
+/// An SPC5 matrix's placement (segments as 8 B col+mask records, packed
+/// values 8 B, block pointers 8 B).
+#[derive(Debug, Clone, Copy)]
+pub struct Spc5Layout {
+    /// Per-block segment ranges.
+    pub block_ptr: Region,
+    /// Segment records (column + mask, padded to 8 B).
+    pub segments: Region,
+    /// Packed value array.
+    pub data: Region,
+}
+
+impl Spc5Layout {
+    /// Places an SPC5 matrix.
+    pub fn new(alloc: &mut AddressSpace, m: &Spc5) -> Self {
+        Spc5Layout {
+            block_ptr: alloc.alloc_u64(m.num_blocks() + 1),
+            segments: alloc.alloc_u64(m.segments().len().max(1)),
+            data: alloc.alloc_f64(m.nnz().max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_formats::Coo;
+
+    #[test]
+    fn csr_layout_regions_are_disjoint() {
+        let coo = Coo::from_triplets(4, 4, [(0, 0, 1.0), (3, 3, 2.0)]).unwrap();
+        let m = Csr::from_coo(&coo);
+        let mut alloc = AddressSpace::new();
+        let l = CsrLayout::new(&mut alloc, &m);
+        assert!(l.row_ptr.base() < l.col_idx.base());
+        assert!(l.col_idx.base() + l.col_idx.size_bytes() <= l.data.base());
+        assert_eq!(l.row_ptr.len(), 5);
+        assert_eq!(l.data.len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_layouts_are_valid() {
+        let m = Csr::zero(2, 2);
+        let mut alloc = AddressSpace::new();
+        let l = CsrLayout::new(&mut alloc, &m);
+        assert!(!l.col_idx.is_empty()); // avoid zero-size regions
+    }
+
+    #[test]
+    fn vector_layout_element_addressing() {
+        let mut alloc = AddressSpace::new();
+        let v = VecLayout::new(&mut alloc, 10);
+        assert_eq!(v.data.addr_of(1) - v.data.addr_of(0), 8);
+    }
+
+    #[test]
+    fn csb_layout_sizes_match_format() {
+        let coo = Coo::from_triplets(8, 8, [(0, 0, 1.0), (7, 7, 2.0)]).unwrap();
+        let m = Csb::from_coo(&coo, 4).unwrap();
+        let mut alloc = AddressSpace::new();
+        let l = CsbLayout::new(&mut alloc, &m);
+        assert_eq!(l.block_ptr.len(), m.block_ptr().len());
+        assert_eq!(l.idx.len(), 2);
+    }
+
+    #[test]
+    fn sell_layout_includes_padding() {
+        let coo = Coo::from_triplets(4, 4, [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0)]).unwrap();
+        let m = SellCSigma::from_csr(&Csr::from_coo(&coo), 2, 2).unwrap();
+        let mut alloc = AddressSpace::new();
+        let l = SellLayout::new(&mut alloc, &m);
+        assert_eq!(l.col_idx.len(), m.col_idx().len());
+    }
+
+    #[test]
+    fn spc5_layout_counts_segments() {
+        let coo = Coo::from_triplets(4, 4, [(0, 0, 1.0), (1, 0, 2.0), (2, 2, 3.0)]).unwrap();
+        let m = Spc5::from_csr(&Csr::from_coo(&coo), 4).unwrap();
+        let mut alloc = AddressSpace::new();
+        let l = Spc5Layout::new(&mut alloc, &m);
+        assert_eq!(l.segments.len(), m.segments().len());
+    }
+}

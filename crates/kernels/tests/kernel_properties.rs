@@ -1,0 +1,159 @@
+//! Property tests: every simulated kernel — baseline or VIA, at any SSPM
+//! configuration — must compute exactly what the golden models compute,
+//! for arbitrary matrices.
+
+use proptest::prelude::*;
+use via_core::ViaConfig;
+use via_formats::{reference, Coo, Csb, Csr, DenseMatrix, SellCSigma, Spc5};
+use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext};
+
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (2..=max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -50i32..50), 1..=max_nnz).prop_map(move |trips| {
+            let entries = trips
+                .into_iter()
+                .map(|(r, c, v)| (r, c, v as f64 / 8.0 + 0.062_5));
+            Csr::from_coo(
+                &Coo::from_triplets(n, n, entries)
+                    .expect("in bounds")
+                    .into_canonical(),
+            )
+        })
+    })
+}
+
+fn arb_via_config() -> impl Strategy<Value = ViaConfig> {
+    prop_oneof![
+        Just(ViaConfig::new(4, 2)),
+        Just(ViaConfig::new(8, 4)),
+        Just(ViaConfig::new(16, 2)),
+    ]
+}
+
+fn xvec(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 13) as f64) * 0.25 - 1.5).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_spmv_variant_matches_reference(a in arb_csr(40, 120), cfg in arb_via_config()) {
+        let ctx = SimContext::with_via(cfg);
+        let x = xvec(a.cols());
+        let expected = reference::spmv(&a, &x);
+        let vl = ctx.vl();
+        let csb = Csb::from_csr(&a, cfg.csb_block_size()).unwrap();
+        let spc5 = Spc5::from_csr(&a, vl).unwrap();
+        let sell = SellCSigma::from_csr(&a, vl, vl * 2).unwrap();
+        for (name, out) in [
+            ("scalar", spmv::scalar_csr(&a, &x, &ctx).output),
+            ("csr_vec", spmv::csr_vec(&a, &x, &ctx).output),
+            ("spc5", spmv::spc5(&spc5, &x, &ctx).output),
+            ("sell", spmv::sell(&sell, &x, &ctx).output),
+            ("csb_soft", spmv::csb_software(&csb, &x, &ctx).output),
+            ("csb_soft_vec", spmv::csb_software_vec(&csb, &x, &ctx).output),
+            ("via_csr", spmv::via_csr(&a, &x, &ctx).output),
+            ("via_spc5", spmv::via_spc5(&spc5, &x, &ctx).output),
+            ("via_sell", spmv::via_sell(&sell, &x, &ctx).output),
+            ("via_csb", spmv::via_csb(&csb, &x, &ctx).output),
+        ] {
+            prop_assert!(
+                via_formats::vec_approx_eq(&out, &expected, 1e-9),
+                "{name} diverged from reference at config {}",
+                cfg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spma_matches_reference(
+        a in arb_csr(32, 80),
+        b in arb_csr(32, 80),
+        cfg in arb_via_config(),
+    ) {
+        // Embed both into the common shape.
+        let n = a.rows().max(b.rows());
+        let embed = |m: &Csr| {
+            Csr::from_coo(
+                &Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical(),
+            )
+        };
+        let (a, b) = (embed(&a), embed(&b));
+        let ctx = SimContext::with_via(cfg);
+        let expected = reference::spma(&a, &b).unwrap();
+        let base = spma::merge_csr(&a, &b, &ctx);
+        prop_assert_eq!(&base.output, &expected);
+        let via = spma::via_cam(&a, &b, &ctx);
+        prop_assert!(DenseMatrix::from_csr(&via.output)
+            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
+    }
+
+    #[test]
+    fn spmm_matches_reference(
+        a in arb_csr(20, 60),
+        b in arb_csr(20, 60),
+        cfg in arb_via_config(),
+    ) {
+        let n = a.cols().max(b.rows());
+        let embed = |m: &Csr| {
+            Csr::from_coo(
+                &Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical(),
+            )
+        };
+        let (a, b) = (embed(&a), embed(&b));
+        let bc = b.to_csc();
+        let ctx = SimContext::with_via(cfg);
+        let expected = reference::spmm(&a, &bc).unwrap();
+        let base = spmm::inner_product(&a, &bc, &ctx);
+        prop_assert_eq!(&base.output, &expected);
+        let gus = spmm::gustavson(&a, &b, &ctx);
+        prop_assert!(DenseMatrix::from_csr(&gus.output)
+            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
+        let via = spmm::via_cam(&a, &bc, &ctx);
+        prop_assert!(DenseMatrix::from_csr(&via.output)
+            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
+    }
+
+    #[test]
+    fn histogram_matches_reference(
+        keys in proptest::collection::vec(0u32..300, 0..400),
+        cfg in arb_via_config(),
+    ) {
+        let ctx = SimContext::with_via(cfg);
+        let expected = reference::histogram(&keys, 300);
+        prop_assert_eq!(histogram::scalar(&keys, 300, &ctx).output, expected.clone());
+        prop_assert_eq!(histogram::vector_cd(&keys, 300, &ctx).output, expected.clone());
+        prop_assert_eq!(histogram::via(&keys, 300, &ctx).output, expected);
+    }
+
+    #[test]
+    fn stencil_matches_reference(
+        w in 4usize..24,
+        h in 4usize..16,
+        seed in 0u64..1000,
+    ) {
+        let ctx = SimContext::default();
+        let image: Vec<f64> = via_formats::gen::dense_vector(w * h, seed);
+        let filter = stencil::gaussian4();
+        let expected = reference::convolve2d(&image, w, h, &filter, 4);
+        for out in [
+            stencil::scalar(&image, w, h, &filter, &ctx).output,
+            stencil::vector(&image, w, h, &filter, &ctx).output,
+            stencil::via(&image, w, h, &filter, &ctx).output,
+        ] {
+            prop_assert!(via_formats::vec_approx_eq(&out, &expected, 1e-9));
+        }
+    }
+
+    #[test]
+    fn via_runs_are_deterministic(a in arb_csr(24, 60)) {
+        let ctx = SimContext::default();
+        let x = xvec(a.cols());
+        let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
+        let r1 = spmv::via_csb(&csb, &x, &ctx);
+        let r2 = spmv::via_csb(&csb, &x, &ctx);
+        prop_assert_eq!(r1.stats, r2.stats);
+        prop_assert_eq!(r1.sspm_events, r2.sspm_events);
+    }
+}

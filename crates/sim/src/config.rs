@@ -1,0 +1,224 @@
+//! Simulation parameters (the reproduction's Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Out-of-order core parameters.
+///
+/// Defaults model a Haswell-class core at 2 GHz, matching the paper's
+/// baseline (a single out-of-order x86 core with AVX2, §V-A, Table I; the
+/// area comparison in §VI-B is against a 22 nm Haswell core).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Clock frequency in GHz (used only for bandwidth/energy conversion).
+    pub freq_ghz: f64,
+    /// Instructions fetched/renamed per cycle.
+    pub fetch_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Reorder buffer entries.
+    pub rob_size: usize,
+    /// Scalar integer/FP ALUs.
+    pub scalar_alus: u32,
+    /// Vector ALUs (each `vl` lanes wide).
+    pub vector_alus: u32,
+    /// L1D load ports.
+    pub load_ports: u32,
+    /// L1D store ports.
+    pub store_ports: u32,
+    /// Vector length in 64-bit elements (AVX2 = 4, AVX-512 = 8).
+    pub vl: u32,
+    /// Scalar ALU latency (cycles).
+    pub scalar_latency: u32,
+    /// Vector add/mul latency.
+    pub vec_alu_latency: u32,
+    /// Vector FMA latency.
+    pub vec_fma_latency: u32,
+    /// Vector reduction latency (log-tree over `vl` lanes).
+    pub vec_reduce_latency: u32,
+    /// Vector permute/shuffle latency.
+    pub vec_permute_latency: u32,
+    /// AVX-512CD-style conflict-detection latency (the instruction is
+    /// microcoded and slow on real parts).
+    pub vec_conflict_latency: u32,
+    /// Fixed overhead added to every gather/scatter on top of the
+    /// per-element cache accesses. Calibrated so an all-L1-hit AVX2 gather
+    /// costs ≥ 22 cycles, the best case the paper quotes (§III-A).
+    pub gather_overhead: u32,
+    /// Front-end refill penalty after a branch misprediction (cycles from
+    /// branch resolution to useful fetch).
+    pub mispredict_penalty: u32,
+    /// Number of custom functional units (the FIVU). Zero for the baseline
+    /// core: pushing a custom op then is a programming error.
+    pub custom_units: u32,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            freq_ghz: 2.0,
+            fetch_width: 4,
+            commit_width: 4,
+            rob_size: 192,
+            scalar_alus: 4,
+            vector_alus: 2,
+            load_ports: 2,
+            store_ports: 1,
+            vl: 4,
+            scalar_latency: 1,
+            vec_alu_latency: 3,
+            vec_fma_latency: 5,
+            vec_reduce_latency: 6,
+            vec_permute_latency: 3,
+            vec_conflict_latency: 12,
+            gather_overhead: 18,
+            mispredict_penalty: 14,
+            custom_units: 0,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The baseline core extended with one FIVU (custom unit), as VIA
+    /// attaches to the pipeline (paper §IV-E).
+    pub fn with_custom_unit(mut self) -> Self {
+        self.custom_units = 1;
+        self
+    }
+
+    /// Convenience: the default core with AVX-512-width vectors (used by the
+    /// histogram baseline, which needs `vpconflictd`).
+    pub fn wide_vectors(mut self) -> Self {
+        self.vl = 8;
+        self
+    }
+}
+
+/// One cache level's geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Access latency in cycles (added on a hit at this level).
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0 && self.line_bytes > 0);
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "cache size must be a multiple of ways * line size"
+        );
+        lines / self.ways
+    }
+}
+
+/// Memory hierarchy parameters (Table I defaults: 32 KB L1D, 256 KB L2,
+/// 8 MB L3, DDR-like DRAM at 200 cycles and 12.8 bytes/cycle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub l3: CacheConfig,
+    /// DRAM access latency in cycles (beyond L3).
+    pub dram_latency: u32,
+    /// DRAM bandwidth in bytes per core cycle (25.6 GB/s at 2 GHz = 12.8).
+    pub dram_bytes_per_cycle: f64,
+    /// L2 next-line stream prefetch degree: on an L2 miss, this many
+    /// subsequent lines are fetched into L2 in the background (0 disables
+    /// prefetching — the default, so the published results are
+    /// prefetcher-free like the paper's Table I baseline; the `ablations`
+    /// binary quantifies its effect).
+    pub prefetch_degree: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
+            l3: CacheConfig {
+                size_bytes: 8 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency: 36,
+            },
+            dram_latency: 200,
+            dram_bytes_per_cycle: 12.8,
+            prefetch_degree: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_consistent() {
+        let mem = MemConfig::default();
+        assert_eq!(mem.l1.sets(), 64);
+        assert_eq!(mem.l2.sets(), 512);
+        assert_eq!(mem.l3.sets(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        CacheConfig {
+            size_bytes: 1024,
+            ways: 3,
+            line_bytes: 64,
+            latency: 1,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn custom_unit_builder() {
+        let c = CoreConfig::default();
+        assert_eq!(c.custom_units, 0);
+        assert_eq!(c.clone().with_custom_unit().custom_units, 1);
+        assert_eq!(c.wide_vectors().vl, 8);
+    }
+
+    #[test]
+    fn gather_best_case_meets_paper_floor() {
+        // Fixed overhead + L1 latency must be at least the 22 cycles the
+        // paper quotes for an all-hit gather.
+        let core = CoreConfig::default();
+        let mem = MemConfig::default();
+        assert!(core.gather_overhead + mem.l1.latency >= 22);
+    }
+
+    #[test]
+    fn configs_are_cloneable_and_comparable() {
+        let mem = MemConfig::default();
+        assert_eq!(mem, mem.clone());
+        let core = CoreConfig::default();
+        assert_eq!(core, core.clone());
+    }
+}

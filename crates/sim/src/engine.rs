@@ -1,0 +1,813 @@
+//! The out-of-order timing engine.
+//!
+//! The engine is *streaming*: kernels push dynamic instructions one at a
+//! time and the engine computes fetch/issue/complete/commit times in O(1)
+//! per instruction (an interval-style analytical OoO model). The modeled
+//! constraints are:
+//!
+//! * **fetch width** — at most `fetch_width` instructions enter per cycle;
+//! * **ROB occupancy** — an instruction cannot enter until the instruction
+//!   `rob_size` positions ahead of it has committed;
+//! * **data dependences** — an instruction issues only after all source
+//!   registers' producers complete (capture-at-entry = perfect renaming);
+//! * **structural hazards** — each op class draws from a finite unit pool
+//!   (scalar ALUs, vector ALUs, load/store ports, custom units);
+//! * **memory** — every load/store walks the cache [`Hierarchy`]; gathers
+//!   and scatters pay one cache access *and* one port slot per element plus
+//!   a fixed overhead (paper §III-A);
+//! * **commit** — in order, `commit_width` per cycle; *commit-serialized*
+//!   custom ops (VIA instructions, paper §IV-E) issue only once every older
+//!   non-custom instruction has completed, while still pipelining among
+//!   themselves through the custom unit.
+
+use std::collections::VecDeque;
+
+use crate::alloc::AddressSpace;
+use crate::calendar::Calendar;
+use crate::config::{CoreConfig, MemConfig};
+use crate::mem::Hierarchy;
+use crate::prog::{AluKind, Inst, Op, Reg, VecOpKind};
+use crate::stats::RunStats;
+use crate::timeline::{Timeline, TimelineEntry};
+
+/// The streaming out-of-order timing engine.
+///
+/// See the [module docs](self) for the model. Construct with
+/// [`Engine::new`], feed instructions with [`Engine::push`], and obtain
+/// [`RunStats`] with [`Engine::finish`].
+#[derive(Debug)]
+pub struct Engine {
+    core: CoreConfig,
+    hier: Hierarchy,
+    alloc: AddressSpace,
+    next_reg: Reg,
+    /// Completion cycle of each register's producer.
+    ready: Vec<u64>,
+    fetch_cycle: u64,
+    fetch_in_cycle: u32,
+    commit_cycle: u64,
+    commit_in_cycle: u32,
+    last_commit: u64,
+    /// Commit times of the most recent `rob_size` instructions.
+    rob_window: VecDeque<u64>,
+    /// Max completion time over all instructions so far.
+    all_complete_max: u64,
+    /// Max completion time over all *non-custom* instructions so far.
+    noncustom_complete_max: u64,
+    /// Instructions may not fetch before this (set by fences).
+    fence_until: u64,
+    scalar_units: Calendar,
+    vector_units: Calendar,
+    load_ports: Calendar,
+    store_ports: Calendar,
+    /// The custom (FIVU) units keep a monotonic next-free model: custom ops
+    /// are commit-gated, so their ready times are already monotone.
+    custom_units: Vec<u64>,
+    /// 2-bit saturating counters per data-dependent branch site.
+    predictor: std::collections::HashMap<u32, u8>,
+    pushes_since_prune: u32,
+    timeline: Option<Timeline>,
+    stats: RunStats,
+}
+
+impl Engine {
+    /// Creates an engine with the given core and memory configuration.
+    pub fn new(core: CoreConfig, mem: MemConfig) -> Self {
+        Engine {
+            hier: Hierarchy::new(mem),
+            alloc: AddressSpace::new(),
+            next_reg: 0,
+            ready: Vec::new(),
+            fetch_cycle: 0,
+            fetch_in_cycle: 0,
+            commit_cycle: 0,
+            commit_in_cycle: 0,
+            last_commit: 0,
+            rob_window: VecDeque::with_capacity(core.rob_size + 1),
+            all_complete_max: 0,
+            noncustom_complete_max: 0,
+            fence_until: 0,
+            scalar_units: Calendar::new(core.scalar_alus),
+            vector_units: Calendar::new(core.vector_alus),
+            load_ports: Calendar::new(core.load_ports),
+            store_ports: Calendar::new(core.store_ports),
+            custom_units: vec![0; core.custom_units as usize],
+            predictor: std::collections::HashMap::new(),
+            pushes_since_prune: 0,
+            timeline: None,
+            core,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The core configuration.
+    pub fn core_config(&self) -> &CoreConfig {
+        &self.core
+    }
+
+    /// The memory configuration.
+    pub fn mem_config(&self) -> &MemConfig {
+        self.hier.config()
+    }
+
+    /// The simulated address space (for allocating kernel arrays).
+    pub fn alloc_mut(&mut self) -> &mut AddressSpace {
+        &mut self.alloc
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn reg_ready(&self, r: Reg) -> u64 {
+        self.ready.get(r as usize).copied().unwrap_or(0)
+    }
+
+    fn set_ready(&mut self, r: Reg, t: u64) {
+        let idx = r as usize;
+        if idx >= self.ready.len() {
+            self.ready.resize(idx + 1, 0);
+        }
+        self.ready[idx] = t;
+    }
+
+    /// Earliest-available custom unit (monotonic model); reserves it for
+    /// `occupancy` cycles starting no earlier than `t`. Returns the start.
+    fn acquire_custom(pool: &mut [u64], t: u64, occupancy: u64) -> u64 {
+        let (idx, &free) = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("unit pool must not be empty");
+        let start = t.max(free);
+        pool[idx] = start + occupancy;
+        start
+    }
+
+    /// Pushes one instruction through the model and returns its completion
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Op::Custom`] instruction is pushed on a core configured
+    /// with `custom_units == 0` (the baseline has no FIVU).
+    pub fn push(&mut self, inst: Inst) -> u64 {
+        // --- fetch: width and ROB admission ----------------------------
+        let rob_ready = if self.rob_window.len() >= self.core.rob_size {
+            *self.rob_window.front().expect("window non-empty")
+        } else {
+            0
+        };
+        let earliest_fetch = rob_ready.max(self.fence_until);
+        if self.fetch_cycle < earliest_fetch {
+            self.fetch_cycle = earliest_fetch;
+            self.fetch_in_cycle = 0;
+        }
+        if self.fetch_in_cycle >= self.core.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetch_in_cycle = 0;
+        }
+        self.fetch_in_cycle += 1;
+        let fetch_t = self.fetch_cycle;
+
+        // Periodically discard calendar history below the fetch frontier
+        // (no later instruction can issue before its fetch time).
+        self.pushes_since_prune += 1;
+        if self.pushes_since_prune >= 4096 {
+            self.pushes_since_prune = 0;
+            self.scalar_units.prune_below(fetch_t);
+            self.vector_units.prune_below(fetch_t);
+            self.load_ports.prune_below(fetch_t);
+            self.store_ports.prune_below(fetch_t);
+            self.hier.prune_below(fetch_t);
+        }
+
+        // --- dependences ------------------------------------------------
+        let mut dep_t = 0u64;
+        for &r in inst.srcs.as_slice() {
+            dep_t = dep_t.max(self.reg_ready(r));
+        }
+        let ready_t = fetch_t.max(dep_t);
+
+        // --- issue + execute --------------------------------------------
+        let complete = match &inst.op {
+            Op::Scalar { kind } => {
+                self.stats.scalar_ops += 1;
+                let lat = match kind {
+                    AluKind::Int => self.core.scalar_latency,
+                    AluKind::FpAdd | AluKind::FpMul => self.core.vec_alu_latency,
+                    AluKind::FpFma => self.core.vec_fma_latency,
+                } as u64;
+                let start = self.scalar_units.book(ready_t);
+                start + lat
+            }
+            Op::Vec { kind } => {
+                self.stats.vector_ops += 1;
+                let lat = match kind {
+                    VecOpKind::Add | VecOpKind::Mul => self.core.vec_alu_latency,
+                    VecOpKind::Fma => self.core.vec_fma_latency,
+                    VecOpKind::Reduce => self.core.vec_reduce_latency,
+                    VecOpKind::Permute | VecOpKind::Blend => self.core.vec_permute_latency,
+                    VecOpKind::Compare => self.core.vec_alu_latency,
+                    VecOpKind::ConflictDetect => self.core.vec_conflict_latency,
+                } as u64;
+                let start = self.vector_units.book(ready_t);
+                start + lat
+            }
+            Op::Load { addr, bytes } => {
+                self.stats.loads += 1;
+                self.mem_access(*addr, *bytes, false, ready_t)
+            }
+            Op::Store { addr, bytes } => {
+                self.stats.stores += 1;
+                self.mem_access(*addr, *bytes, true, ready_t)
+            }
+            Op::Gather { addrs, elem_bytes } => {
+                self.stats.gathers += 1;
+                self.indexed_access(addrs, *elem_bytes, false, ready_t)
+            }
+            Op::Scatter { addrs, elem_bytes } => {
+                self.stats.scatters += 1;
+                self.indexed_access(addrs, *elem_bytes, true, ready_t)
+            }
+            Op::Custom {
+                occupancy,
+                latency,
+                at_commit,
+            } => {
+                assert!(
+                    !self.custom_units.is_empty(),
+                    "custom op pushed on a core with no custom unit (baseline \
+                     cores have no FIVU)"
+                );
+                self.stats.custom_ops += 1;
+                let gate = if *at_commit {
+                    // Commit-time execution (paper §IV-E): all older
+                    // non-custom instructions must have completed. Older
+                    // custom ops gate through unit occupancy, which lets
+                    // back-to-back VIA instructions pipeline.
+                    ready_t.max(self.noncustom_complete_max)
+                } else {
+                    ready_t
+                };
+                let occ = (*occupancy).max(1) as u64;
+                let start = Self::acquire_custom(&mut self.custom_units, gate, occ);
+                self.stats.custom_busy_cycles += occ;
+                start + (*latency).max(1) as u64
+            }
+            Op::Branch { taken, site } => {
+                self.stats.branches += 1;
+                // 2-bit saturating counter, initialized weakly taken.
+                let counter = self.predictor.entry(*site).or_insert(2);
+                let predicted = *counter >= 2;
+                if *taken {
+                    *counter = (*counter + 1).min(3);
+                } else {
+                    *counter = counter.saturating_sub(1);
+                }
+                // The branch resolves one cycle after its sources are ready
+                // (compare + redirect decision).
+                let start = self.scalar_units.book(ready_t);
+                let resolve = start + self.core.scalar_latency as u64;
+                if predicted != *taken {
+                    self.stats.mispredicts += 1;
+                    // Redirect: younger instructions fetch only after the
+                    // resolve plus the front-end refill penalty.
+                    self.fence_until = self
+                        .fence_until
+                        .max(resolve + self.core.mispredict_penalty as u64);
+                }
+                resolve
+            }
+            Op::Delay { cycles } => ready_t + *cycles as u64,
+            Op::Fence => {
+                self.fence_until = self.all_complete_max.max(fetch_t);
+                fetch_t.max(self.all_complete_max)
+            }
+        };
+
+        // --- bookkeeping --------------------------------------------------
+        if let Some(dst) = inst.dst {
+            self.set_ready(dst, complete);
+        }
+        self.all_complete_max = self.all_complete_max.max(complete);
+        if !matches!(inst.op, Op::Custom { .. }) {
+            self.noncustom_complete_max = self.noncustom_complete_max.max(complete);
+        }
+
+        // --- commit: in order, width-limited -----------------------------
+        let mut commit_t = complete.max(self.last_commit);
+        if commit_t > self.commit_cycle {
+            self.commit_cycle = commit_t;
+            self.commit_in_cycle = 0;
+        }
+        if self.commit_in_cycle >= self.core.commit_width {
+            self.commit_cycle += 1;
+            self.commit_in_cycle = 0;
+            commit_t = self.commit_cycle;
+        }
+        self.commit_in_cycle += 1;
+        commit_t = commit_t.max(self.commit_cycle);
+        self.last_commit = commit_t;
+        self.rob_window.push_back(commit_t);
+        if self.rob_window.len() > self.core.rob_size {
+            self.rob_window.pop_front();
+        }
+        if let Some(timeline) = &mut self.timeline {
+            timeline.record(TimelineEntry {
+                index: self.stats.instructions,
+                kind: inst.op.tag(),
+                fetch: fetch_t,
+                ready: ready_t,
+                complete,
+                commit: commit_t,
+            });
+        }
+        self.stats.instructions += 1;
+        complete
+    }
+
+    fn mem_access(&mut self, addr: u64, bytes: u32, write: bool, t: u64) -> u64 {
+        let lines: Vec<u64> = self.hier.lines_touched(addr, bytes).collect();
+        // One port slot per line piece; fills overlap (latency = max).
+        // Stores complete when accepted by the store buffer (L1 latency):
+        // the fill/writeback traffic is charged to the memory system but a
+        // store miss does not sit on the dependence/commit critical path.
+        let sb_latency = self.hier.config().l1.latency as u64;
+        let mut done = t;
+        for line in lines {
+            let start = if write {
+                self.store_ports.book(t)
+            } else {
+                self.load_ports.book(t)
+            };
+            let lat = self.hier.access(line, write, start);
+            let effective = if write { sb_latency } else { lat };
+            done = done.max(start + effective);
+        }
+        done
+    }
+
+    fn indexed_access(&mut self, addrs: &[u64], elem_bytes: u32, write: bool, t: u64) -> u64 {
+        self.stats.indexed_elems += addrs.len() as u64;
+        let sb_latency = self.hier.config().l1.latency as u64;
+        let mut done = t;
+        for &addr in addrs {
+            let start = if write {
+                self.store_ports.book(t)
+            } else {
+                self.load_ports.book(t)
+            };
+            let lat = self.hier.access(addr, write, start);
+            let effective = if write { sb_latency } else { lat };
+            done = done.max(start + effective);
+            let _ = elem_bytes;
+        }
+        done + self.core.gather_overhead as u64
+    }
+
+    /// Starts recording the most recent `capacity` instructions' lifecycle
+    /// timestamps (fetch/ready/complete/commit). Off by default — the
+    /// sweeps retire millions of instructions; use a bounded window.
+    pub fn enable_timeline(&mut self, capacity: usize) {
+        self.timeline = Some(Timeline::new(capacity));
+    }
+
+    /// The recorded timeline, if [`Engine::enable_timeline`] was called.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Finalizes the run: drains the pipeline and returns the statistics.
+    pub fn finish(mut self) -> RunStats {
+        self.stats.cycles = self.last_commit.max(self.all_complete_max);
+        self.hier.fill_stats(&mut self.stats);
+        self.stats
+    }
+
+    /// A snapshot of the statistics so far (cycles = committed so far).
+    pub fn stats_so_far(&self) -> RunStats {
+        let mut stats = self.stats.clone();
+        stats.cycles = self.last_commit.max(self.all_complete_max);
+        self.hier.fill_stats(&mut stats);
+        stats
+    }
+
+    // ---- convenience builders used by the kernel crates ----------------
+
+    /// Pushes a scalar op and returns its destination register.
+    pub fn scalar_op(&mut self, kind: AluKind, srcs: &[Reg]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::scalar(kind, srcs, Some(dst)));
+        dst
+    }
+
+    /// Pushes a unit-stride load and returns its destination register.
+    pub fn load(&mut self, addr: u64, bytes: u32) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::load(addr, bytes, dst));
+        dst
+    }
+
+    /// Pushes a load that additionally depends on `deps` (pointer chasing /
+    /// store-to-load ordering).
+    pub fn load_dep(&mut self, addr: u64, bytes: u32, deps: &[Reg]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::load_dep(addr, bytes, deps, dst));
+        dst
+    }
+
+    /// Pushes a unit-stride store of `srcs`.
+    pub fn store(&mut self, addr: u64, bytes: u32, srcs: &[Reg]) {
+        self.push(Inst::store(addr, bytes, srcs));
+    }
+
+    /// Pushes a gather dependent on `deps` and returns its destination.
+    pub fn gather(&mut self, addrs: Vec<u64>, elem_bytes: u32, deps: &[Reg]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::gather(addrs, elem_bytes, deps, dst));
+        dst
+    }
+
+    /// Pushes a scatter of `srcs` to `addrs`.
+    pub fn scatter(&mut self, addrs: Vec<u64>, elem_bytes: u32, srcs: &[Reg]) {
+        self.push(Inst::scatter(addrs, elem_bytes, srcs));
+    }
+
+    /// Pushes a vector op and returns its destination register.
+    pub fn vec_op(&mut self, kind: VecOpKind, srcs: &[Reg]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::vec(kind, srcs, Some(dst)));
+        dst
+    }
+
+    /// Pushes a custom-unit op and returns its destination register.
+    pub fn custom_op(
+        &mut self,
+        occupancy: u32,
+        latency: u32,
+        at_commit: bool,
+        srcs: &[Reg],
+    ) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::custom(occupancy, latency, at_commit, srcs, Some(dst)));
+        dst
+    }
+
+    /// Pushes a data-dependent branch whose outcome depends on `deps`.
+    pub fn branch(&mut self, taken: bool, site: u32, deps: &[Reg]) {
+        self.push(Inst::branch(taken, site, deps));
+    }
+
+    /// Pushes a pure timing delay dependent on `deps`; returns a register
+    /// that becomes ready `cycles` after the deps complete.
+    pub fn delay(&mut self, cycles: u32, deps: &[Reg]) -> Reg {
+        let dst = self.fresh_reg();
+        self.push(Inst::delay(cycles, deps, dst));
+        dst
+    }
+
+    /// Pushes a full serialization fence.
+    pub fn fence(&mut self) {
+        self.push(Inst::fence());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(CoreConfig::default(), MemConfig::default())
+    }
+
+    fn engine_with_custom() -> Engine {
+        Engine::new(
+            CoreConfig::default().with_custom_unit(),
+            MemConfig::default(),
+        )
+    }
+
+    #[test]
+    fn independent_scalars_overlap() {
+        let mut e = engine();
+        // 100 independent single-cycle ops on 4 ALUs at fetch width 4
+        // should take ~25-30 cycles, not 100.
+        for _ in 0..100 {
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        let stats = e.finish();
+        assert!(stats.cycles < 60, "cycles = {}", stats.cycles);
+        assert!(stats.ipc() > 1.5, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut e = engine();
+        let mut r = e.scalar_op(AluKind::Int, &[]);
+        for _ in 0..99 {
+            r = e.scalar_op(AluKind::Int, &[r]);
+        }
+        let stats = e.finish();
+        assert!(stats.cycles >= 100, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn fp_chain_pays_fp_latency() {
+        let mut e = engine();
+        let mut r = e.scalar_op(AluKind::FpAdd, &[]);
+        for _ in 0..9 {
+            r = e.scalar_op(AluKind::FpAdd, &[r]);
+        }
+        let stats = e.finish();
+        // 10 x 3-cycle dependent adds ≥ 30 cycles.
+        assert!(stats.cycles >= 30, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn rob_limits_runahead() {
+        let small_rob = CoreConfig {
+            rob_size: 8,
+            ..CoreConfig::default()
+        };
+        let mut slow = Engine::new(small_rob, MemConfig::default());
+        let mut fast = engine();
+        // Long-latency cold loads interleaved with cheap ops: a small ROB
+        // cannot run ahead.
+        for i in 0..64u64 {
+            slow.load(0x10_0000 + i * 4096, 8);
+            for _ in 0..3 {
+                slow.scalar_op(AluKind::Int, &[]);
+            }
+        }
+        for i in 0..64u64 {
+            fast.load(0x10_0000 + i * 4096, 8);
+            for _ in 0..3 {
+                fast.scalar_op(AluKind::Int, &[]);
+            }
+        }
+        let (s, f) = (slow.finish(), fast.finish());
+        assert!(
+            s.cycles > f.cycles,
+            "small ROB {} should be slower than large {}",
+            s.cycles,
+            f.cycles
+        );
+    }
+
+    #[test]
+    fn warm_loads_are_fast() {
+        let mut e = engine();
+        e.load(0x1000, 8);
+        e.fence();
+        let before = e.stats_so_far().cycles;
+        for _ in 0..10 {
+            e.load(0x1000, 8);
+        }
+        let stats = e.finish();
+        // All hits: a handful of cycles beyond the fence point.
+        assert!(stats.cycles - before < 30, "warm loads too slow");
+        assert_eq!(stats.l1.hits, 10);
+    }
+
+    #[test]
+    fn gather_costs_at_least_paper_floor() {
+        let mut e = engine();
+        // Warm the lines first.
+        for i in 0..4u64 {
+            e.load(0x2000 + i * 8, 8);
+        }
+        e.fence();
+        let t0 = e.stats_so_far().cycles;
+        let addrs: Vec<u64> = (0..4u64).map(|i| 0x2000 + i * 8).collect();
+        let done = e.push(Inst::gather(addrs, 8, &[], 0));
+        // All-hit AVX2 gather ≥ 22 cycles (paper §III-A).
+        assert!(done - t0 >= 22, "gather latency {} < 22", done - t0);
+    }
+
+    #[test]
+    fn gather_is_slower_than_vector_load() {
+        let mut e1 = engine();
+        let addrs: Vec<u64> = (0..4u64).map(|i| 0x3000 + i * 8).collect();
+        e1.push(Inst::gather(addrs, 8, &[], 0));
+        let g = e1.finish();
+
+        let mut e2 = engine();
+        e2.load(0x3000, 32);
+        let l = e2.finish();
+        assert!(g.cycles > l.cycles);
+    }
+
+    #[test]
+    fn custom_op_requires_custom_unit() {
+        let mut e = engine_with_custom();
+        let done = e.custom_op(1, 3, false, &[]);
+        let _ = done;
+        let stats = e.finish();
+        assert_eq!(stats.custom_ops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no custom unit")]
+    fn custom_op_panics_on_baseline() {
+        let mut e = engine();
+        e.custom_op(1, 3, false, &[]);
+    }
+
+    #[test]
+    fn at_commit_waits_for_older_noncustom() {
+        let mut e = engine_with_custom();
+        // A slow cold load...
+        e.load(0xdead_000, 8);
+        // ...blocks the commit-serialized custom op even without a register
+        // dependence.
+        let done = e.push(Inst::custom(1, 1, true, &[], None));
+        assert!(
+            done > MemConfig::default().dram_latency as u64,
+            "at_commit op finished at {done}, before the cold load"
+        );
+    }
+
+    #[test]
+    fn at_commit_custom_ops_pipeline_among_themselves() {
+        let mut e = engine_with_custom();
+        // Many commit-serialized custom ops with occupancy 1, latency 10:
+        // they pipeline (1/cycle), so 50 ops take ~60 cycles, not 500.
+        for _ in 0..50 {
+            e.push(Inst::custom(1, 10, true, &[], None));
+        }
+        let stats = e.finish();
+        assert!(stats.cycles < 150, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn non_commit_custom_issues_early() {
+        // A non-at_commit custom op should not wait for an older slow load.
+        let mut e = engine_with_custom();
+        e.load(0xbeef_000, 8);
+        let done = e.push(Inst::custom(1, 1, false, &[], None));
+        assert!(done < MemConfig::default().dram_latency as u64);
+    }
+
+    #[test]
+    fn fence_serializes() {
+        let mut e = engine();
+        e.load(0x8000_000, 8); // cold: slow
+        e.fence();
+        let r = e.scalar_op(AluKind::Int, &[]);
+        let _ = r;
+        let stats = e.finish();
+        let dram = MemConfig::default().dram_latency as u64;
+        assert!(stats.cycles > dram, "post-fence work started too early");
+    }
+
+    #[test]
+    fn store_load_dependency_through_registers() {
+        let mut e = engine();
+        let v = e.load(0x100, 8);
+        e.store(0x200, 8, &[v]);
+        // Model store-to-load forwarding delay by passing the stored value
+        // register as a dep of the reload.
+        let reload = e.load_dep(0x200, 8, &[v]);
+        let _ = reload;
+        let stats = e.finish();
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.stores, 1);
+    }
+
+    #[test]
+    fn multi_line_vector_load_touches_two_lines() {
+        let mut e = engine();
+        e.load(0x1000 - 8, 32); // crosses a 64B boundary
+        let stats = e.finish();
+        assert_eq!(stats.l1.misses, 2);
+    }
+
+    #[test]
+    fn stats_count_op_classes() {
+        let mut e = engine_with_custom();
+        e.scalar_op(AluKind::Int, &[]);
+        e.vec_op(VecOpKind::Fma, &[]);
+        e.load(0x100, 8);
+        e.store(0x200, 8, &[]);
+        e.push(Inst::gather(vec![0x300, 0x400], 8, &[], 1));
+        e.push(Inst::scatter(vec![0x500], 8, &[]));
+        e.custom_op(1, 1, false, &[]);
+        let stats = e.finish();
+        assert_eq!(stats.scalar_ops, 1);
+        assert_eq!(stats.vector_ops, 1);
+        assert_eq!(stats.loads, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.gathers, 1);
+        assert_eq!(stats.scatters, 1);
+        assert_eq!(stats.indexed_elems, 3);
+        assert_eq!(stats.custom_ops, 1);
+        assert_eq!(stats.instructions, 7);
+    }
+
+    #[test]
+    fn commit_width_bounds_ipc() {
+        let mut e = engine();
+        for _ in 0..1000 {
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        let stats = e.finish();
+        assert!(stats.ipc() <= CoreConfig::default().commit_width as f64 + 0.1);
+    }
+
+    #[test]
+    fn predictable_branches_are_cheap() {
+        // Always-taken branch: the 2-bit counter locks on after warmup.
+        let mut e = engine();
+        for _ in 0..200 {
+            let r = e.scalar_op(AluKind::Int, &[]);
+            e.branch(true, 7, &[r]);
+        }
+        let stats = e.finish();
+        assert!(
+            stats.mispredicts <= 1,
+            "mispredicts = {}",
+            stats.mispredicts
+        );
+        assert!(stats.cycles < 200, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn alternating_branches_pay_penalties() {
+        let mut e = engine();
+        for i in 0..200 {
+            let r = e.scalar_op(AluKind::Int, &[]);
+            e.branch(i % 2 == 0, 9, &[r]);
+        }
+        let stats = e.finish();
+        assert!(
+            stats.mispredicts > 50,
+            "alternating pattern should mispredict often: {}",
+            stats.mispredicts
+        );
+        // Each mispredict costs ~resolve + penalty.
+        assert!(stats.cycles > 200 * 5, "cycles = {}", stats.cycles);
+    }
+
+    #[test]
+    fn mispredict_cost_includes_late_resolve() {
+        // A branch depending on a cold load resolves late; the redirect
+        // pushes fetch past the miss latency.
+        let mut e = engine();
+        let r = e.load(0x900_0000, 8);
+        e.branch(false, 11, &[r]); // counter starts weakly-taken → mispredict
+        e.scalar_op(AluKind::Int, &[]);
+        let stats = e.finish();
+        assert!(
+            stats.cycles > MemConfig::default().dram_latency as u64,
+            "cycles = {}",
+            stats.cycles
+        );
+        assert_eq!(stats.mispredicts, 1);
+    }
+
+    #[test]
+    fn delay_adds_latency_to_dependents() {
+        let mut e = engine();
+        let r = e.scalar_op(AluKind::Int, &[]);
+        let d = e.delay(50, &[r]);
+        let done = e.push(Inst::scalar(AluKind::Int, &[d], None));
+        assert!(done >= 51, "dependent completed at {done}");
+    }
+
+    #[test]
+    fn timeline_records_lifecycles() {
+        let mut e = engine();
+        e.enable_timeline(4);
+        for i in 0..10u64 {
+            let r = e.load(0x1000 + i * 64, 8);
+            e.scalar_op(AluKind::FpAdd, &[r]);
+        }
+        let timeline = e.timeline().expect("enabled");
+        assert_eq!(timeline.len(), 4); // bounded window
+        for entry in timeline.entries() {
+            assert!(entry.fetch <= entry.ready);
+            assert!(entry.ready <= entry.complete);
+            assert!(entry.complete <= entry.commit);
+        }
+        let rendered = timeline.render();
+        assert!(rendered.contains("load") || rendered.contains("scalar"));
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut e = engine();
+            for i in 0..100u64 {
+                let r = e.load(0x1000 + (i * 192) % 4096, 8);
+                e.scalar_op(AluKind::FpAdd, &[r]);
+            }
+            e.finish()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,149 @@
+//! Run statistics collected by the engine and memory system.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit at this level.
+    pub hits: u64,
+    /// Accesses that missed and were filled from below.
+    pub misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses at this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Statistics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total cycles (commit time of the last instruction).
+    pub cycles: u64,
+    /// Dynamic instructions retired.
+    pub instructions: u64,
+    /// Scalar ALU ops.
+    pub scalar_ops: u64,
+    /// Vector ALU ops.
+    pub vector_ops: u64,
+    /// Unit-stride loads.
+    pub loads: u64,
+    /// Unit-stride stores.
+    pub stores: u64,
+    /// Gather instructions.
+    pub gathers: u64,
+    /// Scatter instructions.
+    pub scatters: u64,
+    /// Total gather/scatter element accesses.
+    pub indexed_elems: u64,
+    /// Data-dependent branches executed.
+    pub branches: u64,
+    /// Branches the 2-bit predictor got wrong.
+    pub mispredicts: u64,
+    /// Custom-unit (VIA) instructions.
+    pub custom_ops: u64,
+    /// Cycles the custom unit spent occupied.
+    pub custom_busy_cycles: u64,
+    /// L1 data cache counters.
+    pub l1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L3 counters.
+    pub l3: CacheStats,
+    /// Bytes read from DRAM (line fills).
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM (writebacks).
+    pub dram_write_bytes: u64,
+    /// Cycles the DRAM channel was busy transferring data.
+    pub dram_busy_cycles: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Achieved DRAM bandwidth in bytes per cycle.
+    pub fn dram_bandwidth(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_bytes() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles the DRAM channel was busy.
+    pub fn dram_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.dram_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_ratios() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn run_stats_derived_metrics() {
+        let s = RunStats {
+            cycles: 100,
+            instructions: 250,
+            dram_read_bytes: 640,
+            dram_write_bytes: 360,
+            dram_busy_cycles: 50,
+            ..RunStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(s.dram_bytes(), 1000);
+        assert!((s.dram_bandwidth() - 10.0).abs() < 1e-12);
+        assert!((s.dram_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_does_not_divide_by_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.dram_bandwidth(), 0.0);
+        assert_eq!(s.dram_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Optional per-instruction lifecycle recording (a gem5-style pipeline
+//! trace) for debugging kernels and the model itself.
+//!
+//! Recording is off by default (the experiment sweeps retire millions of
+//! instructions); enable it with [`crate::Engine::enable_timeline`] and a
+//! bounded capacity — the engine keeps the most recent entries.
+
+use std::collections::VecDeque;
+
+/// One retired instruction's lifecycle timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Dynamic instruction number (0-based).
+    pub index: u64,
+    /// Compact operation tag (e.g. `"load"`, `"gather"`, `"custom"`).
+    pub kind: &'static str,
+    /// Cycle the instruction entered the window.
+    pub fetch: u64,
+    /// Cycle all source operands were ready.
+    pub ready: u64,
+    /// Cycle the result became available.
+    pub complete: u64,
+    /// Cycle the instruction committed.
+    pub commit: u64,
+}
+
+impl TimelineEntry {
+    /// Cycles spent waiting for operands after fetch.
+    pub fn wait_cycles(&self) -> u64 {
+        self.ready.saturating_sub(self.fetch)
+    }
+
+    /// Execution latency (ready → complete).
+    pub fn exec_cycles(&self) -> u64 {
+        self.complete.saturating_sub(self.ready)
+    }
+}
+
+/// A bounded ring of the most recent [`TimelineEntry`] records.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    capacity: usize,
+    entries: VecDeque<TimelineEntry>,
+}
+
+impl Timeline {
+    /// A timeline keeping at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Timeline {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Records one entry, evicting the oldest when full.
+    pub fn record(&mut self, entry: TimelineEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TimelineEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the recorded window as an aligned text table
+    /// (`idx kind fetch ready complete commit`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("   idx  kind      fetch    ready complete   commit\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:>6}  {:<8} {:>7} {:>8} {:>8} {:>8}\n",
+                e.index, e.kind, e.fetch, e.ready, e.complete, e.commit
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(index: u64) -> TimelineEntry {
+        TimelineEntry {
+            index,
+            kind: "load",
+            fetch: index,
+            ready: index + 1,
+            complete: index + 5,
+            commit: index + 6,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Timeline::new(3);
+        for i in 0..5 {
+            t.record(entry(i));
+        }
+        assert_eq!(t.len(), 3);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.index, 2);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Timeline::new(0);
+        t.record(entry(0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let e = entry(10);
+        assert_eq!(e.wait_cycles(), 1);
+        assert_eq!(e.exec_cycles(), 4);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut t = Timeline::new(4);
+        t.record(entry(7));
+        let text = t.render();
+        assert!(text.contains("load"));
+        assert!(text.contains('7'));
+        assert!(text.starts_with("   idx"));
+    }
+}

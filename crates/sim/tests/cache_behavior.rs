@@ -1,0 +1,182 @@
+//! Behavioural tests of the memory hierarchy through the engine: working
+//! sets, conflict misses, writeback pressure, and the interactions the
+//! kernels depend on.
+
+use via_sim::prog::AluKind;
+use via_sim::{CacheConfig, CoreConfig, Engine, MemConfig, RunStats};
+
+fn run_accesses(addrs: &[u64], mem: MemConfig) -> RunStats {
+    let mut e = Engine::new(CoreConfig::default(), mem);
+    for &a in addrs {
+        e.load(a, 8);
+    }
+    e.finish()
+}
+
+fn stream(base: u64, lines: usize) -> Vec<u64> {
+    (0..lines as u64).map(|i| base + i * 64).collect()
+}
+
+#[test]
+fn l1_resident_working_set_hits_after_warmup() {
+    // 16 KB working set fits the 32 KB L1.
+    let addrs: Vec<u64> = stream(0x10000, 256)
+        .into_iter()
+        .chain(stream(0x10000, 256))
+        .collect();
+    let stats = run_accesses(&addrs, MemConfig::default());
+    assert_eq!(stats.l1.misses, 256, "first pass misses each line once");
+    assert_eq!(stats.l1.hits, 256, "second pass hits everything");
+}
+
+#[test]
+fn l2_resident_working_set_spills_l1_but_not_l2() {
+    // 128 KB working set: spills the 32 KB L1, fits the 256 KB L2.
+    let pass = stream(0x100000, 2048);
+    let addrs: Vec<u64> = pass.iter().chain(pass.iter()).copied().collect();
+    let stats = run_accesses(&addrs, MemConfig::default());
+    // Second pass misses L1 (evicted) but hits L2.
+    assert!(stats.l1.misses >= 4000, "both passes miss L1");
+    assert_eq!(stats.l3.accesses(), 2048, "only the first pass reaches L3");
+    assert_eq!(stats.dram_read_bytes, 2048 * 64);
+}
+
+#[test]
+fn conflict_misses_in_a_single_set() {
+    // 16 addresses mapping to one L1 set (stride = sets * line = 4 KB)
+    // with 8-way associativity: round-robin over 16 > 8 ways thrashes.
+    let addrs: Vec<u64> = (0..16u64)
+        .map(|i| 0x200000 + i * 4096)
+        .cycle()
+        .take(64)
+        .collect();
+    let stats = run_accesses(&addrs, MemConfig::default());
+    // LRU + 16 distinct lines in an 8-way set: every access misses L1.
+    assert_eq!(stats.l1.hits, 0, "true-LRU thrashing should never hit");
+    // But L2 (8-way, 512 sets, different indexing) holds them after fill.
+    assert!(stats.l2.hits > 0);
+}
+
+#[test]
+fn write_streams_produce_writeback_traffic() {
+    // Write (dirty) far more lines than the whole hierarchy holds; the
+    // evicted dirty lines must reach DRAM as writes.
+    let mem = MemConfig::default();
+    let total_lines = mem.l3.size_bytes / 64 * 2;
+    let mut e = Engine::new(CoreConfig::default(), mem);
+    let junk = e.fresh_reg();
+    for i in 0..total_lines as u64 {
+        e.store(0x1000000 + i * 64, 8, &[junk]);
+    }
+    let stats = e.finish();
+    assert!(
+        stats.dram_write_bytes > 0,
+        "dirty evictions must write back to DRAM"
+    );
+    assert!(stats.l1.writebacks > 0);
+}
+
+#[test]
+fn dram_bandwidth_bounds_streaming_rate() {
+    // Cold-stream 4 MB: the run can't finish faster than bytes/bandwidth.
+    let mem = MemConfig::default();
+    let lines = 65536usize; // 4 MB
+    let stats = run_accesses(&stream(0x2000000, lines), mem.clone());
+    let min_cycles = (lines as f64 * 64.0 / mem.dram_bytes_per_cycle) as u64;
+    assert!(
+        stats.cycles >= min_cycles,
+        "stream finished in {} cycles, below the bandwidth floor {}",
+        stats.cycles,
+        min_cycles
+    );
+    // And it should be within ~2x of that floor (the engine overlaps
+    // fetch/misses well for independent loads).
+    assert!(
+        stats.cycles < min_cycles * 2,
+        "stream at {} cycles is far off the bandwidth floor {}",
+        stats.cycles,
+        min_cycles
+    );
+}
+
+#[test]
+fn smaller_caches_miss_more() {
+    let small = MemConfig {
+        l1: CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+        },
+        ..MemConfig::default()
+    };
+    let pass = stream(0x300000, 256); // 16 KB
+    let addrs: Vec<u64> = pass.iter().chain(pass.iter()).copied().collect();
+    let big = run_accesses(&addrs, MemConfig::default());
+    let small = run_accesses(&addrs, small);
+    assert!(small.l1.misses > big.l1.misses);
+}
+
+#[test]
+fn dependent_pointer_chase_pays_serial_latency() {
+    // A chain of dependent loads over cold lines: each waits for the
+    // previous, so total time ≈ chain length × DRAM latency.
+    let mem = MemConfig::default();
+    let mut e = Engine::new(CoreConfig::default(), mem.clone());
+    let mut dep = e.load(0x4000000, 8);
+    let n = 32u64;
+    for i in 1..n {
+        dep = e.load_dep(0x4000000 + i * 4096, 8, &[dep]);
+    }
+    let stats = e.finish();
+    let serial_floor = (n - 1) * mem.dram_latency as u64;
+    assert!(
+        stats.cycles >= serial_floor,
+        "pointer chase at {} cycles, below serial floor {}",
+        stats.cycles,
+        serial_floor
+    );
+}
+
+#[test]
+fn independent_misses_overlap() {
+    // The same 32 cold lines accessed independently complete far faster
+    // than the dependent chase.
+    let mem = MemConfig::default();
+    let addrs: Vec<u64> = (0..32u64).map(|i| 0x5000000 + i * 4096).collect();
+    let stats = run_accesses(&addrs, mem.clone());
+    let serial = 32 * mem.dram_latency as u64;
+    assert!(
+        stats.cycles < serial / 2,
+        "independent misses at {} cycles should overlap well below {}",
+        stats.cycles,
+        serial
+    );
+}
+
+#[test]
+fn scalar_compute_between_misses_is_free() {
+    // Interleaving ALU work with independent misses should not lengthen
+    // the run meaningfully (latency hiding).
+    let mem = MemConfig::default();
+    let mut plain = Engine::new(CoreConfig::default(), mem.clone());
+    for i in 0..64u64 {
+        plain.load(0x6000000 + i * 4096, 8);
+    }
+    let plain = plain.finish();
+
+    let mut mixed = Engine::new(CoreConfig::default(), mem);
+    for i in 0..64u64 {
+        mixed.load(0x6000000 + i * 4096, 8);
+        for _ in 0..3 {
+            mixed.scalar_op(AluKind::Int, &[]);
+        }
+    }
+    let mixed = mixed.finish();
+    assert!(
+        (mixed.cycles as f64) < plain.cycles as f64 * 1.3,
+        "hidden ALU work blew up the runtime: {} vs {}",
+        mixed.cycles,
+        plain.cycles
+    );
+}

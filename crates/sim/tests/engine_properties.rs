@@ -1,0 +1,156 @@
+//! Property tests over the timing engine: determinism, lower bounds, and
+//! monotonicity under arbitrary instruction streams.
+
+use proptest::prelude::*;
+use via_sim::prog::{AluKind, VecOpKind};
+use via_sim::{CoreConfig, Engine, MemConfig, RunStats};
+
+/// A generatable instruction template (registers are assigned when the
+/// stream is replayed so dependences stay valid).
+#[derive(Debug, Clone)]
+enum Template {
+    Scalar { dep_on_prev: bool },
+    Vec { dep_on_prev: bool },
+    Load { addr: u32, bytes_log: u8 },
+    Store { addr: u32 },
+    GatherOf { base: u32, stride: u8 },
+    Branch { taken: bool, site: u8 },
+    Delay { cycles: u8 },
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Template>> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::bool::ANY.prop_map(|d| Template::Scalar { dep_on_prev: d }),
+            proptest::bool::ANY.prop_map(|d| Template::Vec { dep_on_prev: d }),
+            (0u32..1 << 16, 3u8..6).prop_map(|(addr, b)| Template::Load { addr, bytes_log: b }),
+            (0u32..1 << 16).prop_map(|addr| Template::Store { addr }),
+            (0u32..1 << 14, 1u8..32).prop_map(|(base, stride)| Template::GatherOf { base, stride }),
+            (proptest::bool::ANY, 0u8..4)
+                .prop_map(|(taken, site)| Template::Branch { taken, site }),
+            (1u8..40).prop_map(|cycles| Template::Delay { cycles }),
+        ],
+        1..200,
+    )
+}
+
+fn replay(stream: &[Template], core: CoreConfig, mem: MemConfig) -> RunStats {
+    let mut e = Engine::new(core, mem);
+    let mut prev = None;
+    for t in stream {
+        let deps: Vec<u32> = prev.into_iter().collect();
+        let next = match t {
+            Template::Scalar { dep_on_prev } => {
+                let d = if *dep_on_prev { deps.as_slice() } else { &[] };
+                Some(e.scalar_op(AluKind::FpAdd, d))
+            }
+            Template::Vec { dep_on_prev } => {
+                let d = if *dep_on_prev { deps.as_slice() } else { &[] };
+                Some(e.vec_op(VecOpKind::Fma, d))
+            }
+            Template::Load { addr, bytes_log } => {
+                Some(e.load(0x10000 + *addr as u64, 1 << bytes_log))
+            }
+            Template::Store { addr } => {
+                e.store(0x10000 + *addr as u64, 8, &deps);
+                None
+            }
+            Template::GatherOf { base, stride } => {
+                let addrs: Vec<u64> = (0..4u64)
+                    .map(|i| 0x10000 + *base as u64 + i * *stride as u64 * 8)
+                    .collect();
+                Some(e.gather(addrs, 8, &deps))
+            }
+            Template::Branch { taken, site } => {
+                e.branch(*taken, *site as u32, &deps);
+                None
+            }
+            Template::Delay { cycles } => Some(e.delay(*cycles as u32, &deps)),
+        };
+        if next.is_some() {
+            prev = next;
+        }
+    }
+    e.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_is_deterministic(stream in arb_stream()) {
+        let a = replay(&stream, CoreConfig::default(), MemConfig::default());
+        let b = replay(&stream, CoreConfig::default(), MemConfig::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycles_respect_commit_width(stream in arb_stream()) {
+        let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
+        let floor = stats.instructions / CoreConfig::default().commit_width as u64;
+        prop_assert!(
+            stats.cycles >= floor,
+            "cycles {} below commit floor {}",
+            stats.cycles,
+            floor
+        );
+        prop_assert_eq!(stats.instructions, stream.len() as u64);
+    }
+
+    #[test]
+    fn wider_machine_is_rarely_meaningfully_slower(stream in arb_stream()) {
+        // Scheduling anomalies make strict monotonicity false on real
+        // out-of-order machines and in this model (earlier issue can
+        // reorder cache state); allow a small tolerance.
+        let narrow = CoreConfig {
+            fetch_width: 2,
+            commit_width: 2,
+            scalar_alus: 1,
+            vector_alus: 1,
+            load_ports: 1,
+            ..CoreConfig::default()
+        };
+        let slow = replay(&stream, narrow, MemConfig::default());
+        let fast = replay(&stream, CoreConfig::default(), MemConfig::default());
+        prop_assert!(
+            fast.cycles as f64 <= slow.cycles as f64 * 1.05 + 50.0,
+            "wider machine much slower: {} > {}",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn faster_memory_is_rarely_meaningfully_slower(stream in arb_stream()) {
+        let slow_mem = MemConfig {
+            dram_latency: 400,
+            dram_bytes_per_cycle: 4.0,
+            ..MemConfig::default()
+        };
+        let slow = replay(&stream, CoreConfig::default(), slow_mem);
+        let fast = replay(&stream, CoreConfig::default(), MemConfig::default());
+        prop_assert!(
+            fast.cycles as f64 <= slow.cycles as f64 * 1.05 + 50.0,
+            "faster DRAM much slower: {} > {}",
+            fast.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicts_never_exceed_branches(stream in arb_stream()) {
+        let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
+        prop_assert!(stats.mispredicts <= stats.branches);
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(stream in arb_stream()) {
+        let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
+        // L2 demand accesses are L1 misses (writebacks are tracked
+        // separately and not counted as demand).
+        prop_assert_eq!(stats.l2.accesses(), stats.l1.misses);
+        prop_assert_eq!(stats.l3.accesses(), stats.l2.misses);
+        // DRAM reads are L3 miss fills (one line each).
+        prop_assert_eq!(stats.dram_read_bytes, stats.l3.misses * 64);
+    }
+}

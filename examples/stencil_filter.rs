@@ -1,0 +1,53 @@
+//! Gaussian convolution filter (paper §IV-F2 / Figure 12.b): blur an
+//! image with the 4x4 binomial kernel, with the image segment staged in
+//! the SSPM.
+//!
+//! ```sh
+//! cargo run --release --example stencil_filter
+//! ```
+
+use via::kernels::{stencil, SimContext};
+
+fn main() {
+    let side = 128usize;
+    // A synthetic image: a bright diagonal stripe on a dark background.
+    let image: Vec<f64> = (0..side * side)
+        .map(|i| {
+            let (x, y) = ((i % side) as isize, (i / side) as isize);
+            if (x - y).abs() < 6 {
+                1.0
+            } else {
+                0.1
+            }
+        })
+        .collect();
+    let filter = stencil::gaussian4();
+    println!("{side}x{side} image, 4x4 Gaussian filter");
+
+    let ctx = SimContext::default();
+    let scalar = stencil::scalar(&image, side, side, &filter, &ctx);
+    let vector = stencil::vector(&image, side, side, &filter, &ctx);
+    let via = stencil::via(&image, side, side, &filter, &ctx);
+
+    // The VIA result came out of the scratchpad datapath; check it blurred
+    // the stripe the same way the scalar code did.
+    assert!(via::formats::vec_approx_eq(
+        &scalar.output,
+        &via.output,
+        1e-9
+    ));
+    let center = via.output[(side / 2) * side + side / 2];
+    let corner = via.output[side + 1];
+    println!("blurred stripe center {center:.3}, background {corner:.3}\n");
+
+    println!("scalar baseline: {:>9} cycles", scalar.stats.cycles);
+    println!("vector baseline: {:>9} cycles", vector.stats.cycles);
+    println!(
+        "VIA (SSPM):      {:>9} cycles ({} VIA instructions)",
+        via.stats.cycles, via.stats.custom_ops
+    );
+    println!(
+        "\nVIA speedup vs scalar: {:.2}x (paper: 3.39x vs its VIA-oblivious baseline)",
+        scalar.stats.cycles as f64 / via.stats.cycles as f64
+    );
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the VIA reproduction's public API.
+pub use via_core as core;
+pub use via_energy as energy;
+pub use via_formats as formats;
+pub use via_kernels as kernels;
+pub use via_sim as sim;

@@ -1,0 +1,134 @@
+//! Shape tests for the paper's headline results: the reproduction must
+//! preserve *who wins and roughly by how much* on representative inputs
+//! (the full sweeps live in the `via-bench` binaries).
+
+use via::formats::{gen, Csb};
+use via::kernels::{histogram, spma, spmm, spmv, stencil, SimContext};
+
+#[test]
+fn via_csb_spmv_wins_big_on_clustered_matrices() {
+    // Paper §VII-A: 4.22x average, larger on dense-block matrices.
+    let ctx = SimContext::default();
+    let a = gen::blocked(768, 16, 180, 0.5, 21);
+    let x = gen::dense_vector(a.cols(), 22);
+    let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
+    let base = spmv::csb_software(&csb, &x, &ctx);
+    let via = spmv::via_csb(&csb, &x, &ctx);
+    let speedup = base.cycles() as f64 / via.cycles() as f64;
+    assert!(
+        speedup > 2.0,
+        "VIA-CSB speedup {speedup:.2} below the paper's band"
+    );
+}
+
+#[test]
+fn via_gains_grow_with_block_density() {
+    // The Figure 10 trend: denser CSB blocks amortize the x-chunk preload.
+    let ctx = SimContext::default();
+    let speedup = |a: &via::formats::Csr| {
+        let x = gen::dense_vector(a.cols(), 1);
+        let csb = Csb::from_csr(a, ctx.via.csb_block_size()).unwrap();
+        spmv::csb_software(&csb, &x, &ctx).cycles() as f64
+            / spmv::via_csb(&csb, &x, &ctx).cycles() as f64
+    };
+    let sparse_blocks = gen::uniform(512, 512, 0.004, 31);
+    let dense_blocks = gen::blocked(512, 16, 200, 0.6, 32);
+    assert!(
+        speedup(&dense_blocks) > speedup(&sparse_blocks) * 0.9,
+        "denser blocks should not benefit less: {:.2} vs {:.2}",
+        speedup(&dense_blocks),
+        speedup(&sparse_blocks)
+    );
+}
+
+#[test]
+fn via_spma_beats_merge_by_paper_band() {
+    // Paper §VII-B: 6.14x average; denser rows gain more. Require > 2x on
+    // a moderately dense pair.
+    let ctx = SimContext::default();
+    let a = gen::uniform(512, 512, 0.02, 41);
+    let b = gen::perturb_structure(&a, 0.6, 0.5, 42);
+    let base = spma::merge_csr(&a, &b, &ctx);
+    let via = spma::via_cam(&a, &b, &ctx);
+    let speedup = base.cycles() as f64 / via.cycles() as f64;
+    assert!(speedup > 2.0, "SpMA speedup {speedup:.2}");
+}
+
+#[test]
+fn via_spmm_beats_inner_product_by_paper_band() {
+    // Paper §VII-C: 6.00x average. Require > 3x.
+    let ctx = SimContext::default();
+    let a = gen::uniform(160, 160, 0.05, 51);
+    let b = gen::uniform(160, 160, 0.05, 52).to_csc();
+    let base = spmm::inner_product(&a, &b, &ctx);
+    let via = spmm::via_cam(&a, &b, &ctx);
+    let speedup = base.cycles() as f64 / via.cycles() as f64;
+    assert!(speedup > 3.0, "SpMM speedup {speedup:.2}");
+}
+
+#[test]
+fn histogram_ordering_matches_figure_12a() {
+    // VIA > vector > scalar (paper: 5.49x and 4.51x over scalar/vector).
+    let ctx = SimContext::default();
+    let keys: Vec<u32> = (0..6000u32)
+        .map(|i| (i.wrapping_mul(2654435761)) % 256)
+        .collect();
+    let s = histogram::scalar(&keys, 256, &ctx).cycles();
+    let v = histogram::vector_cd(&keys, 256, &ctx).cycles();
+    let w = histogram::via(&keys, 256, &ctx).cycles();
+    assert!(w < v, "VIA ({w}) must beat vector ({v})");
+    assert!(v < s, "vector ({v}) must beat scalar ({s})");
+    assert!(s as f64 / w as f64 > 2.0, "VIA vs scalar below band");
+}
+
+#[test]
+fn stencil_beats_scalar_baseline() {
+    // Paper §VII-D: 3.39x over the VIA-oblivious baseline. Require > 1.5x.
+    let ctx = SimContext::default();
+    let side = 96;
+    let image: Vec<f64> = gen::dense_vector(side * side, 61)
+        .iter()
+        .map(|v| v.abs())
+        .collect();
+    let filter = stencil::gaussian4();
+    let base = stencil::scalar(&image, side, side, &filter, &ctx);
+    let via = stencil::via(&image, side, side, &filter, &ctx);
+    let speedup = base.cycles() as f64 / via.cycles() as f64;
+    assert!(speedup > 1.5, "stencil speedup {speedup:.2}");
+}
+
+#[test]
+fn dse_ordering_matches_figure_9() {
+    // 16_4p must be the best configuration and 4_2p the worst (or tied):
+    // the Figure 9 ordering.
+    let a = gen::blocked(2048, 16, 700, 0.5, 71);
+    let x = gen::dense_vector(a.cols(), 72);
+    let mut cycles = std::collections::HashMap::new();
+    for config in via::core::ViaConfig::dse_points() {
+        let ctx = SimContext::with_via(config);
+        let csb = Csb::from_csr(&a, config.csb_block_size()).unwrap();
+        cycles.insert(config.name(), spmv::via_csb(&csb, &x, &ctx).cycles());
+    }
+    assert!(
+        cycles["16_4p"] <= cycles["4_2p"],
+        "16_4p ({}) should not lose to 4_2p ({})",
+        cycles["16_4p"],
+        cycles["4_2p"]
+    );
+    assert!(cycles["16_2p"] <= cycles["4_2p"]);
+}
+
+#[test]
+fn via_csb_eliminates_indexed_memory_ops_and_cuts_dram_traffic() {
+    // The mechanism behind the §VII-A bandwidth claim: no gathers, less
+    // partial-result traffic.
+    let ctx = SimContext::default();
+    let a = gen::blocked(512, 16, 150, 0.5, 81);
+    let x = gen::dense_vector(a.cols(), 82);
+    let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
+    let base = spmv::csr_vec(&a, &x, &ctx);
+    let via = spmv::via_csb(&csb, &x, &ctx);
+    assert!(base.stats.indexed_elems > 0);
+    assert_eq!(via.stats.indexed_elems, 0);
+    assert!(via.stats.dram_bytes() <= base.stats.dram_bytes());
+}
