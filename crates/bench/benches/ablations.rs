@@ -1,17 +1,16 @@
 //! Ablation bench: prints the design-decision sweeps, then measures one
-//! representative ablation under criterion.
+//! representative ablation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::{ablations, ExperimentScale};
+use via_bench::{ablations, microbench, ExperimentScale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale {
         matrices: 1,
         min_rows: 128,
         max_rows: 256,
         density_range: (0.005, 0.02),
         seed: 1,
+        ..ExperimentScale::quick()
     };
     eprintln!("\n[ablations quick]");
     for ab in ablations::all(&scale) {
@@ -20,10 +19,7 @@ fn bench(c: &mut Criterion) {
             eprintln!("    {:<38} {:>9} cyc ({:.3}x)", p.knob, p.cycles, p.relative);
         }
     }
-    c.bench_function("ablation_commit_serialization", |b| {
-        b.iter(|| black_box(ablations::commit_serialization(black_box(&scale))))
+    microbench::bench("ablation_commit_serialization", || {
+        ablations::commit_serialization(&scale)
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,8 @@
 //! Table II bench: area/leakage model vs the paper's synthesis results.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::table2_area;
+use via_bench::{microbench, table2_area};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     eprintln!("\n[table2/area] model vs paper synthesis (22 nm):");
     for (p, area, leak) in table2_area() {
         eprintln!(
@@ -19,8 +17,5 @@ fn bench(c: &mut Criterion) {
             (leak / p.leakage_mw - 1.0) * 100.0,
         );
     }
-    c.bench_function("table2_area_model", |b| b.iter(|| black_box(table2_area())));
+    microbench::bench("table2_area_model", table2_area);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

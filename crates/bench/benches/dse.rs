@@ -1,10 +1,8 @@
 //! Figure 9 bench: SSPM size/port design-space exploration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::{fig9_dse, ExperimentScale};
+use via_bench::{fig9_dse, microbench, ExperimentScale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = fig9_dse(&ExperimentScale::quick());
     eprintln!(
         "\n[fig9/dse quick suite] paper: SpMV +2/+26/+33%, SpMA +4/+16/+20%, SpMM +8/+5/+11%"
@@ -21,11 +19,7 @@ fn bench(c: &mut Criterion) {
         max_rows: 160,
         density_range: (0.001, 0.026),
         seed: 4,
+        ..ExperimentScale::quick()
     };
-    c.bench_function("fig9_dse_tiny_suite", |b| {
-        b.iter(|| black_box(fig9_dse(black_box(&tiny))))
-    });
+    microbench::bench("fig9_dse_tiny_suite", || fig9_dse(&tiny));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,9 @@
 //! Figure 12.a bench: histogram scalar/vector/VIA.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::fig12a_histogram;
+use via_bench::{fig12a_histogram, microbench};
 use via_formats::stats::geomean;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = fig12a_histogram(6000, 0x12a);
     eprintln!("\n[fig12a/histogram] paper: 5.49x vs scalar, 4.51x vs vector");
     for r in &rows {
@@ -21,10 +19,5 @@ fn bench(c: &mut Criterion) {
         geomean(&rows.iter().map(|r| r.vs_scalar()).collect::<Vec<_>>()),
         geomean(&rows.iter().map(|r| r.vs_vector()).collect::<Vec<_>>())
     );
-    c.bench_function("fig12a_histogram_small", |b| {
-        b.iter(|| black_box(fig12a_histogram(black_box(1500), 5)))
-    });
+    microbench::bench("fig12a_histogram_small", || fig12a_histogram(1500, 5));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

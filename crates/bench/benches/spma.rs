@@ -1,10 +1,8 @@
 //! Figure 11 bench: SpMA merge vs VIA CAM merge.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::{fig11_spma, ExperimentScale};
+use via_bench::{fig11_spma, microbench, ExperimentScale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (rows, mean) = fig11_spma(&ExperimentScale::quick());
     eprintln!("\n[fig11/spma quick suite] mean {:.2}x (paper 6.14x)", mean);
     for r in &rows {
@@ -16,11 +14,7 @@ fn bench(c: &mut Criterion) {
         max_rows: 192,
         density_range: (0.001, 0.026),
         seed: 2,
+        ..ExperimentScale::quick()
     };
-    c.bench_function("fig11_spma_tiny_suite", |b| {
-        b.iter(|| black_box(fig11_spma(black_box(&tiny))))
-    });
+    microbench::bench("fig11_spma_tiny_suite", || fig11_spma(&tiny));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,8 @@
 //! SpMM bench (paper §VII-C): inner product vs VIA CAM.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::{fig11_spmm, ExperimentScale};
+use via_bench::{fig11_spmm, microbench, ExperimentScale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (rows, mean) = fig11_spmm(&ExperimentScale::quick());
     eprintln!("\n[spmm quick suite] mean {:.2}x (paper 6.00x)", mean);
     for r in &rows {
@@ -16,11 +14,7 @@ fn bench(c: &mut Criterion) {
         max_rows: 128,
         density_range: (0.001, 0.026),
         seed: 3,
+        ..ExperimentScale::quick()
     };
-    c.bench_function("spmm_tiny_suite", |b| {
-        b.iter(|| black_box(fig11_spmm(black_box(&tiny))))
-    });
+    microbench::bench("spmm_tiny_suite", || fig11_spmm(&tiny));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,11 @@
 //! Figure 10 bench: SpMV across formats, baseline vs VIA.
 //!
 //! Prints the paper-comparison table on a quick suite, then measures the
-//! end-to-end experiment runtime under criterion.
+//! end-to-end experiment runtime.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::{fig10_spmv, ExperimentScale};
+use via_bench::{fig10_spmv, microbench, ExperimentScale};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let scale = ExperimentScale::quick();
     let result = fig10_spmv(&scale);
     eprintln!(
@@ -35,11 +33,7 @@ fn bench(c: &mut Criterion) {
         max_rows: 192,
         density_range: (0.001, 0.026),
         seed: 1,
+        ..ExperimentScale::quick()
     };
-    c.bench_function("fig10_spmv_tiny_suite", |b| {
-        b.iter(|| black_box(fig10_spmv(black_box(&tiny))))
-    });
+    microbench::bench("fig10_spmv_tiny_suite", || fig10_spmv(&tiny));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,11 +1,9 @@
 //! Figure 12.b bench: 4x4 Gaussian stencil scalar/vector/VIA.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use via_bench::fig12b_stencil;
+use via_bench::{fig12b_stencil, microbench};
 use via_formats::stats::geomean;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let rows = fig12b_stencil(&[64, 128], 0x12b);
     eprintln!("\n[fig12b/stencil] paper: 3.39x vs its VIA-oblivious baseline");
     for r in &rows {
@@ -20,10 +18,5 @@ fn bench(c: &mut Criterion) {
         "  mean vs scalar: {:.2}x",
         geomean(&rows.iter().map(|r| r.vs_scalar()).collect::<Vec<_>>())
     );
-    c.bench_function("fig12b_stencil_small", |b| {
-        b.iter(|| black_box(fig12b_stencil(black_box(&[48]), 7)))
-    });
+    microbench::bench("fig12b_stencil_small", || fig12b_stencil(&[48], 7));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -327,6 +327,7 @@ mod tests {
             max_rows: 256,
             density_range: (0.005, 0.02),
             seed: 1,
+            threads: 1,
         }
     }
 

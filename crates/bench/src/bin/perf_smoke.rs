@@ -1,0 +1,97 @@
+//! Simulator-throughput smoke benchmark.
+//!
+//! Re-runs two fixed workloads that were timed with the same harness
+//! *before* the engine hot-path overhaul (allocation-free instruction
+//! streams, flat predictor, cache fast path, lock-free sweep), then writes
+//! `BENCH_sim_throughput.json` with per-workload wall-clock, the recorded
+//! pre-overhaul baselines, the speedup over them, and the aggregate
+//! simulated-instruction throughput (MIPS).
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin perf_smoke [-- --out path.json]
+//! ```
+
+use std::time::Instant;
+use via_bench::{fig10_spmv, fig12a_histogram, ExperimentScale};
+
+/// Pre-overhaul wall-clock per iteration (ms), measured with
+/// `cargo bench -p via-bench` on the same workloads at the commit that
+/// introduced the golden cycle-count snapshots (the last point where the
+/// timing model and today's are bit-identical by test).
+const BASELINE_SPMV_TINY_MS: f64 = 7.472;
+const BASELINE_HISTOGRAM_MS: f64 = 16.257;
+
+/// The exact workloads the baselines were recorded on (see
+/// `benches/spmv.rs` and `benches/histogram.rs`).
+fn spmv_tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        matrices: 3,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 1,
+        ..ExperimentScale::quick()
+    }
+}
+
+/// Best-of-`reps` wall-clock in milliseconds, after one warmup call.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+
+    let probe = via_sim::ThroughputProbe::start();
+    let scale = spmv_tiny_scale();
+    let spmv_ms = best_ms(9, || fig10_spmv(&scale));
+    let hist_ms = best_ms(9, || fig12a_histogram(1500, 5));
+    let instructions = probe.instructions();
+    let wall_s = probe.elapsed().as_secs_f64();
+    let mips = probe.mips();
+
+    let workloads = [
+        ("fig10_spmv_tiny_suite", spmv_ms, BASELINE_SPMV_TINY_MS),
+        ("fig12a_histogram_small", hist_ms, BASELINE_HISTOGRAM_MS),
+    ];
+    let mut entries = String::new();
+    for (i, (name, ms, base)) in workloads.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_ms\": {ms:.3}, \
+             \"pre_overhaul_ms\": {base:.3}, \"speedup\": {:.2}}}",
+            base / ms
+        ));
+        eprintln!(
+            "  {name:<24} {ms:>8.3} ms/iter (pre-overhaul {base:.3} ms, \
+             {:.2}x faster)",
+            base / ms
+        );
+    }
+    let json = format!(
+        "{{\n  \"workloads\": [\n{entries}\n  ],\n  \
+         \"simulated_instructions\": {instructions},\n  \
+         \"wall_seconds\": {wall_s:.3},\n  \"mips\": {mips:.2},\n  \
+         \"threads\": {}\n}}\n",
+        scale.threads
+    );
+    std::fs::write(&out_path, &json).expect("write throughput json");
+    eprintln!(
+        "  simulated {:.1}M instructions at {mips:.2} MIPS -> {out_path}",
+        instructions as f64 / 1e6
+    );
+}

@@ -26,9 +26,11 @@ fn main() {
         )
     );
     eprintln!(
-        "suite: {} matrices, {}..{} rows, seed {} (this takes a minute or two)",
-        scale.matrices, scale.min_rows, scale.max_rows, scale.seed
+        "suite: {} matrices, {}..{} rows, seed {}, {} threads (this takes a \
+         minute or two)",
+        scale.matrices, scale.min_rows, scale.max_rows, scale.seed, scale.threads
     );
+    let probe = via_sim::ThroughputProbe::start();
 
     let mut measured: Vec<(&'static str, f64)> = Vec::new();
 
@@ -104,5 +106,11 @@ fn main() {
         "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
          (of {})",
         measured.len()
+    );
+    println!(
+        "simulated {:.1}M instructions in {:.1}s — {:.2} MIPS",
+        probe.instructions() as f64 / 1e6,
+        probe.elapsed().as_secs_f64(),
+        probe.mips()
     );
 }

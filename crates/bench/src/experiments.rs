@@ -1,6 +1,6 @@
 //! One runner per paper table/figure.
 
-use crate::suite::{default_threads, parallel_map, ExperimentScale, Suite};
+use crate::suite::{parallel_map, ExperimentScale, Suite};
 use via_core::ViaConfig;
 use via_energy::{AreaModel, EnergyModel, SynthesisPoint, PAPER_SYNTHESIS};
 use via_formats::gen::GenMatrix;
@@ -28,7 +28,6 @@ pub fn fig9_dse(scale: &ExperimentScale) -> Vec<DseRow> {
     let spmv_suite = Suite::generate(scale);
     let spmm_scale = scale.spmm();
     let spmm_suite = Suite::generate(&spmm_scale);
-    let threads = default_threads();
 
     let configs = ViaConfig::dse_points();
     let mut per_config: Vec<(String, f64, f64, f64)> = Vec::new();
@@ -36,16 +35,16 @@ pub fn fig9_dse(scale: &ExperimentScale) -> Vec<DseRow> {
         let ctx = SimContext::with_via(config);
         // SpMV with CSB tuned to this config's scratchpad.
         let bs = config.csb_block_size();
-        let spmv_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, threads, |m| {
+        let spmv_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, scale.threads, |m| {
             let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
             let x = gen::dense_vector(m.csr.cols(), m.seed);
             spmv::via_csb(&csb, &x, &ctx).cycles() as f64
         });
-        let spma_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, threads, |m| {
+        let spma_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, scale.threads, |m| {
             let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
             spma::via_cam(&m.csr, &b, &ctx).cycles() as f64
         });
-        let spmm_cycles: Vec<f64> = parallel_map(&spmm_suite.matrices, threads, |m| {
+        let spmm_cycles: Vec<f64> = parallel_map(&spmm_suite.matrices, spmm_scale.threads, |m| {
             let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
             spmm::via_cam(&m.csr, &b, &ctx).cycles() as f64
         });
@@ -116,7 +115,6 @@ pub fn fig10_spmv(scale: &ExperimentScale) -> SpmvResult {
     let suite = Suite::generate(scale);
     let ctx = SimContext::default();
     let bs = ctx.via.csb_block_size();
-    let threads = default_threads();
     let vl = ctx.vl();
 
     struct PerMatrix {
@@ -126,7 +124,7 @@ pub fn fig10_spmv(scale: &ExperimentScale) -> SpmvResult {
         bandwidth_ratio: f64,
     }
 
-    let runs: Vec<PerMatrix> = parallel_map(&suite.matrices, threads, |m| {
+    let runs: Vec<PerMatrix> = parallel_map(&suite.matrices, scale.threads, |m| {
         let x = gen::dense_vector(m.csr.cols(), m.seed);
         let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
         let spc5_m = Spc5::from_csr(&m.csr, vl).expect("valid block height");
@@ -213,8 +211,7 @@ pub struct CategoryRow {
 pub fn fig11_spma(scale: &ExperimentScale) -> (Vec<CategoryRow>, f64) {
     let suite = Suite::generate(scale);
     let ctx = SimContext::default();
-    let threads = default_threads();
-    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, threads, |m| {
+    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, scale.threads, |m| {
         let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
         let base = spma::merge_csr(&m.csr, &b, &ctx);
         let via = spma::via_cam(&m.csr, &b, &ctx);
@@ -233,8 +230,7 @@ pub fn fig11_spmm(scale: &ExperimentScale) -> (Vec<CategoryRow>, f64) {
     let spmm_scale = scale.spmm();
     let suite = Suite::generate(&spmm_scale);
     let ctx = SimContext::default();
-    let threads = default_threads();
-    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, threads, |m| {
+    let runs: Vec<(f64, f64)> = parallel_map(&suite.matrices, spmm_scale.threads, |m| {
         let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
         let base = spmm::inner_product(&m.csr, &b, &ctx);
         let via = spmm::via_cam(&m.csr, &b, &ctx);
@@ -322,14 +318,12 @@ pub fn fig12a_histogram(keys_per_workload: usize, seed: u64) -> Vec<HistogramRow
 }
 
 fn uniform_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = via_rng::StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.random_range(0..nbins as u32)).collect()
 }
 
 fn skewed_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
-    use rand::{RngExt, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = via_rng::StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let u: f64 = rng.random_range(0.0..1.0);
@@ -416,6 +410,7 @@ mod tests {
             max_rows: 256,
             density_range: (0.001, 0.026),
             seed: 3,
+            threads: 2,
         }
     }
 
@@ -471,6 +466,7 @@ mod tests {
             max_rows: 192,
             density_range: (0.001, 0.026),
             seed: 5,
+            threads: 2,
         });
         assert_eq!(rows.len(), 4);
         let base = rows.iter().find(|r| r.config == "4_2p").unwrap();

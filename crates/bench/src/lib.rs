@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod microbench;
 pub mod paper;
 pub mod report;
 pub mod suite;

@@ -1,0 +1,48 @@
+//! A tiny self-contained timing harness for the `benches/` targets.
+//!
+//! The workspace's benches are `harness = false` programs that print a
+//! paper-comparison table and then time a representative workload. This
+//! module supplies the timing half without any external benchmarking
+//! dependency: auto-calibrated iteration counts, best-of-N reporting, and
+//! `std::hint::black_box` to keep the optimizer honest.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` and prints a `name: <ms>/iter` line.
+///
+/// Calibrates the iteration count until one batch takes at least ~50 ms
+/// (capped at 1,024 iterations for very fast bodies), then reports the
+/// best per-iteration time over three batches.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up: populate caches, fault in lazy pages.
+    black_box(f());
+
+    let mut iters: u32 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.05 || iters >= 1024 {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1024);
+    }
+
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    if best >= 1.0 {
+        eprintln!("bench {name:<32} {best:>10.3} s/iter ({iters} iters/batch)");
+    } else {
+        let ms = best * 1e3;
+        eprintln!("bench {name:<32} {ms:>10.3} ms/iter ({iters} iters/batch)");
+    }
+}

@@ -20,6 +20,9 @@ pub struct ExperimentScale {
     pub density_range: (f64, f64),
     /// Suite seed.
     pub seed: u64,
+    /// Worker threads for the per-matrix sweep (results are identical for
+    /// any thread count; see `parallel_map`).
+    pub threads: usize,
 }
 
 impl Default for ExperimentScale {
@@ -30,12 +33,13 @@ impl Default for ExperimentScale {
             max_rows: 2048,
             density_range: (0.0001, 0.026),
             seed: 0x1A5,
+            threads: default_threads(),
         }
     }
 }
 
 impl ExperimentScale {
-    /// A quick smoke-test scale (used by the criterion benches and CI).
+    /// A quick smoke-test scale (used by the wall-clock benches and CI).
     pub fn quick() -> Self {
         ExperimentScale {
             matrices: 8,
@@ -43,6 +47,7 @@ impl ExperimentScale {
             max_rows: 512,
             density_range: (0.001, 0.026),
             seed: 7,
+            threads: default_threads(),
         }
     }
 
@@ -54,6 +59,7 @@ impl ExperimentScale {
             max_rows: self.max_rows.min(384),
             density_range: self.density_range,
             seed: self.seed,
+            threads: self.threads,
         }
     }
 
@@ -67,11 +73,12 @@ impl ExperimentScale {
             max_rows: self.max_rows.max(3072),
             density_range: (0.01, 0.08),
             seed: self.seed,
+            threads: self.threads,
         }
     }
 
-    /// Parses `--matrices`, `--max-rows`, `--min-rows`, `--seed` from CLI
-    /// arguments, starting from `self` as defaults.
+    /// Parses `--matrices`, `--max-rows`, `--min-rows`, `--seed`, and
+    /// `--threads` from CLI arguments, starting from `self` as defaults.
     pub fn from_args(mut self, args: &[String]) -> Self {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -84,6 +91,7 @@ impl ExperimentScale {
                 "--matrices" => grab(&mut self.matrices),
                 "--max-rows" => grab(&mut self.max_rows),
                 "--min-rows" => grab(&mut self.min_rows),
+                "--threads" => grab(&mut self.threads),
                 "--seed" => {
                     if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
                         self.seed = v;
@@ -92,6 +100,7 @@ impl ExperimentScale {
                 _ => {}
             }
         }
+        self.threads = self.threads.max(1);
         self
     }
 }
@@ -131,7 +140,20 @@ impl Suite {
 
 /// Maps `f` over `items` on up to `threads` OS threads, preserving order.
 /// The engine is single-threaded per run; experiments parallelize across
-/// matrices.
+/// matrices. Results are identical for every thread count — only the
+/// schedule changes.
+///
+/// Workers claim item indices from a shared counter (dynamic load
+/// balancing: simulated matrices vary widely in cost) and each writes only
+/// the result slots it claimed, so completion needs no lock. The previous
+/// implementation funneled every completion through one global `Mutex`,
+/// which both serialized the sweep's hottest edge and converted a worker
+/// panic into a misleading lock-poisoning panic in the *other* workers;
+/// now a worker panic propagates as itself when the scope joins.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` after all workers have been joined.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -140,20 +162,32 @@ where
 {
     let threads = threads.max(1).min(items.len().max(1));
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_cell = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results_cell.lock().expect("no poison")[i] = Some(r);
-            });
+    if threads == 1 {
+        for (slot, item) in results.iter_mut().zip(items) {
+            *slot = Some(f(item));
         }
-    });
+    } else {
+        struct Slots<R>(*mut Option<R>);
+        // SAFETY: workers write disjoint slots (each index is claimed
+        // exactly once from the counter), and the Vec outlives the scope.
+        unsafe impl<R: Send> Sync for Slots<R> {}
+        let slots = Slots(results.as_mut_ptr());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (slots, next, f) = (&slots, &next, &f);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    // SAFETY: `i` was claimed exclusively above.
+                    unsafe { *slots.0.add(i) = Some(r) };
+                });
+            }
+        });
+    }
     results
         .into_iter()
         .map(|r| r.expect("worker filled every slot"))
@@ -206,6 +240,41 @@ mod tests {
         let items: Vec<usize> = vec![];
         let out: Vec<usize> = parallel_map(&items, 4, |&i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&i| {
+                if i == 7 {
+                    panic!("worker failure");
+                }
+                i
+            })
+        }));
+        assert!(
+            result.is_err(),
+            "a panic in a worker must reach the caller, not vanish or \
+             surface as lock poisoning"
+        );
+    }
+
+    #[test]
+    fn parallel_map_is_thread_count_invariant() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&items, 1, |&i| i * i + 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(parallel_map(&items, threads, |&i| i * i + 1), serial);
+        }
+    }
+
+    #[test]
+    fn threads_flag_is_parsed_and_clamped() {
+        let args: Vec<String> = ["--threads", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ExperimentScale::default().from_args(&args).threads, 3);
+        let zero: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(ExperimentScale::default().from_args(&zero).threads, 1);
     }
 
     #[test]

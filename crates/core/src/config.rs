@@ -1,7 +1,5 @@
 //! SSPM geometry and the paper's design-space points.
 
-use serde::{Deserialize, Serialize};
-
 /// VIA hardware configuration: SSPM size and port count, plus the fixed
 /// micro-architectural constants of the FIVU pipeline.
 ///
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// `{4, 8, 16} KB × {2, 4} ports`; configurations are conventionally named
 /// `<size>_<ports>p` (e.g. `16_2p`, the configuration the paper selects for
 /// the evaluation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ViaConfig {
     /// SSPM SRAM capacity in KiB.
     pub sspm_kb: usize,

@@ -9,11 +9,9 @@
 //! cycles" — modeled here as `ceil(accesses / ports)` occupancy slots.
 
 use crate::config::ViaConfig;
-use serde::{Deserialize, Serialize};
-
 /// The class of SSPM traffic a VIA instruction generates (selects search
 /// latency and per-lane access counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum SspmOpClass {
     /// Direct-mapped write of one entry per lane (`vldxload.d`).
@@ -111,7 +109,7 @@ impl SspmOpClass {
 
 /// The cost of one FIVU instruction: how long the unit is occupied
 /// (pipelined initiation interval) and the latency to the result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FivuCost {
     /// Cycles the FIVU is busy before accepting the next VIA instruction.
     pub occupancy: u32,
@@ -120,7 +118,7 @@ pub struct FivuCost {
 }
 
 /// The FIVU timing calculator for a given SSPM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fivu {
     config: ViaConfig,
     /// ALU latency applied by the fused vector unit (add/mul/FMA class).

@@ -12,10 +12,8 @@
 //!    the element-count register itself.
 
 use crate::config::ViaConfig;
-use serde::{Deserialize, Serialize};
-
 /// Event counters used by the energy model (one count per hardware event).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SspmEvents {
     /// SRAM entry reads.
     pub sram_reads: u64,

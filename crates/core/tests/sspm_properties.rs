@@ -1,10 +1,11 @@
-//! Property tests: the SSPM functional model must agree with simple
+//! Randomized tests: the SSPM functional model must agree with simple
 //! reference semantics (an array + valid flags for direct mode, a map for
-//! CAM mode) under arbitrary operation sequences.
+//! CAM mode) under arbitrary operation sequences. Cases are deterministic
+//! seeded draws (via-rng), so failures name a reproducible case index.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use via_core::{Sspm, ViaConfig};
+use via_rng::{cases, StdRng};
 
 #[derive(Debug, Clone)]
 enum DirectOp {
@@ -14,37 +15,42 @@ enum DirectOp {
     ClearSegment(u16, u16),
 }
 
-fn arb_direct_ops(entries: u16) -> impl Strategy<Value = Vec<DirectOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..entries, -1000i32..1000).prop_map(|(i, v)| DirectOp::Write(i, v)),
-            (0..entries).prop_map(DirectOp::Read),
-            Just(DirectOp::Clear),
-            (0..entries, 0..entries).prop_map(move |(s, l)| {
-                let len = l.min(entries - s);
-                DirectOp::ClearSegment(s, len)
-            }),
-        ],
-        0..120,
-    )
+fn arb_direct_ops(rng: &mut StdRng, entries: u16) -> Vec<DirectOp> {
+    let n = rng.random_range(0usize..120);
+    (0..n)
+        .map(|_| match rng.random_range(0u32..4) {
+            0 => DirectOp::Write(
+                rng.random_range(0u32..entries as u32) as u16,
+                rng.random_range(-1000i32..1000),
+            ),
+            1 => DirectOp::Read(rng.random_range(0u32..entries as u32) as u16),
+            2 => DirectOp::Clear,
+            _ => {
+                let s = rng.random_range(0u32..entries as u32) as u16;
+                let l = rng.random_range(0u32..entries as u32) as u16;
+                DirectOp::ClearSegment(s, l.min(entries - s))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn direct_mode_matches_array_model(ops in arb_direct_ops(512)) {
+#[test]
+fn direct_mode_matches_array_model() {
+    cases(64, 0x51, |i, rng| {
+        let ops = arb_direct_ops(rng, 512);
         let config = ViaConfig::new(4, 2); // 512 entries
         let mut sspm = Sspm::new(config);
         let mut model: Vec<Option<f64>> = vec![None; config.entries()];
         for op in ops {
             match op {
-                DirectOp::Write(i, v) => {
-                    sspm.write_direct(i as usize, v as f64);
-                    model[i as usize] = Some(v as f64);
+                DirectOp::Write(idx, v) => {
+                    sspm.write_direct(idx as usize, v as f64);
+                    model[idx as usize] = Some(v as f64);
                 }
-                DirectOp::Read(i) => {
-                    let got = sspm.read_direct(i as usize);
-                    let want = model[i as usize].unwrap_or(0.0);
-                    prop_assert_eq!(got, want);
+                DirectOp::Read(idx) => {
+                    let got = sspm.read_direct(idx as usize);
+                    let want = model[idx as usize].unwrap_or(0.0);
+                    assert_eq!(got, want, "case {i}");
                 }
                 DirectOp::Clear => {
                     sspm.clear();
@@ -58,7 +64,7 @@ proptest! {
                 }
             }
         }
-    }
+    });
 }
 
 #[derive(Debug, Clone)]
@@ -70,53 +76,54 @@ enum CamOp {
     Clear,
 }
 
-fn arb_cam_ops() -> impl Strategy<Value = Vec<CamOp>> {
+fn arb_cam_ops(rng: &mut StdRng) -> Vec<CamOp> {
     // Index space of 64 over a 128-entry CAM: overflow impossible, hits
     // common.
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..64, -100i32..100).prop_map(|(i, v)| CamOp::Write(i, v)),
-            (0u32..64, -100i32..100).prop_map(|(i, v)| CamOp::Update(i, v)),
-            (0u32..96).prop_map(CamOp::Read),
-            Just(CamOp::Count),
-            Just(CamOp::Clear),
-        ],
-        0..150,
-    )
+    let n = rng.random_range(0usize..150);
+    (0..n)
+        .map(|_| match rng.random_range(0u32..5) {
+            0 => CamOp::Write(rng.random_range(0u32..64), rng.random_range(-100i32..100)),
+            1 => CamOp::Update(rng.random_range(0u32..64), rng.random_range(-100i32..100)),
+            2 => CamOp::Read(rng.random_range(0u32..96)),
+            3 => CamOp::Count,
+            _ => CamOp::Clear,
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn cam_mode_matches_map_model(ops in arb_cam_ops()) {
+#[test]
+fn cam_mode_matches_map_model() {
+    cases(64, 0x52, |i, rng| {
+        let ops = arb_cam_ops(rng);
         let mut sspm = Sspm::new(ViaConfig::new(4, 2)); // 128 CAM entries
         let mut model: HashMap<u32, f64> = HashMap::new();
         let mut insertion_order: Vec<u32> = Vec::new();
         for op in ops {
             match op {
-                CamOp::Write(i, v) => {
-                    sspm.write_cam(i, v as f64);
-                    if !model.contains_key(&i) {
-                        insertion_order.push(i);
+                CamOp::Write(idx, v) => {
+                    sspm.write_cam(idx, v as f64);
+                    if !model.contains_key(&idx) {
+                        insertion_order.push(idx);
                     }
-                    model.insert(i, v as f64);
+                    model.insert(idx, v as f64);
                 }
-                CamOp::Update(i, v) => {
-                    sspm.update_cam(i, |old| old + v as f64);
-                    if !model.contains_key(&i) {
-                        insertion_order.push(i);
+                CamOp::Update(idx, v) => {
+                    sspm.update_cam(idx, |old| old + v as f64);
+                    if !model.contains_key(&idx) {
+                        insertion_order.push(idx);
                     }
-                    *model.entry(i).or_insert(0.0) += v as f64;
+                    *model.entry(idx).or_insert(0.0) += v as f64;
                 }
-                CamOp::Read(i) => {
-                    let got = sspm.read_cam(i);
-                    let want = model.get(&i).copied().unwrap_or(0.0);
-                    prop_assert!((got - want).abs() < 1e-9);
+                CamOp::Read(idx) => {
+                    let got = sspm.read_cam(idx);
+                    let want = model.get(&idx).copied().unwrap_or(0.0);
+                    assert!((got - want).abs() < 1e-9, "case {i}");
                 }
                 CamOp::Count => {
-                    prop_assert_eq!(sspm.count(), model.len());
+                    assert_eq!(sspm.count(), model.len(), "case {i}");
                     // Tracked indices come out in insertion order.
                     for (pos, &idx) in insertion_order.iter().enumerate() {
-                        prop_assert_eq!(sspm.tracked_index(pos), idx);
+                        assert_eq!(sspm.tracked_index(pos), idx, "case {i}");
                     }
                 }
                 CamOp::Clear => {
@@ -126,55 +133,61 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cam_capacity_is_exact(extra in 0usize..4) {
+#[test]
+fn cam_capacity_is_exact() {
+    cases(4, 0x53, |_, rng| {
+        let extra = rng.random_range(0usize..4);
         // Filling exactly to capacity succeeds; one more insert panics.
         let config = ViaConfig::new(4, 2);
         let cap = config.cam_entries();
         let mut sspm = Sspm::new(config);
-        for i in 0..cap {
-            sspm.write_cam(i as u32, 1.0);
+        for idx in 0..cap {
+            sspm.write_cam(idx as u32, 1.0);
         }
-        prop_assert_eq!(sspm.count(), cap);
+        assert_eq!(sspm.count(), cap);
         // Updates to existing indices never overflow.
-        for i in 0..extra {
-            sspm.update_cam((i % cap) as u32, |v| v + 1.0);
+        for idx in 0..extra {
+            sspm.update_cam((idx % cap) as u32, |v| v + 1.0);
         }
-        prop_assert_eq!(sspm.count(), cap);
+        assert_eq!(sspm.count(), cap);
         let overflow = std::panic::catch_unwind(move || {
             sspm.write_cam(cap as u32 + 1, 1.0);
         });
-        prop_assert!(overflow.is_err());
-    }
+        assert!(overflow.is_err());
+    });
+}
 
-    #[test]
-    fn events_are_monotone(ops in arb_cam_ops()) {
+#[test]
+fn events_are_monotone() {
+    cases(64, 0x54, |i, rng| {
+        let ops = arb_cam_ops(rng);
         let mut sspm = Sspm::new(ViaConfig::new(4, 2));
         let mut last = sspm.events();
         for op in ops {
             match op {
-                CamOp::Write(i, v) => {
-                    sspm.write_cam(i, v as f64);
+                CamOp::Write(idx, v) => {
+                    sspm.write_cam(idx, v as f64);
                 }
-                CamOp::Update(i, v) => {
-                    sspm.update_cam(i, |old| old + v as f64);
+                CamOp::Update(idx, v) => {
+                    sspm.update_cam(idx, |old| old + v as f64);
                 }
-                CamOp::Read(i) => {
-                    sspm.read_cam(i);
+                CamOp::Read(idx) => {
+                    sspm.read_cam(idx);
                 }
                 CamOp::Count => {}
                 CamOp::Clear => sspm.clear(),
             }
             let now = sspm.events();
-            prop_assert!(now.sram_reads >= last.sram_reads);
-            prop_assert!(now.sram_writes >= last.sram_writes);
-            prop_assert!(now.cam_searches >= last.cam_searches);
-            prop_assert!(now.cam_inserts >= last.cam_inserts);
-            prop_assert!(now.bank_activations >= last.bank_activations);
-            prop_assert!(now.clears >= last.clears);
+            assert!(now.sram_reads >= last.sram_reads, "case {i}");
+            assert!(now.sram_writes >= last.sram_writes, "case {i}");
+            assert!(now.cam_searches >= last.cam_searches, "case {i}");
+            assert!(now.cam_inserts >= last.cam_inserts, "case {i}");
+            assert!(now.bank_activations >= last.bank_activations, "case {i}");
+            assert!(now.clears >= last.clears, "case {i}");
             last = now;
         }
-    }
+    });
 }

@@ -1,10 +1,9 @@
 //! CACTI-like area and leakage model calibrated to the paper's Table II.
 
-use serde::{Deserialize, Serialize};
 use via_core::ViaConfig;
 
 /// One synthesized design point (paper Table II / §VI-B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynthesisPoint {
     /// SSPM size in KiB.
     pub sspm_kb: usize,
@@ -68,7 +67,7 @@ pub const HASWELL_CORE_MM2: f64 = 17.0;
 ///
 /// The constants are least-squares fits over [`PAPER_SYNTHESIS`]; the
 /// model interpolates/extrapolates the rest of the design space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaModel {
     area_coef: [f64; 4],
     leak_coef: [f64; 4],

@@ -7,12 +7,11 @@
 //! magnitudes (DRAM ≫ LLC ≫ L1 ≫ SSPM), not the absolute picojoules.
 
 use crate::area::AreaModel;
-use serde::{Deserialize, Serialize};
 use via_core::{SspmEvents, ViaConfig};
 use via_sim::RunStats;
 
 /// Per-event energies in picojoules (22 nm class).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// L1D access.
     pub l1_pj: f64,
@@ -61,7 +60,7 @@ impl Default for EnergyModel {
 }
 
 /// The energy of one run, split by component (picojoules).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Cache hierarchy dynamic energy.
     pub cache_pj: f64,

@@ -7,11 +7,10 @@
 //! arithmetic intensity (the dense vector stops moving through DRAM), not
 //! by adding compute.
 
-use serde::{Deserialize, Serialize};
 use via_sim::{CoreConfig, MemConfig, RunStats};
 
 /// Which ceiling binds at a run's arithmetic intensity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {
     /// Below the ridge point: DRAM bandwidth bounds performance.
     Memory,
@@ -20,7 +19,7 @@ pub enum Bound {
 }
 
 /// A kernel run placed on the roofline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RooflinePoint {
     /// Useful floating-point operations the kernel performed.
     pub flops: u64,

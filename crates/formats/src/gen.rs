@@ -14,8 +14,7 @@
 //! All generators are deterministic in their seed.
 
 use crate::{Coo, Csr, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use via_rng::StdRng;
 
 /// The structural family of a generated matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -37,11 +37,13 @@ pub fn scalar(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64
         assert!((k as usize) < nbins, "key {k} out of {nbins} bins");
         let key_reg = e.load(kl.addr_of(t), 4);
         let addr = hl.addr_of(k as usize);
-        let mut deps = vec![key_reg];
+        let mut deps = [key_reg, key_reg];
+        let mut ndeps = 1;
         if let Some(prev) = last_store[k as usize] {
-            deps.push(prev);
+            deps[1] = prev;
+            ndeps = 2;
         }
-        let old = e.load_dep(addr, 8, &deps);
+        let old = e.load_dep(addr, 8, &deps[..ndeps]);
         let new = e.scalar_op(AluKind::Int, &[old]);
         e.store(addr, 8, &[new]);
         last_store[k as usize] = Some(new);
@@ -70,7 +72,11 @@ pub fn vector_cd(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<
     // store drains to L1 (the store-load forwarding cost the paper calls
     // out, §II-C). Conflict detection is line-granular.
     const DRAIN_CYCLES: u32 = 20;
-    let mut prev_scatter: Option<(Reg, Vec<u64>)> = None;
+    let mut prev_scatter: Option<Reg> = None;
+    // Scratch buffers reused across chunks (gathers/scatters borrow them).
+    let mut addrs: Vec<u64> = Vec::with_capacity(vl);
+    let mut lines: Vec<u64> = Vec::with_capacity(vl);
+    let mut prev_lines: Vec<u64> = Vec::with_capacity(vl);
     let mut t = 0usize;
     while t < keys.len() {
         let len = vl.min(keys.len() - t);
@@ -86,19 +92,24 @@ pub fn vector_cd(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<
         let counts = e.vec_op(VecOpKind::Blend, &[merged, conflicts]);
         // Gather current bin values, stalled behind the previous scatter's
         // store-buffer drain when the line sets overlap.
-        let addrs: Vec<u64> = chunk.iter().map(|&k| hl.addr_of(k as usize)).collect();
-        let lines: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
-        let mut deps = vec![merged];
-        if let Some((prev_reg, prev_lines)) = &prev_scatter {
+        addrs.clear();
+        addrs.extend(chunk.iter().map(|&k| hl.addr_of(k as usize)));
+        lines.clear();
+        lines.extend(addrs.iter().map(|a| a / 64));
+        let mut deps = [merged, merged];
+        let mut ndeps = 1;
+        if let Some(prev_reg) = prev_scatter {
             if lines.iter().any(|l| prev_lines.contains(l)) {
-                let drained = e.delay(DRAIN_CYCLES, &[*prev_reg]);
-                deps.push(drained);
+                let drained = e.delay(DRAIN_CYCLES, &[prev_reg]);
+                deps[1] = drained;
+                ndeps = 2;
             }
         }
-        let old = e.gather(addrs.clone(), 8, &deps);
+        let old = e.gather(&addrs, 8, &deps[..ndeps]);
         let new = e.vec_op(VecOpKind::Add, &[old, counts]);
-        e.scatter(addrs, 8, &[new]);
-        prev_scatter = Some((new, lines));
+        e.scatter(&addrs, 8, &[new]);
+        prev_scatter = Some(new);
+        std::mem::swap(&mut prev_lines, &mut lines);
         e.scalar_op(AluKind::Int, &[]);
         t += len;
     }
@@ -191,21 +202,21 @@ pub fn via(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64>> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{RngExt, SeedableRng};
     use via_formats::reference;
+    use via_rng::StdRng;
 
     fn ctx() -> SimContext {
         SimContext::default()
     }
 
     fn uniform_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         (0..n).map(|_| rng.random_range(0..nbins as u32)).collect()
     }
 
     fn skewed_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
         // Zipf-ish: square a uniform sample to favor low bins.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let u: f64 = rng.random_range(0.0..1.0);

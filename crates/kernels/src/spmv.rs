@@ -85,6 +85,9 @@ pub fn csr_vec(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     let yl = VecLayout::new(e.alloc_mut(), a.rows().max(1));
 
     let mut y = vec![0.0; a.rows()];
+    // One x-gather address buffer for the whole matrix: the gather borrows
+    // the addresses, so nothing forces a fresh allocation per chunk.
+    let mut addrs: Vec<u64> = Vec::with_capacity(vl);
     let mut rp = e.load(lay.row_ptr.addr_of(0), 8);
     for i in 0..a.rows() {
         let rp_next = e.load(lay.row_ptr.addr_of(i + 1), 8);
@@ -99,11 +102,9 @@ pub fn csr_vec(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
             let j = base + k;
             let col_reg = e.load(lay.col_idx.addr_of(j), (4 * len) as u32);
             let val_reg = e.load(lay.data.addr_of(j), (8 * len) as u32);
-            let addrs: Vec<u64> = cols[k..k + len]
-                .iter()
-                .map(|&c| xl.data.addr_of(c as usize))
-                .collect();
-            let x_reg = e.gather(addrs, 8, &[col_reg]);
+            addrs.clear();
+            addrs.extend(cols[k..k + len].iter().map(|&c| xl.data.addr_of(c as usize)));
+            let x_reg = e.gather(&addrs, 8, &[col_reg]);
             vacc = e.vec_op(VecOpKind::Fma, &[val_reg, x_reg, vacc]);
             e.scalar_op(AluKind::Int, &[bound]);
             for (&c, &v) in cols[k..k + len].iter().zip(&vals[k..k + len]) {
@@ -193,7 +194,11 @@ pub fn sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> 
     // previous chunk's y-scatter lines and stall the next y-gather behind
     // the store-buffer drain on overlap (§II-C store-load forwarding).
     const DRAIN_CYCLES: u32 = 20;
-    let mut prev_scatter: Option<(Reg, Vec<u64>)> = None;
+    let mut prev_scatter: Option<Reg> = None;
+    // Scratch buffers reused across chunks (gathers/scatters borrow them).
+    let mut addrs: Vec<u64> = Vec::with_capacity(c);
+    let mut lines: Vec<u64> = Vec::with_capacity(c);
+    let mut prev_lines: Vec<u64> = Vec::with_capacity(c);
     for k in 0..m.num_chunks() {
         let cp = e.load(lay.chunk_ptr.addr_of(k), 8);
         let cw = e.load(lay.chunk_width.addr_of(k), 8);
@@ -204,11 +209,13 @@ pub fn sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> 
             let pos = base + w * c;
             let col_reg = e.load(lay.col_idx.addr_of(pos), (4 * c) as u32);
             let val_reg = e.load(lay.data.addr_of(pos), (8 * c) as u32);
-            let addrs: Vec<u64> = m.col_idx()[pos..pos + c]
-                .iter()
-                .map(|&cc| xl.data.addr_of(cc as usize))
-                .collect();
-            let x_reg = e.gather(addrs, 8, &[col_reg]);
+            addrs.clear();
+            addrs.extend(
+                m.col_idx()[pos..pos + c]
+                    .iter()
+                    .map(|&cc| xl.data.addr_of(cc as usize)),
+            );
+            let x_reg = e.gather(&addrs, 8, &[col_reg]);
             vacc = e.vec_op(VecOpKind::Fma, &[val_reg, x_reg, vacc]);
             e.scalar_op(AluKind::Int, &[bound]);
         }
@@ -218,21 +225,26 @@ pub fn sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> 
         let rows_here = c.min(m.rows() - k * c);
         if rows_here > 0 {
             let perm_reg = e.load(lay.perm.addr_of(k * c), (4 * rows_here) as u32);
-            let addrs: Vec<u64> = (0..rows_here)
-                .map(|lane| yl.data.addr_of(m.perm()[k * c + lane] as usize))
-                .collect();
-            let lines: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
-            let mut deps = vec![perm_reg];
-            if let Some((prev_reg, prev_lines)) = &prev_scatter {
+            addrs.clear();
+            addrs.extend(
+                (0..rows_here).map(|lane| yl.data.addr_of(m.perm()[k * c + lane] as usize)),
+            );
+            lines.clear();
+            lines.extend(addrs.iter().map(|a| a / 64));
+            let mut deps = [perm_reg, perm_reg];
+            let mut ndeps = 1;
+            if let Some(prev_reg) = prev_scatter {
                 if lines.iter().any(|l| prev_lines.contains(l)) {
-                    let drained = e.delay(DRAIN_CYCLES, &[*prev_reg]);
-                    deps.push(drained);
+                    let drained = e.delay(DRAIN_CYCLES, &[prev_reg]);
+                    deps[1] = drained;
+                    ndeps = 2;
                 }
             }
-            let yold = e.gather(addrs.clone(), 8, &deps);
+            let yold = e.gather(&addrs, 8, &deps[..ndeps]);
             let ynew = e.vec_op(VecOpKind::Add, &[vacc, yold]);
-            e.scatter(addrs, 8, &[ynew, perm_reg]);
-            prev_scatter = Some((ynew, lines));
+            e.scatter(&addrs, 8, &[ynew, perm_reg]);
+            prev_scatter = Some(ynew);
+            std::mem::swap(&mut prev_lines, &mut lines);
         }
     }
     KernelRun::baseline(y, e.finish())
@@ -277,11 +289,13 @@ pub fn csb_software(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>>
                 let val_reg = e.load(lay.data.addr_of(elem_base + k), 8);
                 let x_reg = e.load_dep(xl.data.addr_of(bc * bs + c), 8, &[split_reg]);
                 let y_addr = yl.data.addr_of(br * bs + r);
-                let mut deps = vec![split_reg];
+                let mut deps = [split_reg, split_reg];
+                let mut ndeps = 1;
                 if let Some(prev) = last_store[r] {
-                    deps.push(prev);
+                    deps[1] = prev;
+                    ndeps = 2;
                 }
-                let y_old = e.load_dep(y_addr, 8, &deps);
+                let y_old = e.load_dep(y_addr, 8, &deps[..ndeps]);
                 let y_new = e.scalar_op(AluKind::FpFma, &[val_reg, x_reg, y_old]);
                 e.store(y_addr, 8, &[y_new]);
                 last_store[r] = Some(y_new);
@@ -312,6 +326,8 @@ pub fn csb_software_vec(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f
     let y = via_formats::reference::spmv(&m.to_csr(), x);
     let bs = m.block_size();
     let (nbr, nbc) = m.grid();
+    let mut x_addrs: Vec<u64> = Vec::with_capacity(vl);
+    let mut y_addrs: Vec<u64> = Vec::with_capacity(vl);
     let mut elem_base = 0usize;
     for br in 0..nbr {
         // The y-RMW chain: scatters to the same block row must order.
@@ -332,29 +348,27 @@ pub fn csb_software_vec(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f
                 // Split merged indices: mask (AND) + shift.
                 let col_v = e.vec_op(VecOpKind::Permute, &[idx_reg]);
                 let row_v = e.vec_op(VecOpKind::Permute, &[idx_reg]);
-                let x_addrs: Vec<u64> = blk.idx[k..k + len]
-                    .iter()
-                    .map(|&mi| {
-                        let (_, c) = blk.split(mi);
-                        xl.data.addr_of(bc * bs + c)
-                    })
-                    .collect();
-                let x_reg = e.gather(x_addrs, 8, &[col_v]);
+                x_addrs.clear();
+                x_addrs.extend(blk.idx[k..k + len].iter().map(|&mi| {
+                    let (_, c) = blk.split(mi);
+                    xl.data.addr_of(bc * bs + c)
+                }));
+                let x_reg = e.gather(&x_addrs, 8, &[col_v]);
                 let prod = e.vec_op(VecOpKind::Mul, &[val_reg, x_reg]);
-                let y_addrs: Vec<u64> = blk.idx[k..k + len]
-                    .iter()
-                    .map(|&mi| {
-                        let (r, _) = blk.split(mi);
-                        yl.data.addr_of(br * bs + r)
-                    })
-                    .collect();
-                let mut deps = vec![row_v];
+                y_addrs.clear();
+                y_addrs.extend(blk.idx[k..k + len].iter().map(|&mi| {
+                    let (r, _) = blk.split(mi);
+                    yl.data.addr_of(br * bs + r)
+                }));
+                let mut deps = [row_v, row_v];
+                let mut ndeps = 1;
                 if let Some(chain) = y_chain {
-                    deps.push(chain);
+                    deps[1] = chain;
+                    ndeps = 2;
                 }
-                let yold = e.gather(y_addrs.clone(), 8, &deps);
+                let yold = e.gather(&y_addrs, 8, &deps[..ndeps]);
                 let ynew = e.vec_op(VecOpKind::Add, &[prod, yold]);
-                e.scatter(y_addrs, 8, &[ynew, row_v]);
+                e.scatter(&y_addrs, 8, &[ynew, row_v]);
                 y_chain = Some(ynew);
                 e.scalar_op(AluKind::Int, &[bp]);
                 k += len;
@@ -569,6 +583,7 @@ pub fn via_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     let xl = VecLayout::new(e.alloc_mut(), a.cols().max(1));
     let yl = VecLayout::new(e.alloc_mut(), a.rows().max(1));
 
+    let mut addrs: Vec<u64> = Vec::with_capacity(vl);
     let y = accumulate_rows_via(a.rows(), ctx, &mut e, &mut via, &yl, |e, i| {
         let (cols, vals) = a.row(i);
         let base = a.row_ptr()[i];
@@ -580,11 +595,9 @@ pub fn via_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
             let j = base + k;
             let col_reg = e.load(lay.col_idx.addr_of(j), (4 * len) as u32);
             let val_reg = e.load(lay.data.addr_of(j), (8 * len) as u32);
-            let addrs: Vec<u64> = cols[k..k + len]
-                .iter()
-                .map(|&c| xl.data.addr_of(c as usize))
-                .collect();
-            let x_reg = e.gather(addrs, 8, &[col_reg]);
+            addrs.clear();
+            addrs.extend(cols[k..k + len].iter().map(|&c| xl.data.addr_of(c as usize)));
+            let x_reg = e.gather(&addrs, 8, &[col_reg]);
             vacc = e.vec_op(VecOpKind::Fma, &[val_reg, x_reg, vacc]);
             e.scalar_op(AluKind::Int, &[]);
             for (&c, &v) in cols[k..k + len].iter().zip(&vals[k..k + len]) {
@@ -715,6 +728,7 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
 
     let seg_len = ctx.via.entries();
     let mut y = vec![0.0; m.rows()];
+    let mut gather_addrs: Vec<u64> = Vec::with_capacity(c);
     let mut seg_start = 0usize; // in packed-row space
     while seg_start < m.rows() {
         let seg_rows = seg_len.min(m.rows() - seg_start);
@@ -733,11 +747,13 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
                 let pos = base + w * c;
                 let col_reg = e.load(lay.col_idx.addr_of(pos), (4 * c) as u32);
                 let val_reg = e.load(lay.data.addr_of(pos), (8 * c) as u32);
-                let addrs: Vec<u64> = m.col_idx()[pos..pos + c]
-                    .iter()
-                    .map(|&cc| xl.data.addr_of(cc as usize))
-                    .collect();
-                let x_reg = e.gather(addrs, 8, &[col_reg]);
+                gather_addrs.clear();
+                gather_addrs.extend(
+                    m.col_idx()[pos..pos + c]
+                        .iter()
+                        .map(|&cc| xl.data.addr_of(cc as usize)),
+                );
+                let x_reg = e.gather(&gather_addrs, 8, &[col_reg]);
                 vacc = e.vec_op(VecOpKind::Fma, &[val_reg, x_reg, vacc]);
                 e.scalar_op(AluKind::Int, &[bound]);
                 for lane in 0..rows_here {
@@ -779,7 +795,7 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
                 let addrs: Vec<u64> = (0..len)
                     .map(|l| yl.data.addr_of(m.perm()[seg_start + gr + l] as usize))
                     .collect();
-                e.scatter(addrs, 8, &[reg]);
+                e.scatter(&addrs, 8, &[reg]);
             }
         }
         seg_start += seg_rows;

@@ -1,0 +1,79 @@
+//! Golden cycle-count snapshots.
+//!
+//! These pin the *exact* simulated cycle counts of representative kernel
+//! runs on fixed inputs. Their purpose is to make hot-path/performance work
+//! on the engine safe: any optimization of the simulator internals
+//! (allocation elimination, cache fast paths, predictor layout) must leave
+//! every number here bit-identical, because it must not change what is
+//! simulated — only how fast the simulation itself runs.
+//!
+//! If a change is *meant* to alter the timing model, update these numbers
+//! in the same commit and say so; an unexplained diff here is a regression.
+
+use via_formats::{gen, Csb, Csr};
+use via_kernels::{histogram, spma, spmv, SimContext};
+use via_rng::StdRng;
+
+fn ctx() -> SimContext {
+    SimContext::default()
+}
+
+fn golden_a() -> Csr {
+    gen::uniform(256, 256, 0.02, 42)
+}
+
+fn xvec(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 13) as f64) * 0.25 - 1.5).collect()
+}
+
+#[test]
+fn spmv_cycles_are_pinned() {
+    let ctx = ctx();
+    let a = golden_a();
+    let x = xvec(a.cols());
+    let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
+    let got = [
+        spmv::scalar_csr(&a, &x, &ctx).cycles(),
+        spmv::csr_vec(&a, &x, &ctx).cycles(),
+        spmv::via_csr(&a, &x, &ctx).cycles(),
+        spmv::via_csb(&csb, &x, &ctx).cycles(),
+    ];
+    let expected = [11_216u64, 6_155, 5_339, 2_667];
+    assert_eq!(
+        got, expected,
+        "SpMV golden cycle counts moved (scalar, csr_vec, via_csr, via_csb)"
+    );
+}
+
+#[test]
+fn spma_cycles_are_pinned() {
+    let ctx = ctx();
+    let a = golden_a();
+    let b = gen::uniform(256, 256, 0.02, 43);
+    let got = [
+        spma::merge_csr(&a, &b, &ctx).cycles(),
+        spma::via_cam(&a, &b, &ctx).cycles(),
+    ];
+    let expected = [63_775u64, 11_152];
+    assert_eq!(
+        got, expected,
+        "SpMA golden cycle counts moved (merge_csr, via_cam)"
+    );
+}
+
+#[test]
+fn histogram_cycles_are_pinned() {
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let keys: Vec<u32> = (0..4000).map(|_| rng.random_range(0u32..256)).collect();
+    let got = [
+        histogram::scalar(&keys, 256, &ctx).cycles(),
+        histogram::vector_cd(&keys, 256, &ctx).cycles(),
+        histogram::via(&keys, 256, &ctx).cycles(),
+    ];
+    let expected = [23_132u64, 15_951, 7_163];
+    assert_eq!(
+        got, expected,
+        "histogram golden cycle counts moved (scalar, vector_cd, via)"
+    );
+}

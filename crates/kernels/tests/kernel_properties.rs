@@ -1,44 +1,49 @@
-//! Property tests: every simulated kernel — baseline or VIA, at any SSPM
-//! configuration — must compute exactly what the golden models compute,
-//! for arbitrary matrices.
+//! Randomized tests: every simulated kernel — baseline or VIA, at any SSPM
+//! configuration — must compute exactly what the golden models compute, for
+//! arbitrary matrices. Cases are deterministic seeded draws (via-rng), so
+//! failures name a reproducible case index.
 
-use proptest::prelude::*;
 use via_core::ViaConfig;
 use via_formats::{reference, Coo, Csb, Csr, DenseMatrix, SellCSigma, Spc5};
 use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext};
+use via_rng::{cases, StdRng};
 
-fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
-    (2..=max_dim).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -50i32..50), 1..=max_nnz).prop_map(move |trips| {
-            let entries = trips
-                .into_iter()
-                .map(|(r, c, v)| (r, c, v as f64 / 8.0 + 0.062_5));
-            Csr::from_coo(
-                &Coo::from_triplets(n, n, entries)
-                    .expect("in bounds")
-                    .into_canonical(),
+fn arb_csr(rng: &mut StdRng, max_dim: usize, max_nnz: usize) -> Csr {
+    let n = rng.random_range(2..=max_dim);
+    let nnz = rng.random_range(1..=max_nnz);
+    let entries: Vec<(usize, usize, f64)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.random_range(0..n),
+                rng.random_range(0..n),
+                rng.random_range(-50i32..50) as f64 / 8.0 + 0.062_5,
             )
         })
-    })
+        .collect();
+    Csr::from_coo(
+        &Coo::from_triplets(n, n, entries)
+            .expect("in bounds")
+            .into_canonical(),
+    )
 }
 
-fn arb_via_config() -> impl Strategy<Value = ViaConfig> {
-    prop_oneof![
-        Just(ViaConfig::new(4, 2)),
-        Just(ViaConfig::new(8, 4)),
-        Just(ViaConfig::new(16, 2)),
-    ]
+fn arb_via_config(rng: &mut StdRng) -> ViaConfig {
+    match rng.random_range(0u32..3) {
+        0 => ViaConfig::new(4, 2),
+        1 => ViaConfig::new(8, 4),
+        _ => ViaConfig::new(16, 2),
+    }
 }
 
 fn xvec(n: usize) -> Vec<f64> {
     (0..n).map(|i| ((i % 13) as f64) * 0.25 - 1.5).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_spmv_variant_matches_reference(a in arb_csr(40, 120), cfg in arb_via_config()) {
+#[test]
+fn every_spmv_variant_matches_reference() {
+    cases(24, 0xA1, |i, rng| {
+        let a = arb_csr(rng, 40, 120);
+        let cfg = arb_via_config(rng);
         let ctx = SimContext::with_via(cfg);
         let x = xvec(a.cols());
         let expected = reference::spmv(&a, &x);
@@ -58,81 +63,99 @@ proptest! {
             ("via_sell", spmv::via_sell(&sell, &x, &ctx).output),
             ("via_csb", spmv::via_csb(&csb, &x, &ctx).output),
         ] {
-            prop_assert!(
+            assert!(
                 via_formats::vec_approx_eq(&out, &expected, 1e-9),
-                "{name} diverged from reference at config {}",
+                "case {i}: {name} diverged from reference at config {}",
                 cfg.name()
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn spma_matches_reference(
-        a in arb_csr(32, 80),
-        b in arb_csr(32, 80),
-        cfg in arb_via_config(),
-    ) {
+#[test]
+fn spma_matches_reference() {
+    cases(24, 0xA2, |i, rng| {
+        let a = arb_csr(rng, 32, 80);
+        let b = arb_csr(rng, 32, 80);
+        let cfg = arb_via_config(rng);
         // Embed both into the common shape.
         let n = a.rows().max(b.rows());
         let embed = |m: &Csr| {
-            Csr::from_coo(
-                &Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical(),
-            )
+            Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical())
         };
         let (a, b) = (embed(&a), embed(&b));
         let ctx = SimContext::with_via(cfg);
         let expected = reference::spma(&a, &b).unwrap();
         let base = spma::merge_csr(&a, &b, &ctx);
-        prop_assert_eq!(&base.output, &expected);
+        assert_eq!(&base.output, &expected, "case {i}");
         let via = spma::via_cam(&a, &b, &ctx);
-        prop_assert!(DenseMatrix::from_csr(&via.output)
-            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
-    }
+        assert!(
+            DenseMatrix::from_csr(&via.output)
+                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            "case {i}"
+        );
+    });
+}
 
-    #[test]
-    fn spmm_matches_reference(
-        a in arb_csr(20, 60),
-        b in arb_csr(20, 60),
-        cfg in arb_via_config(),
-    ) {
+#[test]
+fn spmm_matches_reference() {
+    cases(24, 0xA3, |i, rng| {
+        let a = arb_csr(rng, 20, 60);
+        let b = arb_csr(rng, 20, 60);
+        let cfg = arb_via_config(rng);
         let n = a.cols().max(b.rows());
         let embed = |m: &Csr| {
-            Csr::from_coo(
-                &Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical(),
-            )
+            Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical())
         };
         let (a, b) = (embed(&a), embed(&b));
         let bc = b.to_csc();
         let ctx = SimContext::with_via(cfg);
         let expected = reference::spmm(&a, &bc).unwrap();
         let base = spmm::inner_product(&a, &bc, &ctx);
-        prop_assert_eq!(&base.output, &expected);
+        assert_eq!(&base.output, &expected, "case {i}");
         let gus = spmm::gustavson(&a, &b, &ctx);
-        prop_assert!(DenseMatrix::from_csr(&gus.output)
-            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
+        assert!(
+            DenseMatrix::from_csr(&gus.output)
+                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            "case {i}"
+        );
         let via = spmm::via_cam(&a, &bc, &ctx);
-        prop_assert!(DenseMatrix::from_csr(&via.output)
-            .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9));
-    }
+        assert!(
+            DenseMatrix::from_csr(&via.output)
+                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            "case {i}"
+        );
+    });
+}
 
-    #[test]
-    fn histogram_matches_reference(
-        keys in proptest::collection::vec(0u32..300, 0..400),
-        cfg in arb_via_config(),
-    ) {
+#[test]
+fn histogram_matches_reference() {
+    cases(24, 0xA4, |i, rng| {
+        let n = rng.random_range(0usize..400);
+        let keys: Vec<u32> = (0..n).map(|_| rng.random_range(0u32..300)).collect();
+        let cfg = arb_via_config(rng);
         let ctx = SimContext::with_via(cfg);
         let expected = reference::histogram(&keys, 300);
-        prop_assert_eq!(histogram::scalar(&keys, 300, &ctx).output, expected.clone());
-        prop_assert_eq!(histogram::vector_cd(&keys, 300, &ctx).output, expected.clone());
-        prop_assert_eq!(histogram::via(&keys, 300, &ctx).output, expected);
-    }
+        assert_eq!(
+            histogram::scalar(&keys, 300, &ctx).output,
+            expected,
+            "case {i}"
+        );
+        assert_eq!(
+            histogram::vector_cd(&keys, 300, &ctx).output,
+            expected,
+            "case {i}"
+        );
+        assert_eq!(histogram::via(&keys, 300, &ctx).output, expected, "case {i}");
+    });
+}
 
-    #[test]
-    fn stencil_matches_reference(
-        w in 4usize..24,
-        h in 4usize..16,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn stencil_matches_reference() {
+    cases(24, 0xA5, |i, rng| {
+        let w = rng.random_range(4usize..24);
+        let h = rng.random_range(4usize..16);
+        let seed = rng.random_range(0u64..1000);
         let ctx = SimContext::default();
         let image: Vec<f64> = via_formats::gen::dense_vector(w * h, seed);
         let filter = stencil::gaussian4();
@@ -142,18 +165,24 @@ proptest! {
             stencil::vector(&image, w, h, &filter, &ctx).output,
             stencil::via(&image, w, h, &filter, &ctx).output,
         ] {
-            prop_assert!(via_formats::vec_approx_eq(&out, &expected, 1e-9));
+            assert!(
+                via_formats::vec_approx_eq(&out, &expected, 1e-9),
+                "case {i}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn via_runs_are_deterministic(a in arb_csr(24, 60)) {
+#[test]
+fn via_runs_are_deterministic() {
+    cases(24, 0xA6, |i, rng| {
+        let a = arb_csr(rng, 24, 60);
         let ctx = SimContext::default();
         let x = xvec(a.cols());
         let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
         let r1 = spmv::via_csb(&csb, &x, &ctx);
         let r2 = spmv::via_csb(&csb, &x, &ctx);
-        prop_assert_eq!(r1.stats, r2.stats);
-        prop_assert_eq!(r1.sspm_events, r2.sspm_events);
-    }
+        assert_eq!(r1.stats, r2.stats, "case {i}");
+        assert_eq!(r1.sspm_events, r2.sspm_events, "case {i}");
+    });
 }

@@ -130,6 +130,12 @@ impl AddressSpace {
     pub fn used_bytes(&self) -> u64 {
         self.next - Self::BASE
     }
+
+    /// Rewinds the bump pointer to [`AddressSpace::BASE`]. Regions handed
+    /// out before the reset must no longer be used.
+    pub fn reset(&mut self) {
+        self.next = Self::BASE;
+    }
 }
 
 #[cfg(test)]

@@ -8,22 +8,33 @@
 //! would falsely serialize independent work behind long-latency dependent
 //! chains.)
 //!
-//! Saturated resources (a store port or the DRAM channel running at 100 %
-//! utilization) produce *runs* of fully-booked cycles that can span
-//! millions of entries; the calendar coalesces them into disjoint
-//! intervals so a booking skips a whole run in `O(log n)` instead of one
-//! cycle at a time.
-
-use std::collections::BTreeMap;
+//! The calendar is a flat array of per-cycle booked counts anchored at a
+//! monotonically advancing `base` (the engine prunes history below its
+//! fetch frontier, so the live window stays small). Fully-booked cycles
+//! carry a *next-free* pointer that is path-compressed on lookup — the
+//! union-find "earliest free slot" structure — so booking against a
+//! saturated resource (a store port or the DRAM channel at 100 %
+//! utilization, where full runs can span millions of cycles) skips the
+//! whole run in amortized O(1) instead of one cycle at a time. One booking
+//! is two array reads and a write on the common path; the previous
+//! `BTreeMap` interval design cost an ordered-map probe *and* a
+//! remove+insert per booking, which dominated whole-simulation profiles.
 
 /// A booking calendar for a pool of `width` units.
 #[derive(Debug, Clone, Default)]
 pub struct Calendar {
     width: u32,
-    /// Per-cycle booked counts for cycles that are not yet full.
-    partial: BTreeMap<u64, u32>,
-    /// Disjoint, coalesced `[start, end)` runs of fully-booked cycles.
-    full: BTreeMap<u64, u64>,
+    /// Cycle number of `counts[0]`. Nothing below `base` is tracked; the
+    /// caller promises not to book there after a [`Calendar::prune_below`]
+    /// (requests are clamped up to `base`).
+    base: u64,
+    /// Booked slots for cycle `base + i`. Offsets past the end are
+    /// implicitly zero.
+    counts: Vec<u32>,
+    /// For a fully-booked cycle, a forwarding pointer toward the next
+    /// cycle with a free slot (path-compressed; strictly increasing, so
+    /// chains cannot loop). Meaningless while `counts[i] < width`.
+    next: Vec<u32>,
 }
 
 impl Calendar {
@@ -36,8 +47,9 @@ impl Calendar {
         assert!(width > 0, "calendar width must be positive");
         Calendar {
             width,
-            partial: BTreeMap::new(),
-            full: BTreeMap::new(),
+            base: 0,
+            counts: Vec::new(),
+            next: Vec::new(),
         }
     }
 
@@ -46,45 +58,60 @@ impl Calendar {
         self.width
     }
 
-    /// The end of the full run containing `c`, or `c` itself if none does.
-    fn skip_full(&self, c: u64) -> u64 {
-        match self.full.range(..=c).next_back() {
-            Some((_, &end)) if c < end => end,
-            _ => c,
+    /// Offset of `t` from `base`, clamping pruned history up to `base`.
+    #[inline]
+    fn offset(&self, t: u64) -> usize {
+        t.saturating_sub(self.base) as usize
+    }
+
+    /// The earliest offset ≥ `i` whose cycle has a free slot, following and
+    /// halving the next-free chain. Offsets at or past the end of the
+    /// window are untouched cycles, hence free.
+    #[inline]
+    fn find(&mut self, mut i: usize) -> usize {
+        let len = self.counts.len();
+        while i < len && self.counts[i] == self.width {
+            let n = self.next[i] as usize;
+            // Path halving: point past the next hop's own forward pointer
+            // so repeated lookups through a long run flatten it.
+            let hop = if n < len && self.counts[n] == self.width {
+                self.next[n] as usize
+            } else {
+                n
+            };
+            self.next[i] = hop as u32;
+            i = hop;
+        }
+        i
+    }
+
+    /// Grows the window so `off` is indexable. Fresh cycles are empty.
+    #[inline]
+    fn ensure(&mut self, off: usize) {
+        if off >= self.counts.len() {
+            self.counts.resize(off + 1, 0);
+            self.next.resize(off + 1, 0);
         }
     }
 
-    /// Increments cycle `c`'s booked count, promoting it into the full-run
-    /// set (with coalescing) when it reaches `width`.
-    fn bump(&mut self, c: u64) {
-        let count = self.partial.remove(&c).unwrap_or(0) + 1;
-        if count < self.width {
-            self.partial.insert(c, count);
-            return;
+    /// Increments the booked count at `off`, installing the next-free
+    /// pointer when the cycle fills.
+    #[inline]
+    fn bump(&mut self, off: usize) {
+        self.ensure(off);
+        let c = &mut self.counts[off];
+        *c += 1;
+        if *c == self.width {
+            self.next[off] = (off + 1) as u32;
         }
-        // Promote to a full run, coalescing with neighbours.
-        let mut start = c;
-        let mut end = c + 1;
-        if let Some((&s, &e)) = self.full.range(..=c).next_back() {
-            debug_assert!(e <= c, "booked a cycle inside a full run");
-            if e == c {
-                start = s;
-                self.full.remove(&s);
-            }
-        }
-        if let Some(&e2) = self.full.get(&end) {
-            self.full.remove(&end);
-            end = e2;
-        }
-        self.full.insert(start, end);
     }
 
     /// Books one slot at the earliest cycle ≥ `t`; returns the cycle.
+    #[inline]
     pub fn book(&mut self, t: u64) -> u64 {
-        let c = self.skip_full(t);
-        // `c` is not inside a full run, so it has a free slot.
-        self.bump(c);
-        c
+        let off = self.find(self.offset(t));
+        self.bump(off);
+        self.base + off as u64
     }
 
     /// Books `span` *consecutive* cycles (all slots of one unit) starting at
@@ -98,41 +125,72 @@ impl Calendar {
     /// Panics if `span == 0`.
     pub fn book_span(&mut self, t: u64, span: u64) -> u64 {
         assert!(span > 0, "span must be positive");
-        let mut candidate = self.skip_full(t);
-        loop {
-            // The last full run starting before the window's end; if it
-            // reaches into the window, jump past it.
-            match self.full.range(..candidate + span).next_back() {
-                Some((_, &end)) if end > candidate => {
-                    candidate = self.skip_full(end);
+        let span = span as usize;
+        let mut candidate = self.find(self.offset(t));
+        'probe: loop {
+            // Scan the window back-to-front: jumping past the *last* full
+            // cycle (and its whole run) skips the most ground per retry.
+            let lim = (candidate + span).min(self.counts.len());
+            let mut i = lim;
+            while i > candidate {
+                i -= 1;
+                if self.counts[i] == self.width {
+                    candidate = self.find(i);
+                    continue 'probe;
                 }
-                _ => break,
             }
+            break;
         }
-        for c in candidate..candidate + span {
-            self.bump(c);
+        for off in candidate..candidate + span {
+            self.bump(off);
         }
-        candidate
+        self.base + candidate as u64
     }
 
     /// Drops bookings strictly below `t` (no future booking can land there
     /// once all ready times have passed `t`).
     pub fn prune_below(&mut self, t: u64) {
-        self.partial = self.partial.split_off(&t);
-        // Keep any full run straddling t, trimmed to start at t.
-        let mut keep = self.full.split_off(&t);
-        if let Some((_, &end)) = self.full.range(..t).next_back() {
-            if end > t {
-                keep.insert(t, end);
-            }
+        if t <= self.base {
+            return;
         }
-        self.full = keep;
+        let k = ((t - self.base) as usize).min(self.counts.len());
+        self.counts.drain(..k);
+        self.next.drain(..k);
+        // Forward pointers are window offsets; rebase the survivors. A full
+        // cycle's pointer is ≥ its own offset ≥ k, so this is exact.
+        for n in &mut self.next {
+            *n = n.saturating_sub(k as u32);
+        }
+        self.base = t;
     }
 
-    /// Number of map entries currently held (diagnostic; full runs count
-    /// once regardless of length).
+    /// Number of distinct booked entries currently held (diagnostic; a
+    /// contiguous fully-booked run counts once regardless of length).
     pub fn booked_cycles(&self) -> usize {
-        self.partial.len() + self.full.len()
+        let mut entries = 0;
+        let mut in_run = false;
+        for &c in &self.counts {
+            if c == self.width {
+                if !in_run {
+                    entries += 1;
+                    in_run = true;
+                }
+            } else {
+                in_run = false;
+                if c > 0 {
+                    entries += 1;
+                }
+            }
+        }
+        entries
+    }
+
+    /// Drops every booking, returning the calendar to its freshly-built
+    /// state (the width and allocations are kept).
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.next.clear();
+        self.base = 0;
     }
 }
 
@@ -198,16 +256,16 @@ mod tests {
         for i in 0..10_000u64 {
             assert_eq!(c.book(0), i, "sequential fill");
         }
-        // The whole saturated run is a single interval.
+        // The whole saturated run reads as a single entry.
         assert_eq!(c.booked_cycles(), 1);
         assert_eq!(c.book(0), 10_000);
     }
 
     #[test]
     fn saturated_channel_is_fast() {
-        // The pathological case that motivated the interval design: ~200k
+        // The pathological case that motivated the skip structure: ~200k
         // span bookings against an always-behind request time. Completes
-        // in well under a second when skipping is O(log n).
+        // in well under a second when run skipping is amortized O(1).
         let mut c = Calendar::new(1);
         let start = std::time::Instant::now();
         let mut expect = 0u64;
@@ -231,8 +289,8 @@ mod tests {
         c.book(100);
         c.prune_below(50);
         assert_eq!(c.booked_cycles(), 1);
-        // Cycle 1 is forgotten; a new booking at 1 succeeds (we promise
-        // never to ask below the prune point in real use).
+        // Cycle 1 is forgotten; bookings below the prune point clamp up to
+        // it (we promise never to ask below the prune point in real use).
         assert_eq!(c.book(100), 101);
     }
 
@@ -253,6 +311,18 @@ mod tests {
         let d = c.book_span(0, 2); // → [4,6)
         assert_eq!((a, b, d), (0, 3, 4));
         assert_eq!(c.book(0), 6);
+    }
+
+    #[test]
+    fn prune_then_rebook_respects_rebased_window() {
+        // Regression for the offset-rebasing in prune_below: pointers must
+        // survive the window shifting under them.
+        let mut c = Calendar::new(1);
+        c.book_span(10, 20); // full run [10, 30)
+        c.book(40);
+        c.prune_below(15);
+        assert_eq!(c.book(12), 30); // clamped to 15, run tail still booked
+        assert_eq!(c.book(40), 41);
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Simulation parameters (the reproduction's Table I).
 
-use serde::{Deserialize, Serialize};
-
 /// Out-of-order core parameters.
 ///
 /// Defaults model a Haswell-class core at 2 GHz, matching the paper's
 /// baseline (a single out-of-order x86 core with AVX2, §V-A, Table I; the
 /// area comparison in §VI-B is against a 22 nm Haswell core).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// Clock frequency in GHz (used only for bandwidth/energy conversion).
     pub freq_ghz: f64,
@@ -94,7 +92,7 @@ impl CoreConfig {
 }
 
 /// One cache level's geometry and latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -125,7 +123,7 @@ impl CacheConfig {
 
 /// Memory hierarchy parameters (Table I defaults: 32 KB L1D, 256 KB L2,
 /// 8 MB L3, DDR-like DRAM at 200 cycles and 12.8 bytes/cycle).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
     /// L1 data cache.
     pub l1: CacheConfig,

@@ -20,8 +20,6 @@
 //!   non-custom instruction has completed, while still pipelining among
 //!   themselves through the custom unit.
 
-use std::collections::VecDeque;
-
 use crate::alloc::AddressSpace;
 use crate::calendar::Calendar;
 use crate::config::{CoreConfig, MemConfig};
@@ -48,8 +46,13 @@ pub struct Engine {
     commit_cycle: u64,
     commit_in_cycle: u32,
     last_commit: u64,
-    /// Commit times of the most recent `rob_size` instructions.
-    rob_window: VecDeque<u64>,
+    /// Commit times of the most recent `rob_size` instructions, as a ring:
+    /// `rob_window[rob_head]` is the oldest entry once the ring is full
+    /// (`rob_filled == rob_size`). A flat ring beats a `VecDeque` here —
+    /// this is touched on every single push.
+    rob_window: Vec<u64>,
+    rob_head: usize,
+    rob_filled: usize,
     /// Max completion time over all instructions so far.
     all_complete_max: u64,
     /// Max completion time over all *non-custom* instructions so far.
@@ -63,8 +66,11 @@ pub struct Engine {
     /// The custom (FIVU) units keep a monotonic next-free model: custom ops
     /// are commit-gated, so their ready times are already monotone.
     custom_units: Vec<u64>,
-    /// 2-bit saturating counters per data-dependent branch site.
-    predictor: std::collections::HashMap<u32, u8>,
+    /// 2-bit saturating counters per data-dependent branch site, indexed by
+    /// site id (kernels use small dense ids, so a flat table beats hashing
+    /// on the per-branch hot path). Entries start at 2 (weakly taken);
+    /// the table grows lazily to the highest site seen.
+    predictor: Vec<u8>,
     pushes_since_prune: u32,
     timeline: Option<Timeline>,
     stats: RunStats,
@@ -83,7 +89,9 @@ impl Engine {
             commit_cycle: 0,
             commit_in_cycle: 0,
             last_commit: 0,
-            rob_window: VecDeque::with_capacity(core.rob_size + 1),
+            rob_window: vec![0; core.rob_size.max(1)],
+            rob_head: 0,
+            rob_filled: 0,
             all_complete_max: 0,
             noncustom_complete_max: 0,
             fence_until: 0,
@@ -92,7 +100,7 @@ impl Engine {
             load_ports: Calendar::new(core.load_ports),
             store_ports: Calendar::new(core.store_ports),
             custom_units: vec![0; core.custom_units as usize],
-            predictor: std::collections::HashMap::new(),
+            predictor: Vec::new(),
             pushes_since_prune: 0,
             timeline: None,
             core,
@@ -156,8 +164,8 @@ impl Engine {
     /// with `custom_units == 0` (the baseline has no FIVU).
     pub fn push(&mut self, inst: Inst) -> u64 {
         // --- fetch: width and ROB admission ----------------------------
-        let rob_ready = if self.rob_window.len() >= self.core.rob_size {
-            *self.rob_window.front().expect("window non-empty")
+        let rob_ready = if self.rob_filled == self.core.rob_size {
+            self.rob_window[self.rob_head]
         } else {
             0
         };
@@ -227,11 +235,11 @@ impl Engine {
             }
             Op::Gather { addrs, elem_bytes } => {
                 self.stats.gathers += 1;
-                self.indexed_access(addrs, *elem_bytes, false, ready_t)
+                self.indexed_access(addrs.as_slice(), *elem_bytes, false, ready_t)
             }
             Op::Scatter { addrs, elem_bytes } => {
                 self.stats.scatters += 1;
-                self.indexed_access(addrs, *elem_bytes, true, ready_t)
+                self.indexed_access(addrs.as_slice(), *elem_bytes, true, ready_t)
             }
             Op::Custom {
                 occupancy,
@@ -261,7 +269,11 @@ impl Engine {
             Op::Branch { taken, site } => {
                 self.stats.branches += 1;
                 // 2-bit saturating counter, initialized weakly taken.
-                let counter = self.predictor.entry(*site).or_insert(2);
+                let idx = *site as usize;
+                if idx >= self.predictor.len() {
+                    self.predictor.resize(idx + 1, 2);
+                }
+                let counter = &mut self.predictor[idx];
                 let predicted = *counter >= 2;
                 if *taken {
                     *counter = (*counter + 1).min(3);
@@ -312,9 +324,15 @@ impl Engine {
         self.commit_in_cycle += 1;
         commit_t = commit_t.max(self.commit_cycle);
         self.last_commit = commit_t;
-        self.rob_window.push_back(commit_t);
-        if self.rob_window.len() > self.core.rob_size {
-            self.rob_window.pop_front();
+        // Overwrite the oldest ring entry (which `rob_ready` above already
+        // consumed this push) and advance.
+        self.rob_window[self.rob_head] = commit_t;
+        self.rob_head += 1;
+        if self.rob_head == self.core.rob_size {
+            self.rob_head = 0;
+        }
+        if self.rob_filled < self.core.rob_size {
+            self.rob_filled += 1;
         }
         if let Some(timeline) = &mut self.timeline {
             timeline.record(TimelineEntry {
@@ -331,24 +349,12 @@ impl Engine {
     }
 
     fn mem_access(&mut self, addr: u64, bytes: u32, write: bool, t: u64) -> u64 {
-        let lines: Vec<u64> = self.hier.lines_touched(addr, bytes).collect();
-        // One port slot per line piece; fills overlap (latency = max).
-        // Stores complete when accepted by the store buffer (L1 latency):
-        // the fill/writeback traffic is charged to the memory system but a
-        // store miss does not sit on the dependence/commit critical path.
-        let sb_latency = self.hier.config().l1.latency as u64;
-        let mut done = t;
-        for line in lines {
-            let start = if write {
-                self.store_ports.book(t)
-            } else {
-                self.load_ports.book(t)
-            };
-            let lat = self.hier.access(line, write, start);
-            let effective = if write { sb_latency } else { lat };
-            done = done.max(start + effective);
-        }
-        done
+        let ports = if write {
+            &mut self.store_ports
+        } else {
+            &mut self.load_ports
+        };
+        self.hier.access_span(addr, bytes, write, t, ports)
     }
 
     fn indexed_access(&mut self, addrs: &[u64], elem_bytes: u32, write: bool, t: u64) -> u64 {
@@ -381,8 +387,40 @@ impl Engine {
         self.timeline.as_ref()
     }
 
+    /// Returns the engine to its just-constructed state while keeping its
+    /// internal allocations (register-ready table, ROB window, cache set
+    /// storage), so a sweep can reuse one engine across many runs instead
+    /// of reconstructing per run. Timeline recording is turned off.
+    pub fn reset(&mut self) {
+        crate::telemetry::record_instructions(self.stats.instructions);
+        self.hier.reset();
+        self.alloc.reset();
+        self.next_reg = 0;
+        self.ready.clear();
+        self.fetch_cycle = 0;
+        self.fetch_in_cycle = 0;
+        self.commit_cycle = 0;
+        self.commit_in_cycle = 0;
+        self.last_commit = 0;
+        self.rob_head = 0;
+        self.rob_filled = 0;
+        self.all_complete_max = 0;
+        self.noncustom_complete_max = 0;
+        self.fence_until = 0;
+        self.scalar_units.reset();
+        self.vector_units.reset();
+        self.load_ports.reset();
+        self.store_ports.reset();
+        self.custom_units.iter_mut().for_each(|t| *t = 0);
+        self.predictor.clear();
+        self.pushes_since_prune = 0;
+        self.timeline = None;
+        self.stats = RunStats::default();
+    }
+
     /// Finalizes the run: drains the pipeline and returns the statistics.
     pub fn finish(mut self) -> RunStats {
+        crate::telemetry::record_instructions(self.stats.instructions);
         self.stats.cycles = self.last_commit.max(self.all_complete_max);
         self.hier.fill_stats(&mut self.stats);
         self.stats
@@ -426,14 +464,17 @@ impl Engine {
     }
 
     /// Pushes a gather dependent on `deps` and returns its destination.
-    pub fn gather(&mut self, addrs: Vec<u64>, elem_bytes: u32, deps: &[Reg]) -> Reg {
+    /// Addresses are borrowed — kernels can reuse one scratch buffer across
+    /// the whole sweep instead of allocating per instruction.
+    pub fn gather(&mut self, addrs: &[u64], elem_bytes: u32, deps: &[Reg]) -> Reg {
         let dst = self.fresh_reg();
         self.push(Inst::gather(addrs, elem_bytes, deps, dst));
         dst
     }
 
-    /// Pushes a scatter of `srcs` to `addrs`.
-    pub fn scatter(&mut self, addrs: Vec<u64>, elem_bytes: u32, srcs: &[Reg]) {
+    /// Pushes a scatter of `srcs` to `addrs` (addresses borrowed, as with
+    /// [`Engine::gather`]).
+    pub fn scatter(&mut self, addrs: &[u64], elem_bytes: u32, srcs: &[Reg]) {
         self.push(Inst::scatter(addrs, elem_bytes, srcs));
     }
 

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod mem;
 pub mod prog;
 pub mod stats;
+pub mod telemetry;
 pub mod timeline;
 
 pub use alloc::{AddressSpace, Region};
@@ -55,4 +56,5 @@ pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use engine::Engine;
 pub use prog::{AluKind, Inst, Op, Reg, VecOpKind};
 pub use stats::{CacheStats, RunStats};
+pub use telemetry::{simulated_instructions, ThroughputProbe};
 pub use timeline::{Timeline, TimelineEntry};

@@ -30,6 +30,11 @@ pub struct Cache {
     set_mask: u64,
     /// Per set, most-recently-used first.
     sets: Vec<Vec<Line>>,
+    /// `(set, tag)` of the last access. That line is by construction the
+    /// MRU of its set, so a repeat access (the common case for sequential
+    /// kernels walking a line 8 elements at a time) needs no probe, no
+    /// LRU rotation — just a dirty-bit OR and a hit count.
+    last_hit: Option<(usize, u64)>,
     stats: CacheStats,
 }
 
@@ -52,6 +57,7 @@ impl Cache {
             set_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: (nsets - 1) as u64,
             sets: vec![Vec::with_capacity(cfg.ways); nsets],
+            last_hit: None,
             stats: CacheStats::default(),
         }
     }
@@ -71,6 +77,7 @@ impl Cache {
         addr & !((self.cfg.line_bytes as u64) - 1)
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.set_shift;
         (
@@ -81,8 +88,27 @@ impl Cache {
 
     /// Accesses `addr`; on a miss the line is filled (write-allocate).
     /// `write` marks the line dirty.
+    ///
+    /// The memo check is the whole hot path (sequential kernels re-touch
+    /// the same line element by element); it inlines into callers while
+    /// the probe/fill machinery stays a call away.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> Access {
         let (set_idx, tag) = self.set_and_tag(addr);
+        if self.last_hit == Some((set_idx, tag)) {
+            // The memoized line is the MRU of its set, so the slow path's
+            // remove/insert rotation would be the identity: only the dirty
+            // bit and the hit counter change.
+            self.sets[set_idx][0].dirty |= write;
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.probe(set_idx, tag, write)
+    }
+
+    /// Probe-and-fill path for accesses that miss the last-line memo.
+    fn probe(&mut self, set_idx: usize, tag: u64, write: bool) -> Access {
+        self.last_hit = Some((set_idx, tag));
         let set_bits = self.set_mask.count_ones();
         let set_shift = self.set_shift;
         let set = &mut self.sets[set_idx];
@@ -136,6 +162,16 @@ impl Cache {
     /// Number of resident lines (for tests).
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Empties the cache and zeroes its statistics, keeping every set's
+    /// storage allocated so a reused engine pays no reallocation.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.last_hit = None;
+        self.stats = CacheStats::default();
     }
 }
 

@@ -55,17 +55,26 @@ impl Hierarchy {
     /// Performs one access of up to a cache line at `addr` and returns its
     /// latency in cycles, given the access starts at absolute cycle `now`.
     ///
-    /// Multi-line accesses must be split by the caller (the engine splits
-    /// unit-stride vector accesses into line-sized pieces).
+    /// Multi-line accesses must be split by the caller; unit-stride vector
+    /// accesses should go through [`Hierarchy::access_span`], which splits
+    /// internally without allocating.
+    /// The L1-hit case (the overwhelming majority once a kernel's working
+    /// set is resident) inlines into callers; the multi-level miss walk
+    /// stays a call away.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool, now: u64) -> u64 {
-        let mut latency = self.cfg.l1.latency as u64;
         match self.l1.access(addr, write) {
-            Access::Hit => return latency,
-            Access::Miss { dirty_victim } => {
-                if let Some(victim) = dirty_victim {
-                    self.writeback_to_l2(victim, now);
-                }
-            }
+            Access::Hit => self.cfg.l1.latency as u64,
+            Access::Miss { dirty_victim } => self.access_beyond_l1(addr, dirty_victim, now),
+        }
+    }
+
+    /// Continues an access that missed L1: walks L2 → L3 → DRAM, filling
+    /// and propagating writebacks on the way back.
+    fn access_beyond_l1(&mut self, addr: u64, l1_victim: Option<u64>, now: u64) -> u64 {
+        let mut latency = self.cfg.l1.latency as u64;
+        if let Some(victim) = l1_victim {
+            self.writeback_to_l2(victim, now);
         }
         latency += self.cfg.l2.latency as u64;
         // The fill from L2 (or below) also installs into L1 (done above by
@@ -169,6 +178,41 @@ impl Hierarchy {
         self.prefetches_issued
     }
 
+    /// Performs a unit-stride access of `bytes` starting at `addr`,
+    /// splitting it into line-sized pieces internally — one amortized call
+    /// per vector access instead of one [`Hierarchy::access`] per line,
+    /// with no intermediate address list. Each piece books one slot on
+    /// `ports` no earlier than `t` (fills overlap; latency is the max).
+    /// Stores complete at store-buffer acceptance (L1 latency) — fill and
+    /// writeback traffic is still charged to the memory system, but a
+    /// store miss does not sit on the dependence/commit critical path.
+    pub fn access_span(
+        &mut self,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+        t: u64,
+        ports: &mut Calendar,
+    ) -> u64 {
+        let line = self.cfg.l1.line_bytes as u64;
+        let sb_latency = self.cfg.l1.latency as u64;
+        let first = addr & !(line - 1);
+        let last = (addr + bytes.max(1) as u64 - 1) & !(line - 1);
+        let mut done = t;
+        let mut piece = first;
+        loop {
+            let start = ports.book(t);
+            let lat = self.access(piece, write, start);
+            let effective = if write { sb_latency } else { lat };
+            done = done.max(start + effective);
+            if piece >= last {
+                break;
+            }
+            piece += line;
+        }
+        done
+    }
+
     /// Splits a `[addr, addr + bytes)` access into line-aligned pieces.
     pub fn lines_touched(&self, addr: u64, bytes: u32) -> impl Iterator<Item = u64> {
         let line = self.cfg.l1.line_bytes as u64;
@@ -185,6 +229,20 @@ impl Hierarchy {
         stats.dram_read_bytes = self.dram_read_bytes;
         stats.dram_write_bytes = self.dram_write_bytes;
         stats.dram_busy_cycles = self.dram_busy_cycles;
+    }
+
+    /// Empties all cache levels, the DRAM channel calendar, and the traffic
+    /// counters — the hierarchy behaves exactly like a freshly-built one,
+    /// but keeps its allocated set storage.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.l3.reset();
+        self.dram.reset();
+        self.dram_read_bytes = 0;
+        self.dram_write_bytes = 0;
+        self.dram_busy_cycles = 0;
+        self.prefetches_issued = 0;
     }
 
     /// L1 statistics so far.

@@ -76,14 +76,14 @@ pub enum Op {
     /// gather overhead (paper §III-A: ≥ 22 cycles best case).
     Gather {
         /// Per-element addresses.
-        addrs: Vec<u64>,
+        addrs: AddrList,
         /// Bytes per element.
         elem_bytes: u32,
     },
     /// Indexed vector store, symmetric to [`Op::Gather`].
     Scatter {
         /// Per-element addresses.
-        addrs: Vec<u64>,
+        addrs: AddrList,
         /// Bytes per element.
         elem_bytes: u32,
     },
@@ -147,6 +147,70 @@ impl Op {
             Op::Delay { .. } => "delay",
             Op::Fence => "fence",
         }
+    }
+}
+
+/// Maximum number of gather/scatter addresses stored inline (covers every
+/// vector length the evaluated machines use, VL ≤ 8).
+pub const MAX_INLINE_ADDRS: usize = 8;
+
+/// Per-element address list for [`Op::Gather`]/[`Op::Scatter`].
+///
+/// Up to [`MAX_INLINE_ADDRS`] addresses live inline in the instruction — no
+/// heap allocation on the multi-million-instruction hot path. Longer lists
+/// (wider experimental vector configurations) spill to a boxed slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddrList(AddrRepr);
+
+#[derive(Debug, Clone, PartialEq)]
+enum AddrRepr {
+    Inline([u64; MAX_INLINE_ADDRS], u8),
+    Spilled(Box<[u64]>),
+}
+
+impl AddrList {
+    /// Builds a list, inlining when the slice fits.
+    pub fn from_slice(addrs: &[u64]) -> Self {
+        if addrs.len() <= MAX_INLINE_ADDRS {
+            let mut buf = [0u64; MAX_INLINE_ADDRS];
+            buf[..addrs.len()].copy_from_slice(addrs);
+            AddrList(AddrRepr::Inline(buf, addrs.len() as u8))
+        } else {
+            AddrList(AddrRepr::Spilled(addrs.into()))
+        }
+    }
+
+    /// The addresses as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            AddrRepr::Inline(buf, len) => &buf[..*len as usize],
+            AddrRepr::Spilled(b) => b,
+        }
+    }
+
+    /// Number of addresses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<&[u64]> for AddrList {
+    fn from(addrs: &[u64]) -> Self {
+        AddrList::from_slice(addrs)
+    }
+}
+
+impl From<Vec<u64>> for AddrList {
+    fn from(addrs: Vec<u64>) -> Self {
+        AddrList::from_slice(&addrs)
     }
 }
 
@@ -236,13 +300,27 @@ impl Inst {
     }
 
     /// Gather of `addrs` (dependent on the index register) into `dst`.
-    pub fn gather(addrs: Vec<u64>, elem_bytes: u32, srcs: &[Reg], dst: Reg) -> Self {
-        Inst::new(Op::Gather { addrs, elem_bytes }, srcs, Some(dst))
+    pub fn gather(addrs: impl Into<AddrList>, elem_bytes: u32, srcs: &[Reg], dst: Reg) -> Self {
+        Inst::new(
+            Op::Gather {
+                addrs: addrs.into(),
+                elem_bytes,
+            },
+            srcs,
+            Some(dst),
+        )
     }
 
     /// Scatter to `addrs`.
-    pub fn scatter(addrs: Vec<u64>, elem_bytes: u32, srcs: &[Reg]) -> Self {
-        Inst::new(Op::Scatter { addrs, elem_bytes }, srcs, None)
+    pub fn scatter(addrs: impl Into<AddrList>, elem_bytes: u32, srcs: &[Reg]) -> Self {
+        Inst::new(
+            Op::Scatter {
+                addrs: addrs.into(),
+                elem_bytes,
+            },
+            srcs,
+            None,
+        )
     }
 
     /// Vector ALU instruction.
@@ -317,14 +395,22 @@ mod tests {
             }
         ));
 
-        let g = Inst::gather(vec![0, 8, 16], 8, &[1], 2);
+        let g = Inst::gather(&[0u64, 8, 16][..], 8, &[1], 2);
         assert_eq!(g.srcs.as_slice(), &[1]);
         if let Op::Gather { addrs, elem_bytes } = &g.op {
-            assert_eq!(addrs.len(), 3);
+            assert_eq!(addrs.as_slice(), &[0, 8, 16]);
             assert_eq!(*elem_bytes, 8);
         } else {
             panic!("wrong op");
         }
+
+        // Address lists at or under MAX_INLINE_ADDRS stay inline; longer
+        // ones spill but round-trip identically.
+        let long: Vec<u64> = (0..MAX_INLINE_ADDRS as u64 + 3).map(|i| i * 64).collect();
+        let spilled = AddrList::from_slice(&long);
+        assert_eq!(spilled.as_slice(), long.as_slice());
+        assert_eq!(spilled.len(), long.len());
+        assert!(!spilled.is_empty());
 
         let f = Inst::fence();
         assert!(matches!(f.op, Op::Fence));

@@ -1,9 +1,7 @@
 //! Run statistics collected by the engine and memory system.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss counters for one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Accesses that hit at this level.
     pub hits: u64,
@@ -31,7 +29,7 @@ impl CacheStats {
 }
 
 /// Statistics of one simulated run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunStats {
     /// Total cycles (commit time of the last instruction).
     pub cycles: u64,

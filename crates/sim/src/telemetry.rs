@@ -1,0 +1,89 @@
+//! Process-wide simulated-work counters.
+//!
+//! The sweeps run thousands of independent engines across worker threads;
+//! per-run [`RunStats`](crate::stats::RunStats) can't answer "how fast is
+//! the simulator itself" without threading counters through every layer.
+//! Instead, every finished or reset engine adds its retired-instruction
+//! count to one global atomic, and a [`ThroughputProbe`] brackets a sweep
+//! to report simulated instructions per wall-clock second (MIPS).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+static SIM_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Credits `n` retired instructions to the process-wide counter. Called by
+/// the engine on `finish()` and `reset()`; an engine dropped mid-run is
+/// not counted.
+pub(crate) fn record_instructions(n: u64) {
+    SIM_INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total simulated instructions retired by all engines in this process,
+/// across all threads. Monotonic; diff two readings to bracket a sweep.
+pub fn simulated_instructions() -> u64 {
+    SIM_INSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+/// Brackets a stretch of simulation: construct with
+/// [`ThroughputProbe::start`] before a sweep, then read the simulated
+/// instruction delta, elapsed wall-clock, and MIPS.
+#[derive(Debug)]
+pub struct ThroughputProbe {
+    start_instructions: u64,
+    started: Instant,
+}
+
+impl ThroughputProbe {
+    /// Snapshots the counter and the clock.
+    pub fn start() -> Self {
+        ThroughputProbe {
+            start_instructions: simulated_instructions(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Simulated instructions retired since the probe started.
+    pub fn instructions(&self) -> u64 {
+        simulated_instructions() - self.start_instructions
+    }
+
+    /// Wall-clock time since the probe started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Millions of simulated instructions per wall-clock second.
+    pub fn mips(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.instructions() as f64 / 1e6 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, MemConfig};
+    use crate::engine::Engine;
+    use crate::prog::AluKind;
+
+    #[test]
+    fn finish_and_reset_credit_the_global_counter() {
+        let probe = ThroughputProbe::start();
+        let mut e = Engine::new(CoreConfig::default(), MemConfig::default());
+        for _ in 0..25 {
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        e.reset(); // 25 credited here
+        for _ in 0..10 {
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        e.finish(); // 10 more
+        // Other tests run concurrently, so only a lower bound is exact.
+        assert!(probe.instructions() >= 35);
+        assert!(probe.elapsed() > Duration::ZERO);
+    }
+}

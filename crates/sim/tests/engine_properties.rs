@@ -1,7 +1,9 @@
-//! Property tests over the timing engine: determinism, lower bounds, and
-//! monotonicity under arbitrary instruction streams.
+//! Randomized property tests over the timing engine: determinism, lower
+//! bounds, and monotonicity under arbitrary instruction streams. Each test
+//! replays deterministic seeded streams (via-rng), so failures name a
+//! reproducible case index.
 
-use proptest::prelude::*;
+use via_rng::{cases, StdRng};
 use via_sim::prog::{AluKind, VecOpKind};
 use via_sim::{CoreConfig, Engine, MemConfig, RunStats};
 
@@ -18,20 +20,36 @@ enum Template {
     Delay { cycles: u8 },
 }
 
-fn arb_stream() -> impl Strategy<Value = Vec<Template>> {
-    proptest::collection::vec(
-        prop_oneof![
-            proptest::bool::ANY.prop_map(|d| Template::Scalar { dep_on_prev: d }),
-            proptest::bool::ANY.prop_map(|d| Template::Vec { dep_on_prev: d }),
-            (0u32..1 << 16, 3u8..6).prop_map(|(addr, b)| Template::Load { addr, bytes_log: b }),
-            (0u32..1 << 16).prop_map(|addr| Template::Store { addr }),
-            (0u32..1 << 14, 1u8..32).prop_map(|(base, stride)| Template::GatherOf { base, stride }),
-            (proptest::bool::ANY, 0u8..4)
-                .prop_map(|(taken, site)| Template::Branch { taken, site }),
-            (1u8..40).prop_map(|cycles| Template::Delay { cycles }),
-        ],
-        1..200,
-    )
+fn arb_stream(rng: &mut StdRng) -> Vec<Template> {
+    let len = rng.random_range(1usize..200);
+    (0..len)
+        .map(|_| match rng.random_range(0u32..7) {
+            0 => Template::Scalar {
+                dep_on_prev: rng.random(),
+            },
+            1 => Template::Vec {
+                dep_on_prev: rng.random(),
+            },
+            2 => Template::Load {
+                addr: rng.random_range(0u32..1 << 16),
+                bytes_log: rng.random_range(3u32..6) as u8,
+            },
+            3 => Template::Store {
+                addr: rng.random_range(0u32..1 << 16),
+            },
+            4 => Template::GatherOf {
+                base: rng.random_range(0u32..1 << 14),
+                stride: rng.random_range(1u32..32) as u8,
+            },
+            5 => Template::Branch {
+                taken: rng.random(),
+                site: rng.random_range(0u32..4) as u8,
+            },
+            _ => Template::Delay {
+                cycles: rng.random_range(1u32..40) as u8,
+            },
+        })
+        .collect()
 }
 
 fn replay(stream: &[Template], core: CoreConfig, mem: MemConfig) -> RunStats {
@@ -59,7 +77,7 @@ fn replay(stream: &[Template], core: CoreConfig, mem: MemConfig) -> RunStats {
                 let addrs: Vec<u64> = (0..4u64)
                     .map(|i| 0x10000 + *base as u64 + i * *stride as u64 * 8)
                     .collect();
-                Some(e.gather(addrs, 8, &deps))
+                Some(e.gather(&addrs, 8, &deps))
             }
             Template::Branch { taken, site } => {
                 e.branch(*taken, *site as u32, &deps);
@@ -74,34 +92,39 @@ fn replay(stream: &[Template], core: CoreConfig, mem: MemConfig) -> RunStats {
     e.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn engine_is_deterministic(stream in arb_stream()) {
+#[test]
+fn engine_is_deterministic() {
+    cases(64, 0xE1, |i, rng| {
+        let stream = arb_stream(rng);
         let a = replay(&stream, CoreConfig::default(), MemConfig::default());
         let b = replay(&stream, CoreConfig::default(), MemConfig::default());
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b, "case {i}");
+    });
+}
 
-    #[test]
-    fn cycles_respect_commit_width(stream in arb_stream()) {
+#[test]
+fn cycles_respect_commit_width() {
+    cases(64, 0xE2, |i, rng| {
+        let stream = arb_stream(rng);
         let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
         let floor = stats.instructions / CoreConfig::default().commit_width as u64;
-        prop_assert!(
+        assert!(
             stats.cycles >= floor,
-            "cycles {} below commit floor {}",
+            "case {i}: cycles {} below commit floor {}",
             stats.cycles,
             floor
         );
-        prop_assert_eq!(stats.instructions, stream.len() as u64);
-    }
+        assert_eq!(stats.instructions, stream.len() as u64, "case {i}");
+    });
+}
 
-    #[test]
-    fn wider_machine_is_rarely_meaningfully_slower(stream in arb_stream()) {
-        // Scheduling anomalies make strict monotonicity false on real
-        // out-of-order machines and in this model (earlier issue can
-        // reorder cache state); allow a small tolerance.
+#[test]
+fn wider_machine_is_rarely_meaningfully_slower() {
+    // Scheduling anomalies make strict monotonicity false on real
+    // out-of-order machines and in this model (earlier issue can reorder
+    // cache state); allow a small tolerance.
+    cases(64, 0xE3, |i, rng| {
+        let stream = arb_stream(rng);
         let narrow = CoreConfig {
             fetch_width: 2,
             commit_width: 2,
@@ -112,16 +135,19 @@ proptest! {
         };
         let slow = replay(&stream, narrow, MemConfig::default());
         let fast = replay(&stream, CoreConfig::default(), MemConfig::default());
-        prop_assert!(
+        assert!(
             fast.cycles as f64 <= slow.cycles as f64 * 1.05 + 50.0,
-            "wider machine much slower: {} > {}",
+            "case {i}: wider machine much slower: {} > {}",
             fast.cycles,
             slow.cycles
         );
-    }
+    });
+}
 
-    #[test]
-    fn faster_memory_is_rarely_meaningfully_slower(stream in arb_stream()) {
+#[test]
+fn faster_memory_is_rarely_meaningfully_slower() {
+    cases(64, 0xE4, |i, rng| {
+        let stream = arb_stream(rng);
         let slow_mem = MemConfig {
             dram_latency: 400,
             dram_bytes_per_cycle: 4.0,
@@ -129,28 +155,88 @@ proptest! {
         };
         let slow = replay(&stream, CoreConfig::default(), slow_mem);
         let fast = replay(&stream, CoreConfig::default(), MemConfig::default());
-        prop_assert!(
+        assert!(
             fast.cycles as f64 <= slow.cycles as f64 * 1.05 + 50.0,
-            "faster DRAM much slower: {} > {}",
+            "case {i}: faster DRAM much slower: {} > {}",
             fast.cycles,
             slow.cycles
         );
-    }
+    });
+}
 
-    #[test]
-    fn mispredicts_never_exceed_branches(stream in arb_stream()) {
+#[test]
+fn mispredicts_never_exceed_branches() {
+    cases(64, 0xE5, |i, rng| {
+        let stream = arb_stream(rng);
         let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
-        prop_assert!(stats.mispredicts <= stats.branches);
-    }
+        assert!(stats.mispredicts <= stats.branches, "case {i}");
+    });
+}
 
-    #[test]
-    fn cache_hits_plus_misses_equals_accesses(stream in arb_stream()) {
+#[test]
+fn cache_hits_plus_misses_equals_accesses() {
+    cases(64, 0xE6, |i, rng| {
+        let stream = arb_stream(rng);
         let stats = replay(&stream, CoreConfig::default(), MemConfig::default());
         // L2 demand accesses are L1 misses (writebacks are tracked
         // separately and not counted as demand).
-        prop_assert_eq!(stats.l2.accesses(), stats.l1.misses);
-        prop_assert_eq!(stats.l3.accesses(), stats.l2.misses);
+        assert_eq!(stats.l2.accesses(), stats.l1.misses, "case {i}");
+        assert_eq!(stats.l3.accesses(), stats.l2.misses, "case {i}");
         // DRAM reads are L3 miss fills (one line each).
-        prop_assert_eq!(stats.dram_read_bytes, stats.l3.misses * 64);
-    }
+        assert_eq!(stats.dram_read_bytes, stats.l3.misses * 64, "case {i}");
+    });
+}
+
+#[test]
+fn engine_reset_reproduces_fresh_engine() {
+    // A reused (reset) engine must time streams identically to a freshly
+    // constructed one — the contract that lets sweeps keep one engine's
+    // allocations alive across runs.
+    cases(32, 0xE7, |i, rng| {
+        let stream = arb_stream(rng);
+        let fresh = replay(&stream, CoreConfig::default(), MemConfig::default());
+        let mut e = Engine::new(CoreConfig::default(), MemConfig::default());
+        // Dirty the engine with a different stream, then reset.
+        for a in 0..50u64 {
+            e.load(0x9000 + a * 24, 8);
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        e.reset();
+        let mut prev = None;
+        for t in &stream {
+            let deps: Vec<u32> = prev.into_iter().collect();
+            let next = match t {
+                Template::Scalar { dep_on_prev } => {
+                    let d = if *dep_on_prev { deps.as_slice() } else { &[] };
+                    Some(e.scalar_op(AluKind::FpAdd, d))
+                }
+                Template::Vec { dep_on_prev } => {
+                    let d = if *dep_on_prev { deps.as_slice() } else { &[] };
+                    Some(e.vec_op(VecOpKind::Fma, d))
+                }
+                Template::Load { addr, bytes_log } => {
+                    Some(e.load(0x10000 + *addr as u64, 1 << bytes_log))
+                }
+                Template::Store { addr } => {
+                    e.store(0x10000 + *addr as u64, 8, &deps);
+                    None
+                }
+                Template::GatherOf { base, stride } => {
+                    let addrs: Vec<u64> = (0..4u64)
+                        .map(|k| 0x10000 + *base as u64 + k * *stride as u64 * 8)
+                        .collect();
+                    Some(e.gather(&addrs, 8, &deps))
+                }
+                Template::Branch { taken, site } => {
+                    e.branch(*taken, *site as u32, &deps);
+                    None
+                }
+                Template::Delay { cycles } => Some(e.delay(*cycles as u32, &deps)),
+            };
+            if next.is_some() {
+                prev = next;
+            }
+        }
+        assert_eq!(e.finish(), fresh, "case {i}: reset engine diverged");
+    });
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   scripts/tier1.sh
+#
+# Release build, full workspace test suite, the golden cycle-count
+# snapshots (the bit-exactness contract for the timing model), and the
+# simulator-throughput smoke benchmark — correctness and performance
+# regressions surface in one command.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (workspace)"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace, release)"
+cargo test --workspace --release -q
+
+echo "==> golden cycle snapshots"
+cargo test -p via-kernels --release -q --test golden_cycles
+
+echo "==> perf_smoke (simulator throughput)"
+cargo run --release -p via-bench --bin perf_smoke
+
+echo "tier-1: OK"
