@@ -16,7 +16,10 @@ fn main() {
     for ab in ablations::all(&scale) {
         eprintln!("  {}:", ab.name);
         for p in &ab.points {
-            eprintln!("    {:<38} {:>9} cyc ({:.3}x)", p.knob, p.cycles, p.relative);
+            eprintln!(
+                "    {:<38} {:>9} cyc ({:.3}x)",
+                p.knob, p.cycles, p.relative
+            );
         }
     }
     microbench::bench("ablation_commit_serialization", || {

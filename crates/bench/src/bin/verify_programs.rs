@@ -1,0 +1,286 @@
+//! `via-verify` static sweep over every shipped kernel × format × scale.
+//!
+//! Each target runs its kernels on a generated suite with thread-local
+//! report capture enabled, so every engine the kernels construct verifies
+//! its instruction stream (def-before-use, structural lints, gather/scatter
+//! ordering) and the `ViaUnit` mode checker validates the SSPM direct/CAM
+//! interleaving. Diagnostics are printed rustc-style on stderr and the
+//! machine-readable summary (per-target counts plus every violation with
+//! its instruction index) is written as JSON.
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin verify_programs [-- --quick] [--out path.json]
+//! ```
+//!
+//! Exit status is 1 if any error-severity diagnostic is produced — the
+//! tier-1 gate runs this with `--quick`.
+
+use via_bench::{ExperimentScale, Suite};
+use via_core::ViaConfig;
+use via_formats::{gen, Csb, SellCSigma, Spc5};
+use via_kernels::spmspv::SparseVector;
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil, SimContext};
+use via_rng::StdRng;
+use via_sim::verify::{self, Diag, Severity};
+
+/// Aggregated verification outcome of one kernel-family target.
+struct TargetOutcome {
+    name: String,
+    engines: usize,
+    instructions: u64,
+    diags: Vec<Diag>,
+}
+
+impl TargetOutcome {
+    fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    fn warnings(&self) -> usize {
+        self.diags.len() - self.errors()
+    }
+}
+
+/// Runs `run` with report capture on and folds every engine's report into
+/// one labeled outcome. Kernels must run on this thread — capture is
+/// thread-local by design (parallel sweeps would interleave reports).
+fn check(name: &str, outcomes: &mut Vec<TargetOutcome>, run: impl FnOnce()) {
+    let guard = verify::capture_guard();
+    run();
+    let reports = verify::drain_captured();
+    drop(guard);
+    let mut outcome = TargetOutcome {
+        name: name.to_string(),
+        engines: reports.len(),
+        instructions: 0,
+        diags: Vec::new(),
+    };
+    for report in reports {
+        outcome.instructions += report.instructions;
+        outcome.diags.extend(report.diags);
+    }
+    eprintln!(
+        "  {:<22} {:>4} engines  {:>9} instructions  {} errors, {} warnings",
+        outcome.name,
+        outcome.engines,
+        outcome.instructions,
+        outcome.errors(),
+        outcome.warnings()
+    );
+    for diag in &outcome.diags {
+        eprintln!("{}", diag.render());
+    }
+    outcomes.push(outcome);
+}
+
+fn uniform_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..nbins as u32)).collect()
+}
+
+fn skewed_keys(n: usize, nbins: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            (((u * u) * nbins as f64) as u32).min(nbins as u32 - 1)
+        })
+        .collect()
+}
+
+fn frontier(n: usize, k: usize, seed: u64) -> SparseVector {
+    SparseVector::from_pairs((0..k).map(|i| {
+        let idx = ((i as u64 * 2654435761 + seed) % n as u64) as usize;
+        (idx, 1.0 + i as f64)
+    }))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "VERIFY_programs.json".to_string());
+
+    let scale = if quick {
+        ExperimentScale {
+            matrices: 4,
+            min_rows: 96,
+            max_rows: 256,
+            density_range: (0.001, 0.026),
+            seed: 3,
+            threads: 1,
+        }
+    } else {
+        ExperimentScale {
+            matrices: 10,
+            min_rows: 128,
+            max_rows: 768,
+            density_range: (0.0005, 0.026),
+            seed: 0x51A,
+            threads: 1,
+        }
+    };
+    let suite = Suite::generate(&scale);
+    // Two SSPM geometries: the paper's default 16 KB point, and the small
+    // 4 KB point that forces the kernels' segmentation/multi-pass paths.
+    let ctxs = [
+        ("16k2p", SimContext::default()),
+        ("4k2p", SimContext::with_via(ViaConfig::new(4, 2))),
+    ];
+    eprintln!(
+        "verify_programs: {} matrices (rows {}..{}), {} SSPM geometries{}",
+        suite.len(),
+        scale.min_rows,
+        scale.max_rows,
+        ctxs.len(),
+        if quick { " [--quick]" } else { "" }
+    );
+
+    let mut outcomes: Vec<TargetOutcome> = Vec::new();
+
+    for (cfg_name, ctx) in &ctxs {
+        let bs = ctx.via.csb_block_size();
+        let vl = ctx.vl();
+        check(&format!("spmv/{cfg_name}"), &mut outcomes, || {
+            for m in &suite.matrices {
+                let x = gen::dense_vector(m.csr.cols(), m.seed);
+                let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+                let spc5_m = Spc5::from_csr(&m.csr, vl).expect("valid block height");
+                let sell_m = SellCSigma::from_csr(&m.csr, vl, (vl * 8).min(m.csr.rows().max(vl)))
+                    .unwrap_or_else(|_| SellCSigma::from_csr(&m.csr, vl, vl).expect("c=sigma"));
+                spmv::scalar_csr(&m.csr, &x, ctx);
+                spmv::csr_vec(&m.csr, &x, ctx);
+                spmv::via_csr(&m.csr, &x, ctx);
+                spmv::spc5(&spc5_m, &x, ctx);
+                spmv::via_spc5(&spc5_m, &x, ctx);
+                spmv::sell(&sell_m, &x, ctx);
+                spmv::via_sell(&sell_m, &x, ctx);
+                spmv::csb_software(&csb, &x, ctx);
+                spmv::csb_software_vec(&csb, &x, ctx);
+                spmv::via_csb(&csb, &x, ctx);
+            }
+        });
+        check(&format!("spma/{cfg_name}"), &mut outcomes, || {
+            for m in &suite.matrices {
+                let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+                spma::merge_csr(&m.csr, &b, ctx);
+                spma::via_cam(&m.csr, &b, ctx);
+            }
+        });
+        check(&format!("spmm/{cfg_name}"), &mut outcomes, || {
+            // SpMM cost is quadratic in rows — cap like ExperimentScale::spmm.
+            for m in suite.matrices.iter().filter(|m| m.csr.rows() <= 384) {
+                let b =
+                    gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
+                spmm::inner_product(&m.csr, &b, ctx);
+                spmm::via_cam(&m.csr, &b, ctx);
+                let b2 = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 3);
+                spmm::gustavson(&m.csr, &b2, ctx);
+            }
+        });
+        check(&format!("spmspv/{cfg_name}"), &mut outcomes, || {
+            for (n, seed) in [(200usize, 31u64), (600, 33)] {
+                let a = gen::rmat(n, n * 6, seed).to_csc();
+                let x = frontier(n, n / 12, seed ^ 1);
+                spmspv::spa_dense(&a, &x, ctx);
+                spmspv::via_cam(&a, &x, ctx);
+            }
+        });
+        check(&format!("histogram/{cfg_name}"), &mut outcomes, || {
+            let n = if quick { 400 } else { 1500 };
+            for (keys, nbins) in [
+                (uniform_keys(n, 256, 5), 256usize),
+                (uniform_keys(n, 2048, 6), 2048),
+                (skewed_keys(n, 256, 7), 256),
+            ] {
+                histogram::scalar(&keys, nbins, ctx);
+                histogram::vector_cd(&keys, nbins, ctx);
+                histogram::via(&keys, nbins, ctx);
+            }
+        });
+        check(&format!("stencil/{cfg_name}"), &mut outcomes, || {
+            let filter = stencil::gaussian4();
+            let sides: &[usize] = if quick { &[32] } else { &[32, 64] };
+            for &side in sides {
+                let image: Vec<f64> = gen::dense_vector(side * side, side as u64)
+                    .into_iter()
+                    .map(f64::abs)
+                    .collect();
+                stencil::scalar(&image, side, side, &filter, ctx);
+                stencil::vector(&image, side, side, &filter, ctx);
+                stencil::via(&image, side, side, &filter, ctx);
+            }
+        });
+    }
+
+    let total_instructions: u64 = outcomes.iter().map(|o| o.instructions).sum();
+    let errors: usize = outcomes.iter().map(TargetOutcome::errors).sum();
+    let warnings: usize = outcomes.iter().map(TargetOutcome::warnings).sum();
+
+    let mut targets = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            targets.push_str(",\n");
+        }
+        targets.push_str(&format!(
+            "    {{\"name\": \"{}\", \"engines\": {}, \"instructions\": {}, \
+             \"errors\": {}, \"warnings\": {}}}",
+            o.name,
+            o.engines,
+            o.instructions,
+            o.errors(),
+            o.warnings()
+        ));
+    }
+    let mut violations = String::new();
+    let mut first = true;
+    for o in &outcomes {
+        for d in &o.diags {
+            if !first {
+                violations.push_str(",\n");
+            }
+            first = false;
+            let severity = match d.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            violations.push_str(&format!(
+                "    {{\"target\": \"{}\", \"code\": \"{}\", \"severity\": \
+                 \"{severity}\", \"inst_index\": {}, \"tag\": \"{}\", \
+                 \"message\": \"{}\"}}",
+                o.name,
+                d.code.code(),
+                d.index,
+                json_escape(d.tag),
+                json_escape(&d.message)
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"targets\": [\n{targets}\n  ],\n  \
+         \"violations\": [\n{violations}\n  ],\n  \
+         \"total_instructions\": {total_instructions},\n  \
+         \"errors\": {errors},\n  \"warnings\": {warnings},\n  \
+         \"clean\": {}\n}}\n",
+        errors == 0
+    );
+    std::fs::write(&out_path, &json).expect("write verify json");
+    eprintln!(
+        "verify_programs: {total_instructions} instructions across {} targets \
+         -> {errors} errors, {warnings} warnings ({out_path})",
+        outcomes.len()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -183,10 +183,23 @@ where
                     }
                     let r = f(&items[i]);
                     // SAFETY: `i` was claimed exclusively above.
-                    unsafe { *slots.0.add(i) = Some(r) };
+                    unsafe {
+                        let slot = slots.0.add(i);
+                        // Backs the exclusive-claim invariant: a second
+                        // writer would observe the slot already filled.
+                        debug_assert!((*slot).is_none(), "slot {i} claimed twice");
+                        *slot = Some(r);
+                    };
                 });
             }
         });
+        // Backs the `Sync` SAFETY claim: the counter handed out every index
+        // (so each slot had exactly one writer) before `results` is touched
+        // again here on the parent thread.
+        debug_assert!(
+            next.load(std::sync::atomic::Ordering::Relaxed) >= items.len(),
+            "workers exited before claiming every index"
+        );
     }
     results
         .into_iter()

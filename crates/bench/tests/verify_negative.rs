@@ -1,0 +1,236 @@
+//! Negative tests for `via-verify`: start from a program the verifier
+//! accepts, hand-corrupt it one way, and assert the corruption is rejected
+//! with the expected `VIAxxx` diagnostic code.
+//!
+//! These drive [`via_sim::verify`] and [`via_core::ModeChecker`] directly
+//! (no engine), so they exercise the same checks in release builds, where
+//! the engine's debug-only panic hook is compiled out.
+
+use via_core::{ModeChecker, SspmOpClass, ViaConfig};
+use via_sim::prog::{AluKind, Inst, VecOpKind};
+use via_sim::verify::{verify_program, DiagCode, Program, Severity, VerifyConfig};
+use via_sim::CoreConfig;
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig::from_core(&CoreConfig::default()) // VL = 4 lanes, no FIVU
+}
+
+fn via_cfg() -> VerifyConfig {
+    VerifyConfig::from_core(&CoreConfig::default().with_custom_unit())
+}
+
+/// A small well-formed program: load two values, combine, store, gather.
+fn clean_program() -> Program {
+    let mut p = Program::new();
+    p.push(Inst::load(0x1000, 8, 0));
+    p.push(Inst::load(0x1008, 8, 1));
+    p.push(Inst::scalar(AluKind::FpAdd, &[0, 1], Some(2)));
+    p.push(Inst::store(0x2000, 8, &[2]));
+    p.push(Inst::gather(vec![0x3000, 0x3040], 8, &[2], 3));
+    p.push(Inst::vec(VecOpKind::Reduce, &[3], Some(4)));
+    p
+}
+
+fn codes(report: &via_sim::verify::Report) -> Vec<&'static str> {
+    report.diags.iter().map(|d| d.code.code()).collect()
+}
+
+#[test]
+fn the_uncorrupted_program_is_clean() {
+    let report = verify_program(&clean_program(), &cfg());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.instructions, 6);
+}
+
+#[test]
+fn undefined_register_is_via001() {
+    let mut p = clean_program();
+    // Corrupt: the scalar now reads r7, which nothing defines.
+    p.insts_mut()[2] = Inst::scalar(AluKind::FpAdd, &[0, 7], Some(2));
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA001"]);
+    assert_eq!(
+        report.diags[0].index, 2,
+        "diagnostic carries the inst index"
+    );
+}
+
+#[test]
+fn out_of_range_register_is_via002() {
+    let mut p = clean_program().with_declared_regs(5);
+    // Corrupt: dep index beyond the declared register file.
+    p.insts_mut()[3] = Inst::store(0x2000, 8, &[99]);
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA002"]);
+}
+
+#[test]
+fn cyclic_dependency_is_via003() {
+    let mut p = clean_program();
+    // Corrupt: r2's only definition is the instruction that consumes it —
+    // a one-node dependency cycle.
+    p.insts_mut()[2] = Inst::scalar(AluKind::FpAdd, &[2], Some(2));
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA003"]);
+}
+
+#[test]
+fn redefinition_is_not_a_cycle() {
+    // `r = f(r)` reads the previous definition (capture-at-entry renaming):
+    // legal, and the verifier must not confuse it with VIA003.
+    let mut p = Program::new();
+    p.push(Inst::load(0x1000, 8, 0));
+    p.push(Inst::scalar(AluKind::FpAdd, &[0], Some(0)));
+    assert!(verify_program(&p, &cfg()).is_clean());
+}
+
+#[test]
+fn addr_list_longer_than_vl_is_via004() {
+    let mut p = clean_program();
+    // Corrupt: 6 gather addresses on a 4-lane machine.
+    let addrs: Vec<u64> = (0..6u64).map(|i| 0x3000 + i * 8).collect();
+    p.insts_mut()[4] = Inst::gather(addrs, 8, &[2], 3);
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA004"]);
+}
+
+#[test]
+fn empty_addr_list_is_via004() {
+    let mut p = clean_program();
+    p.insts_mut()[4] = Inst::gather(Vec::<u64>::new(), 8, &[2], 3);
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA004"]);
+}
+
+#[test]
+fn duplicate_sources_is_via005_warning() {
+    let mut p = clean_program();
+    p.insts_mut()[2] = Inst::scalar(AluKind::FpAdd, &[0, 0], Some(2));
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA005"]);
+    assert_eq!(report.diags[0].severity(), Severity::Warning);
+    assert!(report.is_clean(), "warnings are not violations");
+}
+
+#[test]
+fn custom_op_without_unit_is_via006() {
+    let mut p = clean_program();
+    p.insts_mut()[5] = Inst::custom(1, 3, true, &[3], Some(4));
+    // Rejected on the baseline core (no FIVU)...
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA006"]);
+    // ...accepted on a core with the custom unit.
+    assert!(verify_program(&p, &via_cfg()).is_clean());
+}
+
+#[test]
+fn zero_byte_access_is_via007() {
+    let mut p = clean_program();
+    p.insts_mut()[3] = Inst::store(0x2000, 0, &[2]);
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA007"]);
+    assert_eq!(report.diags[0].severity(), Severity::Warning);
+}
+
+#[test]
+fn unordered_gather_after_scatter_is_via008() {
+    let mut p = Program::new();
+    p.push(Inst::load(0x1000, 8, 0));
+    p.push(Inst::load(0x1008, 8, 1));
+    p.push(Inst::scatter(vec![0x3000, 0x3040], 8, &[0]));
+    // Corrupt ordering: the gather reads the scattered lines but depends
+    // only on r1, defined *before* the scatter and sharing no register
+    // with it — nothing orders it after the store-buffer drain.
+    p.push(Inst::gather(vec![0x3000, 0x3040], 8, &[1], 2));
+    let report = verify_program(&p, &cfg());
+    assert_eq!(codes(&report), ["VIA008"]);
+}
+
+#[test]
+fn fence_restores_gather_ordering() {
+    let mut p = Program::new();
+    p.push(Inst::load(0x1000, 8, 0));
+    p.push(Inst::load(0x1008, 8, 1));
+    p.push(Inst::scatter(vec![0x3000, 0x3040], 8, &[0]));
+    p.push(Inst::fence());
+    p.push(Inst::gather(vec![0x3000, 0x3040], 8, &[1], 2));
+    assert!(verify_program(&p, &cfg()).is_clean());
+}
+
+#[test]
+fn cam_write_over_dirty_direct_region_is_via009() {
+    let mut mode = ModeChecker::new(&ViaConfig::new(4, 2));
+    // Legal prefix: direct writes into the low region.
+    assert!(mode
+        .note(SspmOpClass::DirectWrite, 4, Some((0, 4)))
+        .is_empty());
+    // Corrupt mode sequence: a CAM insert with no vldxclear in between.
+    let diags = mode.note(SspmOpClass::CamWrite, 4, None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, DiagCode::SspmModeConflict);
+    assert_eq!(diags[0].code.code(), "VIA009");
+}
+
+#[test]
+fn direct_write_under_cam_slots_is_via010() {
+    let mut mode = ModeChecker::new(&ViaConfig::new(4, 2));
+    assert!(mode.note(SspmOpClass::CamWrite, 8, None).is_empty());
+    // Corrupt: a direct write landing on SRAM entries the index table owns.
+    let diags = mode.note(SspmOpClass::DirectWrite, 2, Some((1, 3)));
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code.code(), "VIA010");
+}
+
+#[test]
+fn index_read_of_empty_table_is_via011() {
+    let mut mode = ModeChecker::new(&ViaConfig::new(4, 2));
+    let diags = mode.note(SspmOpClass::IndexRead, 4, None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code.code(), "VIA011");
+}
+
+#[test]
+fn cam_overflow_risk_is_via012() {
+    let config = ViaConfig::new(4, 2);
+    let mut mode = ModeChecker::new(&config);
+    let cam = config.cam_entries() as u32;
+    assert!(mode.note(SspmOpClass::CamWrite, cam, None).is_empty());
+    let diags = mode.note(SspmOpClass::CamWrite, 1, None);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code.code(), "VIA012");
+    assert_eq!(diags[0].severity(), Severity::Warning);
+}
+
+#[test]
+fn every_negative_corruption_has_a_distinct_code() {
+    // The acceptance criterion: the twelve corruptions above map onto
+    // twelve distinct diagnostic codes.
+    let all = [
+        DiagCode::UndefinedRegister,
+        DiagCode::RegisterOutOfRange,
+        DiagCode::SelfDependency,
+        DiagCode::AddrListMismatch,
+        DiagCode::DuplicateSources,
+        DiagCode::CustomWithoutUnit,
+        DiagCode::DegenerateOperand,
+        DiagCode::UnorderedGatherAfterScatter,
+        DiagCode::SspmModeConflict,
+        DiagCode::SspmDirectWriteUnderCam,
+        DiagCode::SspmIndexReadEmpty,
+        DiagCode::SspmCamOverflowRisk,
+    ];
+    let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), all.len());
+}
+
+#[test]
+fn rendered_report_is_rustc_style() {
+    let mut p = clean_program();
+    p.insts_mut()[2] = Inst::scalar(AluKind::FpAdd, &[0, 7], Some(2));
+    let report = verify_program(&p, &cfg());
+    let text = report.render();
+    assert!(text.contains("error[VIA001]"), "{text}");
+    assert!(text.contains("--> inst #2"), "{text}");
+}

@@ -231,6 +231,9 @@ mod tests {
         );
         let mut v = ViaUnit::new(ViaConfig::new(4, 2));
         v.vldx_load_d(&mut e, &[0], &[1.0], &[]);
+        // Mode switch: direct writes dirtied the CAM-owned low region, so a
+        // clear must precede the CAM insert (via-verify VIA009).
+        v.vldx_clear(&mut e);
         v.vldx_load_c(&mut e, &[5], &[2.0], &[]);
         v.vldx_mov_d(&mut e, &[0], &[]);
         v.vldx_mov_c(&mut e, &[5], &[]);
@@ -244,6 +247,6 @@ mod tests {
         v.vldx_blk_mult_d(&mut e, &[0], &[1.0], 4, 16, &[]);
         v.vldx_clear(&mut e);
         let stats = e.finish();
-        assert_eq!(stats.custom_ops, 13);
+        assert_eq!(stats.custom_ops, 14);
     }
 }

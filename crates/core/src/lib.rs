@@ -53,11 +53,13 @@
 mod config;
 mod fivu;
 pub mod isa;
+pub mod mode;
 mod sspm;
 mod unit;
 
 pub use config::ViaConfig;
 pub use fivu::{Fivu, FivuCost, SspmOpClass};
 pub use isa::{render_isa, IsaEntry, IsaModes, ISA};
+pub use mode::ModeChecker;
 pub use sspm::{Sspm, SspmEvents};
 pub use unit::{AluOp, Dest, ViaUnit};

@@ -1,0 +1,281 @@
+//! SSPM mode state machine for `via-verify` (diagnostic codes VIA009–VIA012).
+//!
+//! The paper's ISA gives the scratchpad two operating modes — direct-mapped
+//! (§III-B1) and CAM index-tracking (§III-B2) — sharing one SRAM: CAM slot
+//! `i` owns SRAM entry `i`. Nothing in the functional model stops a kernel
+//! from interleaving the modes illegally; the result is silent value
+//! corruption (a CAM insert landing on an entry a direct write already
+//! dirtied, or vice versa), not a crash. [`ModeChecker`] is a tiny abstract
+//! interpreter over the stream of [`SspmOpClass`] ops that rejects those
+//! interleavings:
+//!
+//! | code   | severity | condition |
+//! |--------|----------|-----------|
+//! | VIA009 | error    | CAM insert while direct writes have dirtied the low (CAM-owned) SRAM region since the last clear |
+//! | VIA010 | error    | direct write into entries the CAM index table may currently own |
+//! | VIA011 | error    | index-table read while no CAM insertions are tracked |
+//! | VIA012 | warning  | tracked CAM insertions exceed the index-table capacity (true overflow panics in the functional model) |
+//!
+//! The checker is conservative in the safe direction: `tracked_upper` is an
+//! *upper bound* on the CAM element count (a CAM hit updates in place and
+//! does not consume a new slot, but the checker cannot see hit/miss), so it
+//! may warn about overflow that does not occur, and it treats any
+//! `vldxclear` — full or segment — as a full CAM reset, which matches the
+//! functional model ([`crate::Sspm::clear_segment`] clears the whole index
+//! table, not a segment of it).
+
+use crate::config::ViaConfig;
+use crate::fivu::SspmOpClass;
+use via_sim::verify::{Diag, DiagCode};
+
+/// Mnemonic family shown in diagnostics for each op class.
+fn class_tag(class: SspmOpClass) -> &'static str {
+    match class {
+        SspmOpClass::DirectWrite => "vldxload.d",
+        SspmOpClass::DirectRead => "vldxmov.d",
+        SspmOpClass::DirectAluToVrf => "vldxalu.d",
+        SspmOpClass::DirectAluToSspm => "vldxalu.d",
+        SspmOpClass::BlockMultiply => "vldxblkmult.d",
+        SspmOpClass::CamRead => "vldxmov.c",
+        SspmOpClass::CamWrite => "vldxload.c",
+        SspmOpClass::CamDot => "vldxmult.c",
+        SspmOpClass::CamDotAcc => "vldxmult.c",
+        SspmOpClass::IndexRead => "vldxloadidx",
+        SspmOpClass::CountRead => "vldxcount",
+        SspmOpClass::Clear => "vldxclear",
+    }
+}
+
+/// Streaming checker for legal direct-mapped / CAM mode interleavings.
+///
+/// [`crate::ViaUnit`] runs one of these over every `vldx*` instruction it
+/// pushes and routes the produced diagnostics into the engine's attached
+/// verifier ([`via_sim::Engine::report_diag`]); negative tests drive it
+/// directly via [`ModeChecker::note`].
+#[derive(Debug, Clone)]
+pub struct ModeChecker {
+    /// Total SRAM entries.
+    entries: usize,
+    /// Index-table capacity = CAM-owned low SRAM region `[0, cam_entries)`.
+    cam_entries: usize,
+    /// A direct-mapped write has touched `[0, cam_entries)` since the last
+    /// clear, so a CAM insert could silently collide with it.
+    direct_low_dirty: bool,
+    /// Upper bound on the CAM element count since the last clear.
+    tracked_upper: usize,
+}
+
+impl ModeChecker {
+    /// A checker for the given SSPM geometry.
+    pub fn new(config: &ViaConfig) -> Self {
+        ModeChecker {
+            entries: config.entries(),
+            cam_entries: config.cam_entries(),
+            direct_low_dirty: false,
+            tracked_upper: 0,
+        }
+    }
+
+    /// Returns to the just-cleared state (what `vldxclear` does).
+    pub fn reset(&mut self) {
+        self.direct_low_dirty = false;
+        self.tracked_upper = 0;
+    }
+
+    /// Upper bound on tracked CAM insertions since the last clear.
+    pub fn tracked_upper(&self) -> usize {
+        self.tracked_upper
+    }
+
+    /// Whether direct writes have dirtied the CAM-owned low region.
+    pub fn direct_low_dirty(&self) -> bool {
+        self.direct_low_dirty
+    }
+
+    /// Observes one SSPM op and returns any diagnostics it triggers.
+    ///
+    /// `write_range` is the half-open range of direct-mapped SRAM entries
+    /// the op writes (`None` for reads, CAM ops, and clears); `lanes` is
+    /// the vector-lane count of the op. The common (legal) case allocates
+    /// nothing.
+    pub fn note(
+        &mut self,
+        class: SspmOpClass,
+        lanes: u32,
+        write_range: Option<(usize, usize)>,
+    ) -> Vec<Diag> {
+        let mut diags = Vec::new();
+        let tag = class_tag(class);
+        match class {
+            SspmOpClass::Clear => self.reset(),
+            SspmOpClass::CamWrite => {
+                if self.direct_low_dirty {
+                    diags.push(Diag::new(
+                        DiagCode::SspmModeConflict,
+                        tag,
+                        format!(
+                            "CAM insert after direct-mapped writes dirtied SSPM \
+                             entries below {}; issue vldxclear before switching \
+                             to CAM mode",
+                            self.cam_entries
+                        ),
+                    ));
+                }
+                let before = self.tracked_upper;
+                self.tracked_upper = (before + lanes as usize).min(self.entries.max(1));
+                if before <= self.cam_entries && self.tracked_upper > self.cam_entries {
+                    diags.push(Diag::new(
+                        DiagCode::SspmCamOverflowRisk,
+                        tag,
+                        format!(
+                            "up to {} CAM insertions tracked since the last \
+                             clear, above the index-table capacity {} (true \
+                             overflow panics in the functional model)",
+                            self.tracked_upper, self.cam_entries
+                        ),
+                    ));
+                }
+            }
+            SspmOpClass::DirectWrite
+            | SspmOpClass::DirectAluToSspm
+            | SspmOpClass::BlockMultiply
+            | SspmOpClass::CamDotAcc => {
+                if let Some((lo, hi)) = write_range {
+                    if lo < self.tracked_upper {
+                        diags.push(Diag::new(
+                            DiagCode::SspmDirectWriteUnderCam,
+                            tag,
+                            format!(
+                                "direct write to SSPM entries [{lo}, {hi}) while \
+                                 the CAM index table may own slots [0, {})",
+                                self.tracked_upper
+                            ),
+                        ));
+                    }
+                    if lo < self.cam_entries {
+                        self.direct_low_dirty = true;
+                    }
+                }
+            }
+            SspmOpClass::IndexRead => {
+                if lanes > 0 && self.tracked_upper == 0 {
+                    diags.push(Diag::new(
+                        DiagCode::SspmIndexReadEmpty,
+                        tag,
+                        format!(
+                            "index-table read of {lanes} lanes but no CAM \
+                             insertions are tracked since the last clear"
+                        ),
+                    ));
+                }
+            }
+            SspmOpClass::DirectRead
+            | SspmOpClass::DirectAluToVrf
+            | SspmOpClass::CamRead
+            | SspmOpClass::CamDot
+            | SspmOpClass::CountRead => {}
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> ModeChecker {
+        ModeChecker::new(&ViaConfig::new(4, 2)) // 512 entries, 128 CAM slots
+    }
+
+    fn codes(diags: &[Diag]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn direct_only_stream_is_clean() {
+        let mut c = checker();
+        assert!(c.note(SspmOpClass::Clear, 0, None).is_empty());
+        assert!(c.note(SspmOpClass::DirectWrite, 4, Some((0, 4))).is_empty());
+        assert!(c
+            .note(SspmOpClass::DirectAluToSspm, 4, Some((8, 12)))
+            .is_empty());
+        assert!(c.note(SspmOpClass::DirectRead, 4, None).is_empty());
+        assert!(c
+            .note(SspmOpClass::BlockMultiply, 2, Some((16, 18)))
+            .is_empty());
+    }
+
+    #[test]
+    fn cam_only_stream_is_clean() {
+        let mut c = checker();
+        assert!(c.note(SspmOpClass::CamWrite, 4, None).is_empty());
+        assert!(c.note(SspmOpClass::CamRead, 4, None).is_empty());
+        assert!(c.note(SspmOpClass::CamDot, 4, None).is_empty());
+        assert!(c.note(SspmOpClass::CountRead, 0, None).is_empty());
+        assert!(c.note(SspmOpClass::IndexRead, 4, None).is_empty());
+    }
+
+    #[test]
+    fn cam_write_over_dirty_direct_region_is_via009() {
+        let mut c = checker();
+        c.note(SspmOpClass::DirectWrite, 1, Some((0, 1)));
+        let diags = c.note(SspmOpClass::CamWrite, 1, None);
+        assert_eq!(codes(&diags), ["VIA009"]);
+    }
+
+    #[test]
+    fn direct_write_into_upper_region_does_not_dirty() {
+        let mut c = checker();
+        // Entry 200 is above the 128-slot CAM-owned region.
+        c.note(SspmOpClass::DirectWrite, 1, Some((200, 201)));
+        assert!(!c.direct_low_dirty());
+        assert!(c.note(SspmOpClass::CamWrite, 1, None).is_empty());
+    }
+
+    #[test]
+    fn direct_write_under_tracked_cam_slots_is_via010() {
+        let mut c = checker();
+        c.note(SspmOpClass::CamWrite, 4, None);
+        let diags = c.note(SspmOpClass::DirectWrite, 1, Some((2, 3)));
+        assert_eq!(codes(&diags), ["VIA010"]);
+    }
+
+    #[test]
+    fn accumulator_above_tracked_slots_is_legal() {
+        let mut c = checker();
+        c.note(SspmOpClass::CamWrite, 4, None);
+        // The SpMM pattern: accumulate the reduced dot above cam_entries.
+        assert!(c
+            .note(SspmOpClass::CamDotAcc, 4, Some((129, 130)))
+            .is_empty());
+    }
+
+    #[test]
+    fn index_read_with_empty_table_is_via011() {
+        let mut c = checker();
+        let diags = c.note(SspmOpClass::IndexRead, 2, None);
+        assert_eq!(codes(&diags), ["VIA011"]);
+    }
+
+    #[test]
+    fn cam_overflow_risk_is_via012_warning_once() {
+        let mut c = checker();
+        assert!(c.note(SspmOpClass::CamWrite, 100, None).is_empty());
+        let diags = c.note(SspmOpClass::CamWrite, 100, None);
+        assert_eq!(codes(&diags), ["VIA012"]);
+        assert!(diags[0].severity() == via_sim::verify::Severity::Warning);
+        // Already past capacity: warn only on the crossing, not per op.
+        assert!(c.note(SspmOpClass::CamWrite, 100, None).is_empty());
+    }
+
+    #[test]
+    fn clear_resets_both_mode_facts() {
+        let mut c = checker();
+        c.note(SspmOpClass::DirectWrite, 1, Some((0, 1)));
+        c.note(SspmOpClass::Clear, 0, None);
+        assert!(c.note(SspmOpClass::CamWrite, 4, None).is_empty());
+        c.note(SspmOpClass::Clear, 0, None);
+        assert_eq!(c.tracked_upper(), 0);
+        assert!(c.note(SspmOpClass::DirectWrite, 1, Some((0, 1))).is_empty());
+    }
+}

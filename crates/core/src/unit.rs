@@ -17,8 +17,20 @@
 
 use crate::config::ViaConfig;
 use crate::fivu::{Fivu, SspmOpClass};
+use crate::mode::ModeChecker;
 use crate::sspm::{Sspm, SspmEvents};
 use via_sim::{Engine, Inst, Reg};
+
+/// Half-open range of direct-mapped SSPM entries written by an index slice
+/// shifted by `offset` (`None` when the slice is empty).
+fn write_span(idx: &[u32], offset: u32) -> Option<(usize, usize)> {
+    let lo = idx.iter().min()?;
+    let hi = idx.iter().max()?;
+    Some((
+        *lo as usize + offset as usize,
+        *hi as usize + offset as usize + 1,
+    ))
+}
 
 /// Arithmetic performed by the `vldxadd`/`vldxsub`/`vldxmult` family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,12 +74,14 @@ pub enum Dest {
 pub struct ViaUnit {
     sspm: Sspm,
     fivu: Fivu,
+    mode: ModeChecker,
 }
 
 impl ViaUnit {
     /// A VIA unit with the given SSPM geometry.
     pub fn new(config: ViaConfig) -> Self {
         ViaUnit {
+            mode: ModeChecker::new(&config),
             sspm: Sspm::new(config),
             fivu: Fivu::new(config),
         }
@@ -93,13 +107,27 @@ impl ViaUnit {
         self.sspm.count()
     }
 
+    /// The SSPM mode checker's view of the instruction stream so far
+    /// (via-verify codes VIA009–VIA012).
+    pub fn mode_checker(&self) -> &ModeChecker {
+        &self.mode
+    }
+
     fn push_op(
         &mut self,
         engine: &mut Engine,
         class: SspmOpClass,
         lanes: u32,
+        write_range: Option<(usize, usize)>,
         deps: &[Reg],
     ) -> Reg {
+        // The mode state machine runs unconditionally (a handful of integer
+        // ops, allocation-free when the op is legal); diagnostics are only
+        // kept when a verifier is attached, and in debug builds an
+        // error-severity diagnostic panics inside `report_diag`.
+        for diag in self.mode.note(class, lanes, write_range) {
+            engine.report_diag(diag);
+        }
         let cost = self.fivu.cost(class, lanes);
         let dst = engine.fresh_reg();
         engine.push(Inst::custom(
@@ -116,7 +144,7 @@ impl ViaUnit {
     /// table, and the element-count register (paper §IV-C).
     pub fn vldx_clear(&mut self, engine: &mut Engine) -> Reg {
         self.sspm.clear();
-        self.push_op(engine, SspmOpClass::Clear, 0, &[])
+        self.push_op(engine, SspmOpClass::Clear, 0, None, &[])
     }
 
     /// `vldxclear` in segment mode: clears `[start, start + len)` of the
@@ -127,7 +155,7 @@ impl ViaUnit {
     /// Panics if the segment exceeds the SRAM.
     pub fn vldx_clear_segment(&mut self, engine: &mut Engine, start: usize, len: usize) -> Reg {
         self.sspm.clear_segment(start, len);
-        self.push_op(engine, SspmOpClass::Clear, 0, &[])
+        self.push_op(engine, SspmOpClass::Clear, 0, None, &[])
     }
 
     /// `vldxload.d`: stores `data` into the SSPM at `idx` in direct-mapped
@@ -148,7 +176,13 @@ impl ViaUnit {
         for (&i, &v) in idx.iter().zip(data) {
             self.sspm.write_direct(i as usize, v);
         }
-        self.push_op(engine, SspmOpClass::DirectWrite, idx.len() as u32, deps)
+        self.push_op(
+            engine,
+            SspmOpClass::DirectWrite,
+            idx.len() as u32,
+            write_span(idx, 0),
+            deps,
+        )
     }
 
     /// `vldxload.c`: inserts (or updates) `idx → data` pairs through the
@@ -168,7 +202,7 @@ impl ViaUnit {
         for (&i, &v) in idx.iter().zip(data) {
             self.sspm.write_cam(i, v);
         }
-        self.push_op(engine, SspmOpClass::CamWrite, idx.len() as u32, deps)
+        self.push_op(engine, SspmOpClass::CamWrite, idx.len() as u32, None, deps)
     }
 
     /// `vldxmov.d`: reads the SSPM at `idx` in direct-mapped mode into the
@@ -188,7 +222,13 @@ impl ViaUnit {
             .iter()
             .map(|&i| self.sspm.read_direct(i as usize))
             .collect();
-        let dst = self.push_op(engine, SspmOpClass::DirectRead, idx.len() as u32, deps);
+        let dst = self.push_op(
+            engine,
+            SspmOpClass::DirectRead,
+            idx.len() as u32,
+            None,
+            deps,
+        );
         (dst, values)
     }
 
@@ -201,7 +241,7 @@ impl ViaUnit {
         deps: &[Reg],
     ) -> (Reg, Vec<f64>) {
         let values = idx.iter().map(|&i| self.sspm.read_cam(i)).collect();
-        let dst = self.push_op(engine, SspmOpClass::CamRead, idx.len() as u32, deps);
+        let dst = self.push_op(engine, SspmOpClass::CamRead, idx.len() as u32, None, deps);
         (dst, values)
     }
 
@@ -209,7 +249,7 @@ impl ViaUnit {
     /// (used by SpMA to size the result row, paper §IV-C).
     pub fn vldx_count(&mut self, engine: &mut Engine) -> (Reg, usize) {
         let count = self.sspm.count();
-        let dst = self.push_op(engine, SspmOpClass::CountRead, 0, &[]);
+        let dst = self.push_op(engine, SspmOpClass::CountRead, 0, None, &[]);
         (dst, count)
     }
 
@@ -232,7 +272,7 @@ impl ViaUnit {
         let indices = (offset..offset + lanes)
             .map(|p| self.sspm.tracked_index(p))
             .collect();
-        let dst = self.push_op(engine, SspmOpClass::IndexRead, lanes as u32, &[]);
+        let dst = self.push_op(engine, SspmOpClass::IndexRead, lanes as u32, None, &[]);
         (dst, indices)
     }
 
@@ -265,7 +305,13 @@ impl ViaUnit {
                     .zip(data)
                     .map(|(&i, &d)| op.apply(self.sspm.read_direct(i as usize), d))
                     .collect();
-                let dst = self.push_op(engine, SspmOpClass::DirectAluToVrf, idx.len() as u32, deps);
+                let dst = self.push_op(
+                    engine,
+                    SspmOpClass::DirectAluToVrf,
+                    idx.len() as u32,
+                    None,
+                    deps,
+                );
                 (dst, Some(out))
             }
             Dest::Sspm { offset } => {
@@ -274,8 +320,13 @@ impl ViaUnit {
                     let old = self.sspm.read_direct(pos);
                     self.sspm.write_direct(pos, op.apply(old, d));
                 }
-                let dst =
-                    self.push_op(engine, SspmOpClass::DirectAluToSspm, idx.len() as u32, deps);
+                let dst = self.push_op(
+                    engine,
+                    SspmOpClass::DirectAluToSspm,
+                    idx.len() as u32,
+                    write_span(idx, offset),
+                    deps,
+                );
                 (dst, None)
             }
         }
@@ -311,14 +362,14 @@ impl ViaUnit {
                     .zip(data)
                     .map(|(&i, &d)| op.apply(self.sspm.read_cam(i), d))
                     .collect();
-                let dst = self.push_op(engine, SspmOpClass::CamRead, idx.len() as u32, deps);
+                let dst = self.push_op(engine, SspmOpClass::CamRead, idx.len() as u32, None, deps);
                 (dst, Some(out))
             }
             Dest::Sspm { .. } => {
                 for (&i, &d) in idx.iter().zip(data) {
                     self.sspm.update_cam(i, |old| op.apply(old, d));
                 }
-                let dst = self.push_op(engine, SspmOpClass::CamWrite, idx.len() as u32, deps);
+                let dst = self.push_op(engine, SspmOpClass::CamWrite, idx.len() as u32, None, deps);
                 (dst, None)
             }
         }
@@ -349,7 +400,7 @@ impl ViaUnit {
             .zip(data)
             .map(|(&i, &d)| self.sspm.read_cam(i) * d)
             .sum();
-        let dst = self.push_op(engine, SspmOpClass::CamDot, idx.len() as u32, deps);
+        let dst = self.push_op(engine, SspmOpClass::CamDot, idx.len() as u32, None, deps);
         (dst, dot)
     }
 
@@ -379,7 +430,13 @@ impl ViaUnit {
             .sum();
         let old = self.sspm.read_direct(acc_pos as usize);
         self.sspm.write_direct(acc_pos as usize, old + dot);
-        self.push_op(engine, SspmOpClass::CamDotAcc, idx.len() as u32, deps)
+        self.push_op(
+            engine,
+            SspmOpClass::CamDotAcc,
+            idx.len() as u32,
+            Some((acc_pos as usize, acc_pos as usize + 1)),
+            deps,
+        )
     }
 
     /// `vldxblkmult.d`: the CSB block multiply-accumulate (paper §IV-C).
@@ -416,7 +473,14 @@ impl ViaUnit {
             let acc = self.sspm.read_direct(row);
             self.sspm.write_direct(row, acc + x * d);
         }
-        self.push_op(engine, SspmOpClass::BlockMultiply, idx.len() as u32, deps)
+        let rows: Vec<u32> = idx.iter().map(|&m| (m >> idx_bits) + offset).collect();
+        self.push_op(
+            engine,
+            SspmOpClass::BlockMultiply,
+            idx.len() as u32,
+            write_span(&rows, 0),
+            deps,
+        )
     }
 }
 
@@ -631,6 +695,27 @@ mod tests {
             e.finish().cycles
         };
         assert!(run(false) <= run(true));
+    }
+
+    #[test]
+    fn illegal_mode_interleave_is_reported() {
+        use via_sim::verify;
+        // Capture keeps the diagnostics instead of panicking in debug.
+        let _guard = verify::capture_guard();
+        let (mut e, mut v) = setup();
+        v.vldx_load_d(&mut e, &[0], &[1.0], &[]);
+        v.vldx_load_c(&mut e, &[5], &[2.0], &[]); // CAM insert over dirty region
+        let _ = e.finish();
+        let reports = verify::drain_captured();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0]
+                .with_code(verify::DiagCode::SspmModeConflict)
+                .len(),
+            1,
+            "expected a VIA009 diagnostic:\n{}",
+            reports[0].render()
+        );
     }
 
     #[test]

@@ -28,13 +28,13 @@ pub fn spmv(a: &Csr, x: &[Value]) -> Vec<Value> {
 pub fn spmv_acc(a: &Csr, x: &[Value], y: &mut [Value]) {
     assert_eq!(x.len(), a.cols(), "x length must equal matrix columns");
     assert_eq!(y.len(), a.rows(), "y length must equal matrix rows");
-    for i in 0..a.rows() {
+    for (i, yi) in y.iter_mut().enumerate() {
         let (cols, vals) = a.row(i);
         let mut acc = 0.0;
         for (c, v) in cols.iter().zip(vals) {
             acc += v * x[*c as usize];
         }
-        y[i] += acc;
+        *yi += acc;
     }
 }
 

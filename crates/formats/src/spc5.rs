@@ -90,10 +90,10 @@ impl Spc5 {
             loop {
                 // Find the smallest pending column across the block's rows.
                 let mut next_col: Option<Index> = None;
-                for lane in 0..height {
+                for (lane, &cur) in cursors.iter().enumerate().take(height) {
                     let end = csr.row_ptr()[base + lane + 1];
-                    if cursors[lane] < end {
-                        let c = csr.col_idx()[cursors[lane]];
+                    if cur < end {
+                        let c = csr.col_idx()[cur];
                         next_col = Some(match next_col {
                             Some(nc) => nc.min(c),
                             None => c,
@@ -103,12 +103,12 @@ impl Spc5 {
                 let Some(col) = next_col else { break };
                 let mut mask = 0u8;
                 let val_offset = data.len();
-                for lane in 0..height {
+                for (lane, cur) in cursors.iter_mut().enumerate().take(height) {
                     let end = csr.row_ptr()[base + lane + 1];
-                    if cursors[lane] < end && csr.col_idx()[cursors[lane]] == col {
+                    if *cur < end && csr.col_idx()[*cur] == col {
                         mask |= 1 << lane;
-                        data.push(csr.data()[cursors[lane]]);
-                        cursors[lane] += 1;
+                        data.push(csr.data()[*cur]);
+                        *cur += 1;
                     }
                 }
                 segments.push(Spc5Segment {

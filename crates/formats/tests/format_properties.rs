@@ -4,8 +4,8 @@
 //! deterministic seeded draws (via-rng), so failures name a reproducible
 //! case index.
 
-use via_rng::{cases, StdRng};
 use via_formats::{reference, Coo, Csb, Csc, Csr, DenseMatrix, SellCSigma, Spc5};
+use via_rng::{cases, StdRng};
 
 /// An arbitrary small sparse matrix in canonical COO form.
 fn arb_coo(rng: &mut StdRng, max_dim: usize, max_nnz: usize) -> Coo {
@@ -118,7 +118,9 @@ fn spma_matches_dense() {
             Coo::from_triplets(
                 rows,
                 cols,
-                m.entries().iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+                m.entries()
+                    .iter()
+                    .map(|&(r, c, v)| (r as usize, c as usize, v)),
             )
             .unwrap()
             .into_canonical()
@@ -144,14 +146,18 @@ fn spmm_matches_dense_and_gustavson() {
         let a = Coo::from_triplets(
             a.rows(),
             k,
-            a.entries().iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+            a.entries()
+                .iter()
+                .map(|&(r, c, v)| (r as usize, c as usize, v)),
         )
         .unwrap()
         .into_canonical();
         let b = Coo::from_triplets(
             k,
             b.cols(),
-            b.entries().iter().map(|&(r, c, v)| (r as usize, c as usize, v)),
+            b.entries()
+                .iter()
+                .map(|&(r, c, v)| (r as usize, c as usize, v)),
         )
         .unwrap()
         .into_canonical();

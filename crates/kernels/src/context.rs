@@ -4,8 +4,7 @@ use via_core::{SspmEvents, ViaConfig};
 use via_sim::{CoreConfig, Engine, MemConfig, RunStats};
 
 /// Everything needed to instantiate a simulated machine for one kernel run.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimContext {
     /// Core parameters.
     pub core: CoreConfig,
@@ -14,7 +13,6 @@ pub struct SimContext {
     /// VIA hardware configuration (only used by VIA kernels).
     pub via: ViaConfig,
 }
-
 
 impl SimContext {
     /// A context with the given VIA configuration (core/memory defaults).

@@ -312,4 +312,19 @@ mod tests {
     fn out_of_range_key_panics() {
         scalar(&[99], 10, &ctx());
     }
+
+    #[test]
+    fn emitted_streams_verify_clean() {
+        use via_sim::verify;
+        let _guard = verify::capture_guard();
+        let keys = uniform_keys(500, 64, 9);
+        scalar(&keys, 64, &ctx());
+        vector_cd(&keys, 64, &ctx());
+        via(&keys, 64, &ctx());
+        let reports = verify::drain_captured();
+        assert!(reports.len() >= 3, "one report per kernel engine");
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
 }

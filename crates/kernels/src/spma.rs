@@ -338,4 +338,18 @@ mod tests {
             assert_eq!(run.output.nnz(), 1);
         }
     }
+
+    #[test]
+    fn emitted_streams_verify_clean() {
+        use via_sim::verify;
+        let _guard = verify::capture_guard();
+        let (a, b) = pair(19);
+        merge_csr(&a, &b, &ctx());
+        via_cam(&a, &b, &ctx());
+        let reports = verify::drain_captured();
+        assert!(reports.len() >= 2, "one report per kernel engine");
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
 }

@@ -476,4 +476,20 @@ mod tests {
         assert_eq!(run.output.rows(), 20);
         assert_eq!(run.output.cols(), 12);
     }
+
+    #[test]
+    fn emitted_streams_verify_clean() {
+        use via_sim::verify;
+        let _guard = verify::capture_guard();
+        let (a, b) = pair(25);
+        inner_product(&a, &b, &ctx());
+        via_cam(&a, &b, &ctx());
+        let b2 = gen::uniform(48, 48, 0.08, 26);
+        gustavson(&a, &b2, &ctx());
+        let reports = verify::drain_captured();
+        assert!(reports.len() >= 3, "one report per kernel engine");
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
 }

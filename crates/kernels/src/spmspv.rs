@@ -343,4 +343,19 @@ mod tests {
             base.cycles()
         );
     }
+
+    #[test]
+    fn emitted_streams_verify_clean() {
+        use via_sim::verify;
+        let _guard = verify::capture_guard();
+        let a = graph(200, 31);
+        let x = frontier(200, 12, 32);
+        spa_dense(&a, &x, &ctx());
+        via_cam(&a, &x, &ctx());
+        let reports = verify::drain_captured();
+        assert!(reports.len() >= 2, "one report per kernel engine");
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
 }

@@ -384,4 +384,21 @@ mod tests {
         // Interior pixels (away from the zero-padded border) should be ~1.
         assert!((run.output[5 * w + 5] - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn emitted_streams_verify_clean() {
+        use via_sim::verify;
+        let _guard = verify::capture_guard();
+        let (w, h) = (16, 12);
+        let img = image(w, h, 9);
+        let f = gaussian4();
+        scalar(&img, w, h, &f, &ctx());
+        vector(&img, w, h, &f, &ctx());
+        via(&img, w, h, &f, &ctx());
+        let reports = verify::drain_captured();
+        assert!(reports.len() >= 3, "one report per kernel engine");
+        for r in &reports {
+            assert!(r.is_clean(), "{}", r.render());
+        }
+    }
 }

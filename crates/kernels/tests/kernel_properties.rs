@@ -57,7 +57,10 @@ fn every_spmv_variant_matches_reference() {
             ("spc5", spmv::spc5(&spc5, &x, &ctx).output),
             ("sell", spmv::sell(&sell, &x, &ctx).output),
             ("csb_soft", spmv::csb_software(&csb, &x, &ctx).output),
-            ("csb_soft_vec", spmv::csb_software_vec(&csb, &x, &ctx).output),
+            (
+                "csb_soft_vec",
+                spmv::csb_software_vec(&csb, &x, &ctx).output,
+            ),
             ("via_csr", spmv::via_csr(&a, &x, &ctx).output),
             ("via_spc5", spmv::via_spc5(&spc5, &x, &ctx).output),
             ("via_sell", spmv::via_sell(&sell, &x, &ctx).output),
@@ -80,9 +83,8 @@ fn spma_matches_reference() {
         let cfg = arb_via_config(rng);
         // Embed both into the common shape.
         let n = a.rows().max(b.rows());
-        let embed = |m: &Csr| {
-            Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical())
-        };
+        let embed =
+            |m: &Csr| Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical());
         let (a, b) = (embed(&a), embed(&b));
         let ctx = SimContext::with_via(cfg);
         let expected = reference::spma(&a, &b).unwrap();
@@ -90,8 +92,7 @@ fn spma_matches_reference() {
         assert_eq!(&base.output, &expected, "case {i}");
         let via = spma::via_cam(&a, &b, &ctx);
         assert!(
-            DenseMatrix::from_csr(&via.output)
-                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            DenseMatrix::from_csr(&via.output).approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
             "case {i}"
         );
     });
@@ -104,9 +105,8 @@ fn spmm_matches_reference() {
         let b = arb_csr(rng, 20, 60);
         let cfg = arb_via_config(rng);
         let n = a.cols().max(b.rows());
-        let embed = |m: &Csr| {
-            Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical())
-        };
+        let embed =
+            |m: &Csr| Csr::from_coo(&Coo::from_triplets(n, n, m.iter()).unwrap().into_canonical());
         let (a, b) = (embed(&a), embed(&b));
         let bc = b.to_csc();
         let ctx = SimContext::with_via(cfg);
@@ -115,14 +115,12 @@ fn spmm_matches_reference() {
         assert_eq!(&base.output, &expected, "case {i}");
         let gus = spmm::gustavson(&a, &b, &ctx);
         assert!(
-            DenseMatrix::from_csr(&gus.output)
-                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            DenseMatrix::from_csr(&gus.output).approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
             "case {i}"
         );
         let via = spmm::via_cam(&a, &bc, &ctx);
         assert!(
-            DenseMatrix::from_csr(&via.output)
-                .approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
+            DenseMatrix::from_csr(&via.output).approx_eq(&DenseMatrix::from_csr(&expected), 1e-9),
             "case {i}"
         );
     });
@@ -146,7 +144,11 @@ fn histogram_matches_reference() {
             expected,
             "case {i}"
         );
-        assert_eq!(histogram::via(&keys, 300, &ctx).output, expected, "case {i}");
+        assert_eq!(
+            histogram::via(&keys, 300, &ctx).output,
+            expected,
+            "case {i}"
+        );
     });
 }
 

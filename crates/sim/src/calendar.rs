@@ -246,7 +246,7 @@ mod tests {
     fn span_tolerates_partial_cycles_in_window() {
         let mut c = Calendar::new(2);
         c.book(11); // cycle 11 half-booked
-        // A width-2 calendar still has a free unit through 10..15.
+                    // A width-2 calendar still has a free unit through 10..15.
         assert_eq!(c.book_span(10, 5), 10);
     }
 

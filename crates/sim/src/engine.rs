@@ -27,6 +27,7 @@ use crate::mem::Hierarchy;
 use crate::prog::{AluKind, Inst, Op, Reg, VecOpKind};
 use crate::stats::RunStats;
 use crate::timeline::{Timeline, TimelineEntry};
+use crate::verify::{self, Severity, Verifier, VerifyConfig};
 
 /// The streaming out-of-order timing engine.
 ///
@@ -73,12 +74,26 @@ pub struct Engine {
     predictor: Vec<u8>,
     pushes_since_prune: u32,
     timeline: Option<Timeline>,
+    /// Streaming program verifier (`via-verify`). Always attached in debug
+    /// builds (every debug simulation is checked, errors panic at the
+    /// offending push); in release builds attached only while thread-local
+    /// report capture is enabled, so the hot path pays one `Option` check.
+    verifier: Option<Box<Verifier>>,
+    /// Whether the attached verifier should flush its reports to the
+    /// thread-local capture sink (instead of panicking in debug builds).
+    verify_capture: bool,
     stats: RunStats,
 }
 
 impl Engine {
     /// Creates an engine with the given core and memory configuration.
     pub fn new(core: CoreConfig, mem: MemConfig) -> Self {
+        let verify_capture = verify::capture_enabled();
+        let verifier = if verify_capture || cfg!(debug_assertions) {
+            Some(Box::new(Verifier::new(VerifyConfig::from_core(&core))))
+        } else {
+            None
+        };
         Engine {
             hier: Hierarchy::new(mem),
             alloc: AddressSpace::new(),
@@ -103,6 +118,8 @@ impl Engine {
             predictor: Vec::new(),
             pushes_since_prune: 0,
             timeline: None,
+            verifier,
+            verify_capture,
             core,
             stats: RunStats::default(),
         }
@@ -163,6 +180,21 @@ impl Engine {
     /// Panics if a [`Op::Custom`] instruction is pushed on a core configured
     /// with `custom_units == 0` (the baseline has no FIVU).
     pub fn push(&mut self, inst: Inst) -> u64 {
+        // --- via-verify: streaming static checks -------------------------
+        // `None` in release builds unless report capture is on, so the
+        // cost there is a single branch.
+        if let Some(v) = self.verifier.as_deref_mut() {
+            let fresh = v.check(&inst);
+            if cfg!(debug_assertions) && !self.verify_capture {
+                if let Some(d) = fresh.iter().find(|d| d.severity() == Severity::Error) {
+                    panic!(
+                        "via-verify rejected the instruction stream:\n{}",
+                        d.render()
+                    );
+                }
+            }
+        }
+
         // --- fetch: width and ROB admission ----------------------------
         let rob_ready = if self.rob_filled == self.core.rob_size {
             self.rob_window[self.rob_head]
@@ -387,12 +419,52 @@ impl Engine {
         self.timeline.as_ref()
     }
 
+    /// Whether a verifier is attached (always true in debug builds; true in
+    /// release only while [`verify::capture_guard`] is active). `via-core`
+    /// uses this to skip building diagnostics that would be dropped.
+    pub fn verify_active(&self) -> bool {
+        self.verifier.is_some()
+    }
+
+    /// The verifier's report so far, if a verifier is attached.
+    pub fn verify_report(&self) -> Option<&verify::Report> {
+        self.verifier.as_deref().map(Verifier::report)
+    }
+
+    /// Routes an externally produced diagnostic (e.g. `via-core`'s SSPM
+    /// mode checker) into the attached verifier, stamped with the current
+    /// instruction index. In debug builds (without capture) an
+    /// error-severity diagnostic panics, mirroring [`Engine::push`].
+    pub fn report_diag(&mut self, diag: verify::Diag) {
+        if cfg!(debug_assertions) && !self.verify_capture && diag.severity() == Severity::Error {
+            panic!(
+                "via-verify rejected the instruction stream:\n{}",
+                diag.render()
+            );
+        }
+        if let Some(v) = self.verifier.as_deref_mut() {
+            v.push_external(diag);
+        }
+    }
+
+    /// Flushes the attached verifier's report to the thread-local capture
+    /// sink (when capture is on) and clears its streaming state.
+    fn flush_verifier(&mut self) {
+        if let Some(v) = self.verifier.as_deref_mut() {
+            if self.verify_capture {
+                verify::submit_report(v.take_report());
+            }
+            v.reset();
+        }
+    }
+
     /// Returns the engine to its just-constructed state while keeping its
     /// internal allocations (register-ready table, ROB window, cache set
     /// storage), so a sweep can reuse one engine across many runs instead
     /// of reconstructing per run. Timeline recording is turned off.
     pub fn reset(&mut self) {
         crate::telemetry::record_instructions(self.stats.instructions);
+        self.flush_verifier();
         self.hier.reset();
         self.alloc.reset();
         self.next_reg = 0;
@@ -421,6 +493,7 @@ impl Engine {
     /// Finalizes the run: drains the pipeline and returns the statistics.
     pub fn finish(mut self) -> RunStats {
         crate::telemetry::record_instructions(self.stats.instructions);
+        self.flush_verifier();
         self.stats.cycles = self.last_commit.max(self.all_complete_max);
         self.hier.fill_stats(&mut self.stats);
         self.stats
@@ -837,6 +910,65 @@ mod tests {
         }
         let rendered = timeline.render();
         assert!(rendered.contains("load") || rendered.contains("scalar"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "VIA001")]
+    fn debug_hook_panics_on_undefined_register() {
+        let mut e = engine();
+        // Register 42 has no producer: silently treated as ready-at-0 by
+        // the timing model, which is exactly the corruption class the
+        // debug-build verifier hook must catch.
+        e.push(Inst::scalar(AluKind::Int, &[42], None));
+    }
+
+    #[test]
+    fn capture_collects_reports_instead_of_panicking() {
+        let _guard = verify::capture_guard();
+        let mut e = engine();
+        e.push(Inst::scalar(AluKind::Int, &[42], None));
+        let stats = e.finish();
+        assert_eq!(stats.instructions, 1);
+        let reports = verify::drain_captured();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].error_count(), 1);
+        assert_eq!(
+            reports[0]
+                .with_code(verify::DiagCode::UndefinedRegister)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn capture_flushes_one_report_per_reset() {
+        let _guard = verify::capture_guard();
+        let mut e = engine();
+        e.scalar_op(AluKind::Int, &[]);
+        e.reset();
+        e.scalar_op(AluKind::Int, &[]);
+        let _ = e.finish();
+        let reports = verify::drain_captured();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(verify::Report::is_clean));
+    }
+
+    #[test]
+    fn report_diag_reaches_captured_report() {
+        let _guard = verify::capture_guard();
+        let mut e = engine();
+        e.scalar_op(AluKind::Int, &[]);
+        e.report_diag(verify::Diag::new(
+            verify::DiagCode::SspmCamOverflowRisk,
+            "test",
+            "synthetic warning".to_string(),
+        ));
+        let _ = e.finish();
+        let reports = verify::drain_captured();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].warning_count(), 1);
+        assert!(reports[0].is_clean(), "warnings are not violations");
     }
 
     #[test]

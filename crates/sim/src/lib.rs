@@ -50,6 +50,7 @@ pub mod prog;
 pub mod stats;
 pub mod telemetry;
 pub mod timeline;
+pub mod verify;
 
 pub use alloc::{AddressSpace, Region};
 pub use config::{CacheConfig, CoreConfig, MemConfig};
@@ -58,3 +59,4 @@ pub use prog::{AluKind, Inst, Op, Reg, VecOpKind};
 pub use stats::{CacheStats, RunStats};
 pub use telemetry::{simulated_instructions, ThroughputProbe};
 pub use timeline::{Timeline, TimelineEntry};
+pub use verify::{Verifier, VerifyConfig};

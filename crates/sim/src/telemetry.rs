@@ -82,7 +82,7 @@ mod tests {
             e.scalar_op(AluKind::Int, &[]);
         }
         e.finish(); // 10 more
-        // Other tests run concurrently, so only a lower bound is exact.
+                    // Other tests run concurrently, so only a lower bound is exact.
         assert!(probe.instructions() >= 35);
         assert!(probe.elapsed() > Duration::ZERO);
     }

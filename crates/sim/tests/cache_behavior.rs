@@ -64,7 +64,7 @@ fn write_streams_produce_writeback_traffic() {
     let mem = MemConfig::default();
     let total_lines = mem.l3.size_bytes / 64 * 2;
     let mut e = Engine::new(CoreConfig::default(), mem);
-    let junk = e.fresh_reg();
+    let junk = e.scalar_op(AluKind::Int, &[]);
     for i in 0..total_lines as u64 {
         e.store(0x1000000 + i * 64, 8, &[junk]);
     }

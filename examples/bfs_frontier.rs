@@ -41,7 +41,10 @@ fn main() {
         level += 1;
         let base = spmspv::spa_dense(&at, &frontier, &ctx);
         let via = spmspv::via_cam(&at, &frontier, &ctx);
-        assert_eq!(base.output, via.output, "machines disagreed at level {level}");
+        assert_eq!(
+            base.output, via.output,
+            "machines disagreed at level {level}"
+        );
         base_cycles += base.stats.cycles;
         via_cycles += via.stats.cycles;
 
@@ -68,9 +71,7 @@ fn main() {
         }
     }
 
-    println!(
-        "\nreached {reached}/{n} vertices in {level} levels",
-    );
+    println!("\nreached {reached}/{n} vertices in {level} levels",);
     println!("SpMSpV cycles over the whole traversal:");
     println!("  SPA baseline: {base_cycles:>9}");
     println!("  VIA CAM:      {via_cycles:>9}");

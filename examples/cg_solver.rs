@@ -83,9 +83,7 @@ fn main() {
         .map(|(l, r)| (l - r) * (l - r))
         .sum::<f64>()
         .sqrt();
-    println!(
-        "converged in {iterations} iterations, final residual {residual:.2e}"
-    );
+    println!("converged in {iterations} iterations, final residual {residual:.2e}");
 
     println!("\nSpMV cycles over the whole solve:");
     println!("  baseline core (CSR + gathers): {base_cycles:>10}");

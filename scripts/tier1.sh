@@ -3,12 +3,19 @@
 #
 #   scripts/tier1.sh
 #
-# Release build, full workspace test suite, the golden cycle-count
-# snapshots (the bit-exactness contract for the timing model), and the
-# simulator-throughput smoke benchmark — correctness and performance
-# regressions surface in one command.
+# Formatting, the clippy wall, release build, full workspace test suite,
+# the golden cycle-count snapshots (the bit-exactness contract for the
+# timing model), the via-verify static sweep over every shipped kernel's
+# instruction streams, and the simulator-throughput smoke benchmark —
+# correctness and performance regressions surface in one command.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets (-D warnings)"
+cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo build --release (workspace)"
 cargo build --release --workspace
@@ -18,6 +25,9 @@ cargo test --workspace --release -q
 
 echo "==> golden cycle snapshots"
 cargo test -p via-kernels --release -q --test golden_cycles
+
+echo "==> verify_programs --quick (via-verify static sweep)"
+cargo run --release -p via-bench --bin verify_programs -- --quick
 
 echo "==> perf_smoke (simulator throughput)"
 cargo run --release -p via-bench --bin perf_smoke
