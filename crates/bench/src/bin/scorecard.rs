@@ -6,9 +6,9 @@
 //! ```
 
 use via_bench::paper::{claim, verdict, Verdict};
-use via_bench::report::{banner, render_table};
+use via_bench::report::{banner, render_table, stall_table};
 use via_bench::{
-    experiments, fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil,
+    experiments, fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, stall_sweep,
     ExperimentScale,
 };
 use via_core::ViaConfig;
@@ -102,6 +102,16 @@ fn main() {
         ]);
     }
     print!("{}", render_table(&header, &rows));
+
+    // Where the cycles behind those claims go: per-kernel stall columns
+    // (smaller sub-suite — the shares converge quickly with suite size).
+    let stall_scale = ExperimentScale {
+        matrices: scale.matrices.min(12),
+        ..scale.clone()
+    };
+    println!("\nstall attribution ({} matrices):", stall_scale.matrices);
+    print!("{}", stall_table(&stall_sweep(&stall_scale)));
+
     println!(
         "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
          (of {})",

@@ -1,0 +1,80 @@
+//! Where do the cycles go? Suite-wide stall-cause attribution for the
+//! kernel pairs the paper evaluates, as a CPI-stack table plus per-kernel
+//! top-N stall breakdowns.
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin stall_report [-- --matrices N \
+//!     --top N --chrome trace.json ...]
+//! ```
+//!
+//! `--chrome <path>` additionally writes a Chrome trace-event JSON file of
+//! one representative VIA-CSB SpMV run (open in Perfetto or
+//! `chrome://tracing`).
+
+use via_bench::experiments::stall_sweep;
+use via_bench::report::{banner, stall_table};
+use via_bench::{ExperimentScale, Suite};
+use via_formats::{gen, Csb};
+use via_kernels::{spmv, SimContext, TraceOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = ExperimentScale::default().from_args(&args);
+    let top = flag_value(&args, "--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize);
+    let chrome_path = flag_value(&args, "--chrome");
+
+    print!(
+        "{}",
+        banner(
+            "stall attribution",
+            "paper §VI: baseline SpMV cycles go to indexed accesses and DRAM",
+        )
+    );
+    eprintln!(
+        "suite: {} matrices, {}..{} rows, seed {}, {} threads",
+        scale.matrices, scale.min_rows, scale.max_rows, scale.seed, scale.threads
+    );
+
+    let rows = stall_sweep(&scale);
+
+    // Summary CPI-stack table across all kernels.
+    print!("{}", stall_table(&rows));
+
+    // Per-kernel top-N breakdowns.
+    for r in &rows {
+        println!("\n-- {} --", r.kernel);
+        print!("{}", r.report.render(top));
+    }
+
+    if let Some(path) = chrome_path {
+        write_chrome_trace(&scale, &path);
+    }
+}
+
+/// Writes a Chrome trace of one representative VIA-CSB run (the first
+/// matrix of the suite) with full event capture enabled.
+fn write_chrome_trace(scale: &ExperimentScale, path: &str) {
+    let suite = Suite::generate(scale);
+    let m = suite.matrices.first().expect("non-empty suite");
+    let ctx = SimContext::default().with_trace(TraceOptions::full(1 << 18));
+    let csb = Csb::from_csr(&m.csr, ctx.via.csb_block_size()).expect("power-of-two block");
+    let x = gen::dense_vector(m.csr.cols(), m.seed);
+    let run = spmv::via_csb(&csb, &x, &ctx);
+    let json = run.chrome.expect("event capture enabled");
+    std::fs::write(path, &json).expect("write chrome trace");
+    eprintln!(
+        "chrome trace for spmv/via_csb on {}x{} ({} nnz) written to {path}",
+        m.csr.rows(),
+        m.csr.cols(),
+        m.csr.nnz()
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -6,7 +6,8 @@ use via_energy::{AreaModel, EnergyModel, SynthesisPoint, PAPER_SYNTHESIS};
 use via_formats::gen::GenMatrix;
 use via_formats::stats::{geomean, split_categories};
 use via_formats::{gen, Csb, SellCSigma, Spc5};
-use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext};
+use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext, TraceOptions};
+use via_sim::{StallCause, StallReport};
 
 /// One row of the Figure 9 design-space exploration: the speedup of each
 /// configuration over the `4_2p` baseline for the three kernels.
@@ -378,6 +379,134 @@ pub fn fig12b_stencil(sides: &[usize], seed: u64) -> Vec<StencilRow> {
             }
         })
         .collect()
+}
+
+/// Suite-wide stall attribution for one kernel variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallRow {
+    /// Kernel label (`spmv/csr_vec`, `spma/via_cam`, …).
+    pub kernel: String,
+    /// Per-cause attribution merged across every input of the sweep. The
+    /// conservation invariant survives the merge: `attributed()` equals
+    /// `total_cycles` (the sum of every run's cycle count).
+    pub report: StallReport,
+}
+
+impl StallRow {
+    /// Share of cycles stalled on the memory system (load/store ports,
+    /// store-buffer drain, DRAM bandwidth).
+    pub fn memory_share(&self) -> f64 {
+        [
+            StallCause::LoadPort,
+            StallCause::StorePort,
+            StallCause::StoreBufferDrain,
+            StallCause::DramBandwidth,
+        ]
+        .iter()
+        .map(|&c| self.report.share(c))
+        .sum()
+    }
+
+    /// Share of cycles spent pacing the pipeline width (fetch/commit
+    /// width and the in-order commit gate) — the drain artifact of a
+    /// width-limited machine, not a hazard.
+    pub fn pacing_share(&self) -> f64 {
+        [
+            StallCause::FetchWidth,
+            StallCause::CommitGate,
+            StallCause::CommitWidth,
+        ]
+        .iter()
+        .map(|&c| self.report.share(c))
+        .sum()
+    }
+
+    /// The single largest stall cause and its share of total cycles.
+    pub fn top_cause(&self) -> (StallCause, f64) {
+        StallCause::ALL
+            .iter()
+            .filter(|c| c.is_stall())
+            .map(|&c| (c, self.report.share(c)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((StallCause::Active, 0.0))
+    }
+}
+
+/// "Where do the cycles go?" — runs the SpMV, SpMA, and histogram kernel
+/// pairs over the suite with stall accounting enabled and merges the
+/// per-input reports into one CPI stack per kernel variant.
+///
+/// The merged reports are identical for every `scale.threads` value: each
+/// input's report is deterministic, `parallel_map` preserves order, and
+/// the merge folds in suite order.
+pub fn stall_sweep(scale: &ExperimentScale) -> Vec<StallRow> {
+    let suite = Suite::generate(scale);
+    let ctx = SimContext::default().with_trace(TraceOptions::accounting());
+    let bs = ctx.via.csb_block_size();
+
+    fn merged(reports: Vec<StallReport>) -> StallReport {
+        let mut it = reports.into_iter();
+        let mut acc = it.next().expect("non-empty sweep");
+        for r in it {
+            acc.merge(&r);
+        }
+        acc
+    }
+    let row = |kernel: &str, reports: Vec<StallReport>| StallRow {
+        kernel: kernel.to_string(),
+        report: merged(reports),
+    };
+
+    let mut rows = Vec::new();
+    rows.push(row(
+        "spmv/csr_vec",
+        parallel_map(&suite.matrices, scale.threads, |m| {
+            let x = gen::dense_vector(m.csr.cols(), m.seed);
+            spmv::csr_vec(&m.csr, &x, &ctx)
+                .stall
+                .expect("accounting on")
+        }),
+    ));
+    rows.push(row(
+        "spmv/via_csb",
+        parallel_map(&suite.matrices, scale.threads, |m| {
+            let x = gen::dense_vector(m.csr.cols(), m.seed);
+            let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+            spmv::via_csb(&csb, &x, &ctx).stall.expect("accounting on")
+        }),
+    ));
+    rows.push(row(
+        "spma/merge_csr",
+        parallel_map(&suite.matrices, scale.threads, |m| {
+            let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+            spma::merge_csr(&m.csr, &b, &ctx)
+                .stall
+                .expect("accounting on")
+        }),
+    ));
+    rows.push(row(
+        "spma/via_cam",
+        parallel_map(&suite.matrices, scale.threads, |m| {
+            let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+            spma::via_cam(&m.csr, &b, &ctx)
+                .stall
+                .expect("accounting on")
+        }),
+    ));
+    let keys = uniform_keys(8_000, 256, scale.seed ^ 0x57A11);
+    rows.push(row(
+        "histogram/vector_cd",
+        vec![histogram::vector_cd(&keys, 256, &ctx)
+            .stall
+            .expect("accounting on")],
+    ));
+    rows.push(row(
+        "histogram/via",
+        vec![histogram::via(&keys, 256, &ctx)
+            .stall
+            .expect("accounting on")],
+    ));
+    rows
 }
 
 /// Convenience accessor used by tests: the CSB speedup row of a

@@ -24,7 +24,7 @@ pub mod report;
 pub mod suite;
 
 pub use experiments::{
-    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse, table2_area,
-    CategoryRow, DseRow, HistogramRow, SpmvFormatRow, StencilRow,
+    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse, stall_sweep,
+    table2_area, CategoryRow, DseRow, HistogramRow, SpmvFormatRow, StallRow, StencilRow,
 };
 pub use suite::{parallel_map, ExperimentScale, Suite};

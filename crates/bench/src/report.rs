@@ -42,6 +42,41 @@ pub fn speedup(v: f64) -> String {
     format!("{v:.2}x")
 }
 
+/// Renders the per-kernel CPI-stack columns of a stall sweep: total
+/// cycles, active/memory/pacing shares, and the single largest stall
+/// cause.
+pub fn stall_table(rows: &[crate::experiments::StallRow]) -> String {
+    let header: Vec<String> = [
+        "kernel",
+        "cycles",
+        "active",
+        "memory",
+        "pacing",
+        "top stall",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (cause, share) = r.top_cause();
+            vec![
+                r.kernel.clone(),
+                r.report.total_cycles.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * r.report.active() as f64 / r.report.total_cycles.max(1) as f64
+                ),
+                format!("{:.1}%", 100.0 * r.memory_share()),
+                format!("{:.1}%", 100.0 * r.pacing_share()),
+                format!("{} ({:.1}%)", cause.name(), 100.0 * share),
+            ]
+        })
+        .collect();
+    render_table(&header, &table)
+}
+
 /// Standard banner for every experiment binary.
 pub fn banner(experiment: &str, paper_claim: &str) -> String {
     format!("== VIA reproduction :: {experiment} ==\npaper reference: {paper_claim}\n")

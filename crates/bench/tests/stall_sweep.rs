@@ -1,0 +1,58 @@
+//! The suite-wide stall sweep keeps the single-run guarantees: the merged
+//! reports conserve cycles exactly and are identical for every worker
+//! thread count.
+
+use via_bench::{stall_sweep, ExperimentScale};
+use via_sim::trace::CAUSE_COUNT;
+
+fn tiny(threads: usize) -> ExperimentScale {
+    ExperimentScale {
+        matrices: 4,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 17,
+        threads,
+    }
+}
+
+#[test]
+fn merged_reports_conserve_cycles() {
+    for row in stall_sweep(&tiny(2)) {
+        let r = &row.report;
+        assert_eq!(
+            r.attributed(),
+            r.total_cycles,
+            "{}: merged attribution must still cover every cycle",
+            row.kernel
+        );
+        let region_sum: u64 = r.regions.iter().flat_map(|reg| reg.cycles.iter()).sum();
+        assert_eq!(
+            region_sum, r.total_cycles,
+            "{}: merged regions must partition the total",
+            row.kernel
+        );
+        let mut shares = 0.0;
+        for c in via_sim::StallCause::ALL {
+            shares += r.share(c);
+        }
+        assert!(
+            (shares - 1.0).abs() < 1e-9,
+            "{}: shares sum to 1",
+            row.kernel
+        );
+        assert_eq!(r.regions[0].cycles.len(), CAUSE_COUNT);
+    }
+}
+
+#[test]
+fn stall_sweep_is_thread_count_invariant() {
+    let serial = stall_sweep(&tiny(1));
+    for threads in [2, 4] {
+        assert_eq!(
+            stall_sweep(&tiny(threads)),
+            serial,
+            "sweep must be bit-identical with {threads} workers"
+        );
+    }
+}

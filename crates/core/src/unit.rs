@@ -75,6 +75,9 @@ pub struct ViaUnit {
     sspm: Sspm,
     fivu: Fivu,
     mode: ModeChecker,
+    /// Last addressing mode observed, for trace markers: 0 = cleared,
+    /// 1 = direct-mapped, 2 = CAM.
+    trace_mode: u8,
 }
 
 impl ViaUnit {
@@ -84,6 +87,7 @@ impl ViaUnit {
             mode: ModeChecker::new(&config),
             sspm: Sspm::new(config),
             fivu: Fivu::new(config),
+            trace_mode: 0,
         }
     }
 
@@ -127,6 +131,31 @@ impl ViaUnit {
         // error-severity diagnostic panics inside `report_diag`.
         for diag in self.mode.note(class, lanes, write_range) {
             engine.report_diag(diag);
+        }
+        // Mode-transition markers for the event trace. `trace_marker` is a
+        // no-op unless event tracing is enabled, so this never perturbs
+        // timing; the comparison below is the only always-on cost.
+        let mode_tag = match class {
+            SspmOpClass::DirectWrite
+            | SspmOpClass::DirectRead
+            | SspmOpClass::DirectAluToVrf
+            | SspmOpClass::DirectAluToSspm
+            | SspmOpClass::BlockMultiply => 1u8,
+            SspmOpClass::CamWrite
+            | SspmOpClass::CamRead
+            | SspmOpClass::CamDot
+            | SspmOpClass::CamDotAcc => 2,
+            SspmOpClass::Clear => 0,
+            // Index/count reads work in either mode and change nothing.
+            SspmOpClass::IndexRead | SspmOpClass::CountRead => self.trace_mode,
+        };
+        if mode_tag != self.trace_mode {
+            self.trace_mode = mode_tag;
+            engine.trace_marker(match mode_tag {
+                1 => "sspm mode: direct",
+                2 => "sspm mode: cam",
+                _ => "sspm mode: cleared",
+            });
         }
         let cost = self.fivu.cost(class, lanes);
         let dst = engine.fresh_reg();
@@ -521,6 +550,29 @@ mod tests {
         v.vldx_clear(&mut e);
         let (_, vals) = v.vldx_mov_d(&mut e, &[0], &[]);
         assert_eq!(vals, vec![0.0]);
+    }
+
+    #[test]
+    fn mode_transitions_emit_trace_markers() {
+        let (mut e, mut v) = setup();
+        e.enable_trace_events(64);
+        v.vldx_load_d(&mut e, &[0], &[5.0], &[]); // -> direct
+        v.vldx_load_d(&mut e, &[1], &[6.0], &[]); // no transition
+        v.vldx_clear(&mut e); // -> cleared
+        v.vldx_load_c(&mut e, &[7], &[7.0], &[]); // -> cam
+        let markers: Vec<&str> = e
+            .trace_events()
+            .expect("events enabled")
+            .events()
+            .filter_map(|ev| match ev {
+                via_sim::TraceEvent::Marker { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            markers,
+            vec!["sspm mode: direct", "sspm mode: cleared", "sspm mode: cam"]
+        );
     }
 
     #[test]

@@ -1,7 +1,41 @@
 //! Shared simulation context and kernel result types.
 
 use via_core::{SspmEvents, ViaConfig};
-use via_sim::{CoreConfig, Engine, MemConfig, RunStats};
+use via_sim::{CoreConfig, Engine, MemConfig, RunStats, StallReport};
+
+/// Observability switches applied to every engine a [`SimContext`] builds.
+///
+/// The default (everything off) is the zero-cost path: engines built from a
+/// default context produce bit-identical cycle counts to the pre-trace
+/// simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceOptions {
+    /// Attribute every simulated cycle to a [`via_sim::StallCause`];
+    /// [`KernelRun::stall`] is populated when set.
+    pub stall_accounting: bool,
+    /// Capacity of the structured event ring (0 disables event capture).
+    /// Enables Chrome-trace export via [`Engine::chrome_trace`].
+    pub events_capacity: usize,
+}
+
+impl TraceOptions {
+    /// Stall accounting on, event capture off — the cheap sweep-friendly
+    /// configuration used by `via-bench`'s stall columns.
+    pub fn accounting() -> Self {
+        TraceOptions {
+            stall_accounting: true,
+            events_capacity: 0,
+        }
+    }
+
+    /// Full observability: accounting plus an event ring of `capacity`.
+    pub fn full(capacity: usize) -> Self {
+        TraceOptions {
+            stall_accounting: true,
+            events_capacity: capacity,
+        }
+    }
+}
 
 /// Everything needed to instantiate a simulated machine for one kernel run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -12,6 +46,8 @@ pub struct SimContext {
     pub mem: MemConfig,
     /// VIA hardware configuration (only used by VIA kernels).
     pub via: ViaConfig,
+    /// Observability switches (off by default; timing-transparent).
+    pub trace: TraceOptions,
 }
 
 impl SimContext {
@@ -23,14 +59,33 @@ impl SimContext {
         }
     }
 
+    /// This context with the given observability switches.
+    pub fn with_trace(mut self, trace: TraceOptions) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    fn apply_trace(&self, mut e: Engine) -> Engine {
+        if self.trace.stall_accounting {
+            e.enable_stall_accounting();
+        }
+        if self.trace.events_capacity > 0 {
+            e.enable_trace_events(self.trace.events_capacity);
+        }
+        e
+    }
+
     /// An engine for a baseline kernel (no FIVU).
     pub fn baseline_engine(&self) -> Engine {
-        Engine::new(self.core.clone(), self.mem.clone())
+        self.apply_trace(Engine::new(self.core.clone(), self.mem.clone()))
     }
 
     /// An engine for a VIA kernel (FIVU attached).
     pub fn via_engine(&self) -> Engine {
-        Engine::new(self.core.clone().with_custom_unit(), self.mem.clone())
+        self.apply_trace(Engine::new(
+            self.core.clone().with_custom_unit(),
+            self.mem.clone(),
+        ))
     }
 
     /// The machine vector length in 64-bit lanes.
@@ -51,6 +106,10 @@ pub struct KernelRun<T> {
     pub stats: RunStats,
     /// SSPM events (VIA kernels only).
     pub sspm_events: Option<SspmEvents>,
+    /// Per-cause stall attribution ([`TraceOptions::stall_accounting`] only).
+    pub stall: Option<StallReport>,
+    /// Chrome trace-event JSON ([`TraceOptions::events_capacity`] > 0 only).
+    pub chrome: Option<String>,
 }
 
 impl<T> KernelRun<T> {
@@ -60,6 +119,8 @@ impl<T> KernelRun<T> {
             output,
             stats,
             sspm_events: None,
+            stall: None,
+            chrome: None,
         }
     }
 
@@ -69,6 +130,36 @@ impl<T> KernelRun<T> {
             output,
             stats,
             sspm_events: Some(events),
+            stall: None,
+            chrome: None,
+        }
+    }
+
+    /// Finishes a baseline engine, harvesting the stall report and Chrome
+    /// trace (whichever switches were enabled) alongside the run statistics.
+    pub fn finish_baseline(output: T, e: Engine) -> Self {
+        let stall = e.stall_report();
+        let chrome = e.chrome_trace();
+        KernelRun {
+            output,
+            stats: e.finish(),
+            sspm_events: None,
+            stall,
+            chrome,
+        }
+    }
+
+    /// Finishes a VIA engine: stall report and Chrome trace (if enabled),
+    /// run statistics, and the SSPM event counters.
+    pub fn finish_via(output: T, e: Engine, events: SspmEvents) -> Self {
+        let stall = e.stall_report();
+        let chrome = e.chrome_trace();
+        KernelRun {
+            output,
+            stats: e.finish(),
+            sspm_events: Some(events),
+            stall,
+            chrome,
         }
     }
 

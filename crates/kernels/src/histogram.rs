@@ -33,6 +33,7 @@ pub fn scalar(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64
     // Last store's value register per bin: a reload of the same bin must
     // wait for it (memory dependence).
     let mut last_store: Vec<Option<Reg>> = vec![None; nbins];
+    e.region("key loop");
     for (t, &k) in keys.iter().enumerate() {
         assert!((k as usize) < nbins, "key {k} out of {nbins} bins");
         let key_reg = e.load(kl.addr_of(t), 4);
@@ -50,7 +51,8 @@ pub fn scalar(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64
         e.scalar_op(AluKind::Int, &[]); // induction
         bins[k as usize] += 1;
     }
-    KernelRun::baseline(bins, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(bins, e)
 }
 
 /// AVX-512CD-style vectorized histogram baseline (paper Algorithm 5
@@ -77,6 +79,7 @@ pub fn vector_cd(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<
     let mut addrs: Vec<u64> = Vec::with_capacity(vl);
     let mut lines: Vec<u64> = Vec::with_capacity(vl);
     let mut prev_lines: Vec<u64> = Vec::with_capacity(vl);
+    e.region("key loop");
     let mut t = 0usize;
     while t < keys.len() {
         let len = vl.min(keys.len() - t);
@@ -113,7 +116,8 @@ pub fn vector_cd(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<
         e.scalar_op(AluKind::Int, &[]);
         t += len;
     }
-    KernelRun::baseline(bins, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(bins, e)
 }
 
 /// VIA histogram (paper Algorithm 5): conflict-detect, then accumulate in
@@ -137,6 +141,7 @@ pub fn via(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64>> 
         let lo = pass * entries;
         let hi = ((pass + 1) * entries).min(nbins);
         via.vldx_clear(&mut e);
+        e.region("accumulate");
         let mut t = 0usize;
         while t < keys.len() {
             let len = vl.min(keys.len() - t);
@@ -171,8 +176,10 @@ pub fn via(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64>> 
             e.scalar_op(AluKind::Int, &[]);
             t += len;
         }
+        e.region_end();
         // Flush this pass's bins to memory, batching SSPM reads ahead of
         // the stores.
+        e.region("flush");
         let mut bpos = lo;
         while bpos < hi {
             let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(8);
@@ -194,9 +201,10 @@ pub fn via(keys: &[u32], nbins: usize, ctx: &SimContext) -> KernelRun<Vec<u64>> 
                 e.store(hl.addr_of(p), (8 * len) as u32, &[reg]);
             }
         }
+        e.region_end();
     }
     let events = via.events();
-    KernelRun::via(bins, e.finish(), events)
+    KernelRun::finish_via(bins, e, events)
 }
 
 #[cfg(test)]

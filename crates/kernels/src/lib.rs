@@ -33,5 +33,5 @@ pub mod spmspv;
 pub mod spmv;
 pub mod stencil;
 
-pub use context::{KernelRun, SimContext};
+pub use context::{KernelRun, SimContext, TraceOptions};
 pub use layout::{CsbLayout, CsrLayout, SellLayout, Spc5Layout, VecLayout};

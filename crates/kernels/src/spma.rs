@@ -44,6 +44,7 @@ pub fn merge_csr(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
     let lc = CsrLayout::new(e.alloc_mut(), &out);
 
     let mut out_pos = 0usize;
+    e.region("row loop");
     for i in 0..a.rows() {
         // Row bounds for both operands.
         let rpa = e.load(la.row_ptr.addr_of(i + 1), 8);
@@ -98,7 +99,8 @@ pub fn merge_csr(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
         e.scalar_op(AluKind::Int, &[]);
         e.store(lc.row_ptr.addr_of(i + 1), 8, &[rp]);
     }
-    KernelRun::baseline(out, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(out, e)
 }
 
 /// VIA CAM-merge SpMA (paper Figure 4's machinery applied to addition).
@@ -170,6 +172,7 @@ pub fn via_cam(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
             );
 
             // Insert A's segment (vldxload.c), chunked by VL.
+            e.region("cam insert");
             let mut k = seg_a;
             while k < end_a {
                 let len = vl.min(end_a - k);
@@ -183,7 +186,9 @@ pub fn via_cam(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
                 );
                 k += len;
             }
+            e.region_end();
             // Merge B's segment (vldxadd.c → SSPM).
+            e.region("cam merge");
             let mut k = seg_b;
             while k < end_b {
                 let len = vl.min(end_b - k);
@@ -199,9 +204,11 @@ pub fn via_cam(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
                 );
                 k += len;
             }
+            e.region_end();
             // Read the merged segment out: count, indices, values. The
             // index-table and SRAM reads are batched in register-bounded
             // groups so the VIA reads pipeline ahead of the stores.
+            e.region("flush");
             let (_, n) = via.vldx_count(&mut e);
             let mut r = 0usize;
             while r < n {
@@ -226,6 +233,7 @@ pub fn via_cam(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
                     out_pos += len;
                 }
             }
+            e.region_end();
             seg_a = end_a;
             seg_b = end_b;
         }
@@ -234,7 +242,7 @@ pub fn via_cam(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
     }
     let out = Csr::from_coo(&coo.into_canonical());
     let events = via.events();
-    KernelRun::via(out, e.finish(), events)
+    KernelRun::finish_via(out, e, events)
 }
 
 #[cfg(test)]

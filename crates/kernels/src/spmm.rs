@@ -65,6 +65,7 @@ pub fn inner_product(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
     let lc = CsrLayout::new(e.alloc_mut(), &out);
 
     let mut out_pos = 0usize;
+    e.region("row loop");
     for i in 0..a.rows() {
         let (ac, av) = a.row(i);
         let pa = a.row_ptr()[i];
@@ -123,7 +124,8 @@ pub fn inner_product(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
         let rp = e.scalar_op(AluKind::Int, &[]);
         e.store(lc.row_ptr.addr_of(i + 1), 8, &[rp]);
     }
-    KernelRun::baseline(out, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(out, e)
 }
 
 /// Row-wise Gustavson SpMM baseline with a dense sparse-accumulator (SPA)
@@ -151,6 +153,7 @@ pub fn gustavson(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
 
     let mut out_pos = 0usize;
     for i in 0..a.rows() {
+        e.region("spa update");
         let (ac, av) = a.row(i);
         let pa = a.row_ptr()[i];
         e.load(la.row_ptr.addr_of(i + 1), 8);
@@ -189,8 +192,10 @@ pub fn gustavson(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
             }
             let _ = va;
         }
+        e.region_end();
         // Compact the touched columns into the output row (library code
         // sorts them; model the sort as ~log n passes of compare ops).
+        e.region("compact");
         touched.sort_unstable();
         let sort_ops = touched.len() as u32 * (32 - (touched.len() as u32).max(1).leading_zeros());
         for _ in 0..sort_ops {
@@ -212,8 +217,9 @@ pub fn gustavson(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
         }
         let rp = e.scalar_op(AluKind::Int, &[]);
         e.store(lc.row_ptr.addr_of(i + 1), 8, &[rp]);
+        e.region_end();
     }
-    KernelRun::baseline(out, e.finish())
+    KernelRun::finish_baseline(out, e)
 }
 
 /// VIA CAM SpMM (paper Figure 4): per row of `A`, load the row into the
@@ -267,6 +273,7 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                 if seg > 0 {
                     via.vldx_clear_segment(&mut e, 0, acc_base);
                 }
+                e.region("cam insert");
                 let mut k = seg;
                 while k < seg_end {
                     let len = vl.min(seg_end - k);
@@ -280,9 +287,11 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                     );
                     k += len;
                 }
+                e.region_end();
                 let k_lo = ac[seg];
                 let k_hi = ac[seg_end - 1];
                 // Stream B's columns (steps 2-5 in Figure 4).
+                e.region("column stream");
                 for j in j_lo..j_hi {
                     let (br, bv) = b.col(j);
                     let pb = b.col_ptr()[j];
@@ -316,10 +325,12 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                         k += len;
                     }
                 }
+                e.region_end();
                 seg = seg_end;
             }
             // Flush the finished column chunk: batched SSPM reads first
             // (they pipeline), then the compare/store consumers.
+            e.region("flush");
             let mut chunk_vals: Vec<(usize, via_sim::Reg, Vec<f64>)> = Vec::new();
             let mut p = j_lo;
             while p < j_hi {
@@ -347,13 +358,14 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                     }
                 }
             }
+            e.region_end();
             j_lo = j_hi;
         }
         e.scalar_op(AluKind::Int, &[]);
     }
     let out = Csr::from_coo(&coo.into_canonical());
     let events = via.events();
-    KernelRun::via(out, e.finish(), events)
+    KernelRun::finish_via(out, e, events)
 }
 
 #[cfg(test)]

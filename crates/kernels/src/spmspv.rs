@@ -118,6 +118,7 @@ pub fn spa_dense(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<Spars
     let out = reference(a, x);
     let mut last_store: std::collections::HashMap<Index, Reg> = std::collections::HashMap::new();
     let mut touched: Vec<Index> = Vec::new();
+    e.region("spa update");
     for (t, (&j, _)) in x.indices.iter().zip(&x.values).enumerate() {
         assert!((j as usize) < a.cols(), "x index {j} out of bounds");
         let xi = e.load(lay.x_idx.addr_of(t), 4);
@@ -148,7 +149,9 @@ pub fn spa_dense(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<Spars
             last_store.insert(i, new);
         }
     }
+    e.region_end();
     // Sort the touched rows and compact.
+    e.region("compact");
     touched.sort_unstable();
     let sort_ops = touched.len() as u32 * (32 - (touched.len() as u32).max(1).leading_zeros());
     for _ in 0..sort_ops {
@@ -166,7 +169,8 @@ pub fn spa_dense(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<Spars
         let zero = e.scalar_op(AluKind::Int, &[]);
         e.store(flags.addr_of(i as usize), 4, &[zero]);
     }
-    KernelRun::baseline(out, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(out, e)
 }
 
 /// VIA CAM SpMSpV: active columns' entries merge into the CAM
@@ -193,6 +197,7 @@ pub fn via_cam(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<SparseV
     while range_lo < a.rows() {
         let range_hi = (range_lo + cam_cap).min(a.rows());
         via.vldx_clear(&mut e);
+        e.region("cam merge");
         let mut any = false;
         for (t, (&j, &xv)) in x.indices.iter().zip(&x.values).enumerate() {
             assert!((j as usize) < a.cols(), "x index {j} out of bounds");
@@ -231,8 +236,10 @@ pub fn via_cam(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<SparseV
                 k += len;
             }
         }
+        e.region_end();
         if any {
             // Read the merged frontier segment out.
+            e.region("flush");
             let (_, n) = via.vldx_count(&mut e);
             let mut r = 0usize;
             while r < n {
@@ -257,13 +264,14 @@ pub fn via_cam(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<SparseV
                     out_pos += len;
                 }
             }
+            e.region_end();
         }
         range_lo = range_hi;
     }
     let computed = SparseVector::from_pairs(pairs);
     debug_assert_eq!(computed.indices, out.indices);
     let events = via.events();
-    KernelRun::via(computed, e.finish(), events)
+    KernelRun::finish_via(computed, e, events)
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ pub fn scalar_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     let yl = VecLayout::new(e.alloc_mut(), a.rows().max(1));
 
     let mut y = vec![0.0; a.rows()];
+    e.region("row loop");
     let mut rp = e.load(lay.row_ptr.addr_of(0), 8);
     for (i, yi) in y.iter_mut().enumerate() {
         let rp_next = e.load(lay.row_ptr.addr_of(i + 1), 8);
@@ -68,7 +69,8 @@ pub fn scalar_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         *yi = acc;
         rp = rp_next;
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// Vectorized CSR SpMV with x-gathers (Eigen-style; paper Figure 2).
@@ -88,6 +90,7 @@ pub fn csr_vec(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     // One x-gather address buffer for the whole matrix: the gather borrows
     // the addresses, so nothing forces a fresh allocation per chunk.
     let mut addrs: Vec<u64> = Vec::with_capacity(vl);
+    e.region("row loop");
     let mut rp = e.load(lay.row_ptr.addr_of(0), 8);
     for (i, yi) in y.iter_mut().enumerate() {
         let rp_next = e.load(lay.row_ptr.addr_of(i + 1), 8);
@@ -122,7 +125,8 @@ pub fn csr_vec(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         *yi = acc;
         rp = rp_next;
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// SPC5 SpMV baseline: per segment, broadcast `x[col]`, expand the packed
@@ -141,6 +145,7 @@ pub fn spc5(m: &Spc5, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     let y = m.spmv(x);
     let h = m.block_height();
     let mut seg_index = 0usize;
+    e.region("block loop");
     for b in 0..m.num_blocks() {
         let bp = e.load(lay.block_ptr.addr_of(b), 8);
         let rows_here = h.min(m.rows() - b * h);
@@ -176,7 +181,8 @@ pub fn spc5(m: &Spc5, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
             r += len;
         }
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// Sell-C-σ SpMV baseline: chunk-column-major FMAs with x-gathers; padding
@@ -203,6 +209,7 @@ pub fn sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> 
     let mut addrs: Vec<u64> = Vec::with_capacity(c);
     let mut lines: Vec<u64> = Vec::with_capacity(c);
     let mut prev_lines: Vec<u64> = Vec::with_capacity(c);
+    e.region("chunk loop");
     for k in 0..m.num_chunks() {
         let cp = e.load(lay.chunk_ptr.addr_of(k), 8);
         let cw = e.load(lay.chunk_width.addr_of(k), 8);
@@ -251,7 +258,8 @@ pub fn sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> 
             std::mem::swap(&mut prev_lines, &mut lines);
         }
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// Software CSB SpMV baseline, scalar within blocks as in Buluç's
@@ -275,6 +283,7 @@ pub fn csb_software(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>>
     let y = via_formats::reference::spmv(&m.to_csr(), x);
     let bs = m.block_size();
     let (nbr, nbc) = m.grid();
+    e.region("block loop");
     for br in 0..nbr {
         // Last y-store register per row of this block row: a reload of the
         // same y element must wait for it (memory dependence).
@@ -307,7 +316,8 @@ pub fn csb_software(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>>
             }
         }
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// Vectorized software CSB SpMV (ablation variant): split merged indices in
@@ -333,6 +343,7 @@ pub fn csb_software_vec(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f
     let mut x_addrs: Vec<u64> = Vec::with_capacity(vl);
     let mut y_addrs: Vec<u64> = Vec::with_capacity(vl);
     let mut elem_base = 0usize;
+    e.region("block loop");
     for br in 0..nbr {
         // The y-RMW chain: scatters to the same block row must order.
         let mut y_chain: Option<Reg> = None;
@@ -380,7 +391,8 @@ pub fn csb_software_vec(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f
             elem_base += blk.idx.len();
         }
     }
-    KernelRun::baseline(y, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
 }
 
 /// VIA CSB SpMV (paper Algorithm 4): the input-vector chunk is loaded into
@@ -416,6 +428,7 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         let row_base = br * bs;
         let rows_here = bs.min(m.rows() - row_base);
         // Preload the y chunk into the SSPM upper half (y += A*x).
+        e.region("y preload");
         let mut r = 0usize;
         while r < rows_here {
             let len = vl.min(rows_here - r);
@@ -426,6 +439,8 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
             via.vldx_load_d(&mut e, &idx, &vec![0.0; len], &[yreg]);
             r += len;
         }
+        e.region_end();
+        e.region("accumulate");
         for bc in 0..nbc {
             let blk = m.block(br, bc);
             if blk.idx.is_empty() {
@@ -463,6 +478,8 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
                 k += len;
             }
         }
+        e.region_end();
+        e.region("flush");
         // Extract the finished y chunk. SSPM reads are batched in groups
         // (bounded by the architectural vector registers) so the
         // commit-serialized VIA reads pipeline; the stores drain after
@@ -487,9 +504,10 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         }
         // Reset the y segment's accumulators for the next block row.
         via.vldx_clear_segment(&mut e, bs, rows_here);
+        e.region_end();
     }
     let events = via.events();
-    KernelRun::via(y, e.finish(), events)
+    KernelRun::finish_via(y, e, events)
 }
 
 /// Shared implementation of "SSPM as output accumulator": row sums are
@@ -514,6 +532,7 @@ where
     while seg_start < rows {
         let seg_rows = seg_len.min(rows - seg_start);
         via.vldx_clear(e);
+        e.region("accumulate");
         let mut buf_idx: Vec<u32> = Vec::with_capacity(vl);
         let mut buf_val: Vec<f64> = Vec::with_capacity(vl);
         let mut buf_regs: Vec<Reg> = Vec::with_capacity(vl);
@@ -548,7 +567,9 @@ where
                 &buf_regs,
             );
         }
+        e.region_end();
         // Extract the segment, batching SSPM reads ahead of the stores.
+        e.region("flush");
         let mut r = 0usize;
         while r < seg_rows {
             let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(8);
@@ -567,6 +588,7 @@ where
                 e.store(yl.data.addr_of(seg_start + gr), (8 * len) as u32, &[reg]);
             }
         }
+        e.region_end();
         seg_start += seg_rows;
     }
     y
@@ -617,7 +639,7 @@ pub fn via_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         (sum, acc)
     });
     let events = via.events();
-    KernelRun::via(y, e.finish(), events)
+    KernelRun::finish_via(y, e, events)
 }
 
 /// VIA SPC5 SpMV: segment processing as in [`spc5`], block results
@@ -644,6 +666,7 @@ pub fn via_spc5(m: &Spc5, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     while seg_start < m.rows() {
         let seg_rows = seg_len.min(m.rows() - seg_start);
         via.vldx_clear(&mut e);
+        e.region("accumulate");
         let first_block = seg_start / h;
         let last_block = (seg_start + seg_rows).div_ceil(h).min(m.num_blocks());
         for b in first_block..last_block {
@@ -692,7 +715,9 @@ pub fn via_spc5(m: &Spc5, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
                 r += len;
             }
         }
+        e.region_end();
         // Extract, batching SSPM reads ahead of the stores.
+        e.region("flush");
         let mut r = 0usize;
         while r < seg_rows {
             let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(8);
@@ -711,11 +736,12 @@ pub fn via_spc5(m: &Spc5, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
                 e.store(yl.data.addr_of(seg_start + gr), (8 * len) as u32, &[reg]);
             }
         }
+        e.region_end();
         seg_start += seg_rows;
     }
     debug_assert!(via_formats::vec_approx_eq(&y, &y_full, 1e-9));
     let events = via.events();
-    KernelRun::via(y, e.finish(), events)
+    KernelRun::finish_via(y, e, events)
 }
 
 /// VIA Sell-C-σ SpMV: chunk FMAs as in [`sell`], accumulation into the SSPM
@@ -741,6 +767,7 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
     while seg_start < m.rows() {
         let seg_rows = seg_len.min(m.rows() - seg_start);
         via.vldx_clear(&mut e);
+        e.region("accumulate");
         let first_chunk = seg_start / c;
         let last_chunk = (seg_start + seg_rows).div_ceil(c).min(m.num_chunks());
         for k in first_chunk..last_chunk {
@@ -781,8 +808,10 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
                 &[vacc],
             );
         }
+        e.region_end();
         // Extract: batched SSPM reads of packed rows, then scatters to
         // y[perm[...]].
+        e.region("flush");
         let mut r = 0usize;
         while r < seg_rows {
             let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(8);
@@ -806,10 +835,11 @@ pub fn via_sell(m: &SellCSigma, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f6
                 e.scatter(&addrs, 8, &[reg]);
             }
         }
+        e.region_end();
         seg_start += seg_rows;
     }
     let events = via.events();
-    KernelRun::via(y, e.finish(), events)
+    KernelRun::finish_via(y, e, events)
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub fn scalar(
     let out = via_formats::reference::convolve2d(image, width, height, filter, 4);
     // Filter coefficients loaded once into registers.
     let coeffs: Vec<via_sim::Reg> = (0..16).map(|t| e.load(fl.addr_of(t), 8)).collect();
+    e.region("pixel loop");
     for y in 0..height {
         for x in 0..width {
             let mut acc = e.scalar_op(AluKind::Int, &[]);
@@ -73,7 +74,8 @@ pub fn scalar(
             e.scalar_op(AluKind::Int, &[]);
         }
     }
-    KernelRun::baseline(out, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(out, e)
 }
 
 /// Vectorized 4×4 convolution baseline (`VL` output pixels per step).
@@ -98,6 +100,7 @@ pub fn vector(
 
     let out = via_formats::reference::convolve2d(image, width, height, filter, 4);
     let coeffs: Vec<via_sim::Reg> = (0..16).map(|t| e.load(fl.addr_of(t), 8)).collect();
+    e.region("pixel loop");
     for y in 0..height {
         let mut x = 0usize;
         while x < width {
@@ -125,7 +128,8 @@ pub fn vector(
             x += len;
         }
     }
-    KernelRun::baseline(out, e.finish())
+    e.region_end();
+    KernelRun::finish_baseline(out, e)
 }
 
 /// VIA stencil (paper Algorithm 6): image segments staged in the SSPM,
@@ -176,6 +180,7 @@ pub fn via(
         let rows_here = seg_rows.min(height - y0);
         via.vldx_clear(&mut e);
         // Stage the input rows [y0-2, y0+rows_here+1] (clamped) in the SSPM.
+        e.region("stage");
         let in_lo = y0.saturating_sub(2);
         let in_hi = (y0 + rows_here).min(height - 1);
         for iy in in_lo..=in_hi {
@@ -203,6 +208,8 @@ pub fn via(
         // re-targeted at the stencil access pattern (Algorithm 6's "read
         // the operand data from the SSPM... reduce and accumulate results
         // in SSPM").
+        e.region_end();
+        e.region("convolve");
         let idx_bits = (usize::BITS - (half - 1).leading_zeros()).max(1);
         for dy in 0..rows_here {
             let y = y0 + dy;
@@ -246,7 +253,9 @@ pub fn via(
                 x += len;
             }
         }
+        e.region_end();
         // Flush the output segment, batching SSPM reads ahead of stores.
+        e.region("flush");
         for dy in 0..rows_here {
             let mut x = 0usize;
             while x < width {
@@ -276,10 +285,11 @@ pub fn via(
                 }
             }
         }
+        e.region_end();
         y0 += rows_here;
     }
     let events = via.events();
-    KernelRun::via(out, e.finish(), events)
+    KernelRun::finish_via(out, e, events)
 }
 
 #[cfg(test)]

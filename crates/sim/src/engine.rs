@@ -27,7 +27,26 @@ use crate::mem::Hierarchy;
 use crate::prog::{AluKind, Inst, Op, Reg, VecOpKind};
 use crate::stats::RunStats;
 use crate::timeline::{Timeline, TimelineEntry};
+use crate::trace::{
+    self, EventRing, MemLevel, OpClass, RegionStalls, StallCause, StallReport, TraceEvent,
+    TraceState,
+};
 use crate::verify::{self, Severity, Verifier, VerifyConfig};
+
+/// Monotone lifecycle boundaries of one pushed instruction, handed to the
+/// stall-attribution pass (`fetch ≤ ready ≤ gate ≤ issue ≤ complete ≤
+/// commit`, with `front_gate ≤ fetch`).
+struct TracePoints {
+    prev_commit: u64,
+    front_gate: u64,
+    fence_dominates: bool,
+    fetch: u64,
+    ready: u64,
+    gate: u64,
+    issue: u64,
+    complete: u64,
+    commit: u64,
+}
 
 /// The streaming out-of-order timing engine.
 ///
@@ -74,6 +93,10 @@ pub struct Engine {
     predictor: Vec<u8>,
     pushes_since_prune: u32,
     timeline: Option<Timeline>,
+    /// Stall-cause accounting and event-trace state (`via-trace`). Always
+    /// present; disabled it costs one branch per push and never perturbs
+    /// timing, so golden cycle counts are identical with tracing on or off.
+    trace: TraceState,
     /// Streaming program verifier (`via-verify`). Always attached in debug
     /// builds (every debug simulation is checked, errors panic at the
     /// offending push); in release builds attached only while thread-local
@@ -118,6 +141,7 @@ impl Engine {
             predictor: Vec::new(),
             pushes_since_prune: 0,
             timeline: None,
+            trace: TraceState::default(),
             verifier,
             verify_capture,
             core,
@@ -195,12 +219,18 @@ impl Engine {
             }
         }
 
+        // --- via-trace: pre-push snapshots ------------------------------
+        // One branch when tracing is off; none of this feeds timing.
+        let tracing = self.trace.enabled();
+        let prev_commit = self.last_commit;
+
         // --- fetch: width and ROB admission ----------------------------
         let rob_ready = if self.rob_filled == self.core.rob_size {
             self.rob_window[self.rob_head]
         } else {
             0
         };
+        let fence_dominates = self.fence_until >= rob_ready;
         let earliest_fetch = rob_ready.max(self.fence_until);
         if self.fetch_cycle < earliest_fetch {
             self.fetch_cycle = earliest_fetch;
@@ -233,6 +263,17 @@ impl Engine {
         let ready_t = fetch_t.max(dep_t);
 
         // --- issue + execute --------------------------------------------
+        let front_gate = earliest_fetch.min(fetch_t);
+        let (dram_wait0, port_wait0) = if tracing {
+            self.hier.clear_level_mark();
+            (self.hier.dram_wait_cycles(), self.hier.port_wait_cycles())
+        } else {
+            (0, 0)
+        };
+        // Issue time (unit acquired) and the at-commit gate, captured for
+        // attribution; plain u64 stores, free enough to keep unconditional.
+        let mut tr_issue = ready_t;
+        let mut tr_gate = ready_t;
         let complete = match &inst.op {
             Op::Scalar { kind } => {
                 self.stats.scalar_ops += 1;
@@ -242,6 +283,7 @@ impl Engine {
                     AluKind::FpFma => self.core.vec_fma_latency,
                 } as u64;
                 let start = self.scalar_units.book(ready_t);
+                tr_issue = start;
                 start + lat
             }
             Op::Vec { kind } => {
@@ -255,6 +297,7 @@ impl Engine {
                     VecOpKind::ConflictDetect => self.core.vec_conflict_latency,
                 } as u64;
                 let start = self.vector_units.book(ready_t);
+                tr_issue = start;
                 start + lat
             }
             Op::Load { addr, bytes } => {
@@ -295,6 +338,8 @@ impl Engine {
                 };
                 let occ = (*occupancy).max(1) as u64;
                 let start = Self::acquire_custom(&mut self.custom_units, gate, occ);
+                tr_gate = gate;
+                tr_issue = start;
                 self.stats.custom_busy_cycles += occ;
                 start + (*latency).max(1) as u64
             }
@@ -315,6 +360,7 @@ impl Engine {
                 // The branch resolves one cycle after its sources are ready
                 // (compare + redirect decision).
                 let start = self.scalar_units.book(ready_t);
+                tr_issue = start;
                 let resolve = start + self.core.scalar_latency as u64;
                 if predicted != *taken {
                     self.stats.mispredicts += 1;
@@ -376,8 +422,124 @@ impl Engine {
                 commit: commit_t,
             });
         }
+        if tracing {
+            self.record_trace(
+                &inst.op,
+                TracePoints {
+                    prev_commit,
+                    front_gate,
+                    fence_dominates,
+                    fetch: fetch_t,
+                    ready: ready_t,
+                    gate: tr_gate,
+                    issue: tr_issue,
+                    complete,
+                    commit: commit_t,
+                },
+                dram_wait0,
+                port_wait0,
+            );
+        }
         self.stats.instructions += 1;
         complete
+    }
+
+    /// Attributes this push's commit-frontier delta to stall causes and
+    /// records the lifecycle event. `points` carries the instruction's
+    /// monotone lifecycle boundaries; each adjacent pair, clipped to
+    /// `(prev_commit, commit]`, is charged to exactly one cause, so the
+    /// attribution tiles the frontier delta exactly (the conservation
+    /// invariant).
+    fn record_trace(&mut self, op: &Op, points: TracePoints, dram_wait0: u64, port_wait0: u64) {
+        let class = OpClass::of(op);
+        let TracePoints {
+            prev_commit,
+            front_gate,
+            fence_dominates,
+            fetch,
+            ready,
+            gate,
+            issue,
+            complete,
+            commit,
+        } = points;
+        if self.trace.accounting {
+            let dram_delta = self.hier.dram_wait_cycles() - dram_wait0;
+            let port_delta = self.hier.port_wait_cycles() - port_wait0;
+            // Length of a lifecycle segment clipped to the frontier delta
+            // `(prev_commit, commit]` (charging 0 cycles is harmless).
+            let clip = |lo: u64, hi: u64| hi.min(commit).saturating_sub(lo.max(prev_commit));
+            let tr = &mut self.trace;
+            // Frontend: waiting on the ROB / a redirect, then fetch-width
+            // serialization up to the fetch cycle.
+            let front_cause = if fence_dominates {
+                StallCause::BranchRedirect
+            } else {
+                StallCause::RobFull
+            };
+            tr.charge(class, front_cause, clip(prev_commit, front_gate));
+            tr.charge(class, StallCause::FetchWidth, clip(front_gate, fetch));
+            // Operand wait.
+            tr.charge(class, StallCause::Dependency, clip(fetch, ready));
+            // Execution window (ready → complete), split per op class.
+            match class {
+                OpClass::Load | OpClass::Store | OpClass::Gather | OpClass::Scatter => {
+                    // Split the memory window between DRAM-channel queuing,
+                    // port serialization, and transfer time, using the
+                    // hierarchy's wait-counter deltas clipped to the window.
+                    let w = clip(ready, complete);
+                    let dram = dram_delta.min(w);
+                    let port = port_delta.min(w - dram);
+                    let port_cause = if matches!(class, OpClass::Store | OpClass::Scatter) {
+                        StallCause::StorePort
+                    } else {
+                        StallCause::LoadPort
+                    };
+                    tr.charge(class, StallCause::DramBandwidth, dram);
+                    tr.charge(class, port_cause, port);
+                    tr.charge(class, StallCause::Active, w - dram - port);
+                }
+                OpClass::Custom => {
+                    tr.charge(class, StallCause::CommitGate, clip(ready, gate));
+                    tr.charge(class, StallCause::FuSlot, clip(gate, issue));
+                    tr.charge(class, StallCause::Active, clip(issue, complete));
+                }
+                OpClass::Delay => {
+                    tr.charge(class, StallCause::StoreBufferDrain, clip(ready, complete));
+                }
+                OpClass::Fence => {
+                    tr.charge(class, StallCause::Dependency, clip(ready, complete));
+                }
+                _ => {
+                    tr.charge(class, StallCause::FuSlot, clip(ready, issue));
+                    tr.charge(class, StallCause::Active, clip(issue, complete));
+                }
+            }
+            // In-order commit behind the frontier and commit-width limits.
+            tr.charge(class, StallCause::CommitWidth, clip(complete, commit));
+        }
+        if self.trace.events.is_some() {
+            let level = match class {
+                OpClass::Load | OpClass::Store | OpClass::Gather | OpClass::Scatter => {
+                    MemLevel::from_mark(self.hier.level_mark().max(1))
+                }
+                _ => MemLevel::None,
+            };
+            let index = self.stats.instructions;
+            let region = self.trace.current;
+            if let Some(ring) = &mut self.trace.events {
+                ring.record(TraceEvent::Inst {
+                    index,
+                    class,
+                    region,
+                    fetch,
+                    issue,
+                    complete,
+                    commit,
+                    level,
+                });
+            }
+        }
     }
 
     fn mem_access(&mut self, addr: u64, bytes: u32, write: bool, t: u64) -> u64 {
@@ -399,6 +561,7 @@ impl Engine {
             } else {
                 self.load_ports.book(t)
             };
+            self.hier.note_port_wait(start.saturating_sub(t));
             let lat = self.hier.access(addr, write, start);
             let effective = if write { sb_latency } else { lat };
             done = done.max(start + effective);
@@ -417,6 +580,115 @@ impl Engine {
     /// The recorded timeline, if [`Engine::enable_timeline`] was called.
     pub fn timeline(&self) -> Option<&Timeline> {
         self.timeline.as_ref()
+    }
+
+    // ---- via-trace: stall accounting and event traces ------------------
+
+    /// Turns on stall-cause accounting: from now on every commit-frontier
+    /// cycle is attributed to one [`StallCause`] per opcode class and per
+    /// kernel region. Never perturbs timing; read the result with
+    /// [`Engine::stall_report`].
+    pub fn enable_stall_accounting(&mut self) {
+        self.trace.accounting = true;
+        self.trace.ensure_root();
+    }
+
+    /// Whether stall-cause accounting is on.
+    pub fn stall_accounting_enabled(&self) -> bool {
+        self.trace.accounting
+    }
+
+    /// Turns on event tracing: the most recent `capacity` instruction
+    /// lifecycles (plus region and marker events) are kept in a ring and
+    /// can be exported with [`Engine::chrome_trace`].
+    pub fn enable_trace_events(&mut self, capacity: usize) {
+        self.trace.events = Some(EventRing::new(capacity));
+        self.trace.ensure_root();
+        self.hier.clear_level_mark();
+    }
+
+    /// The recorded event ring, if [`Engine::enable_trace_events`] was
+    /// called.
+    pub fn trace_events(&self) -> Option<&EventRing> {
+        self.trace.events.as_ref()
+    }
+
+    /// Enters a named kernel region (row loop, accumulate, flush, …);
+    /// subsequent attribution is filed under it until the matching
+    /// [`Engine::region_end`]. Regions nest; a no-op while tracing is off,
+    /// so kernels label phases unconditionally.
+    pub fn region(&mut self, name: &'static str) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let id = self.trace.intern(name);
+        self.trace.stack.push(self.trace.current);
+        self.trace.current = id;
+        let at = self.last_commit;
+        if let Some(ring) = &mut self.trace.events {
+            ring.record(TraceEvent::RegionBegin { region: id, at });
+        }
+    }
+
+    /// Leaves the innermost open region (no-op at top level or while
+    /// tracing is off).
+    pub fn region_end(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        if let Some(prev) = self.trace.stack.pop() {
+            let at = self.last_commit;
+            let current = self.trace.current;
+            if let Some(ring) = &mut self.trace.events {
+                ring.record(TraceEvent::RegionEnd {
+                    region: current,
+                    at,
+                });
+            }
+            self.trace.current = prev;
+        }
+    }
+
+    /// Records an instant marker (e.g. an SSPM mode transition) at the
+    /// current commit frontier; a no-op unless event tracing is on.
+    pub fn trace_marker(&mut self, name: &'static str) {
+        let at = self.last_commit;
+        if let Some(ring) = &mut self.trace.events {
+            ring.record(TraceEvent::Marker { name, at });
+        }
+    }
+
+    /// A snapshot of the stall-cause accounting so far, or `None` unless
+    /// [`Engine::enable_stall_accounting`] was called. The report's
+    /// [`attributed`](StallReport::attributed) total equals its
+    /// `total_cycles` exactly (conservation).
+    pub fn stall_report(&self) -> Option<StallReport> {
+        if !self.trace.accounting {
+            return None;
+        }
+        Some(StallReport {
+            total_cycles: self.last_commit.max(self.all_complete_max),
+            by_class: self.trace.by_class,
+            regions: self
+                .trace
+                .regions
+                .iter()
+                .map(|r| RegionStalls {
+                    name: r.name.to_string(),
+                    cycles: r.cycles,
+                })
+                .collect(),
+        })
+    }
+
+    /// The recorded event ring serialized as Chrome trace-event JSON
+    /// (loadable in Perfetto), or `None` unless
+    /// [`Engine::enable_trace_events`] was called.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace
+            .events
+            .as_ref()
+            .map(|ring| trace::chrome_trace_json(ring, |id| self.trace.region_name(id)))
     }
 
     /// Whether a verifier is attached (always true in debug builds; true in
@@ -487,6 +759,10 @@ impl Engine {
         self.predictor.clear();
         self.pushes_since_prune = 0;
         self.timeline = None;
+        // Trace state must not leak between back-to-back runs: zero the
+        // accumulators, empty the ring, and unwind the region stack, while
+        // keeping the enabled flags so a reused engine keeps tracing.
+        self.trace.clear();
         self.stats = RunStats::default();
     }
 

@@ -50,6 +50,7 @@ pub mod prog;
 pub mod stats;
 pub mod telemetry;
 pub mod timeline;
+pub mod trace;
 pub mod verify;
 
 pub use alloc::{AddressSpace, Region};
@@ -59,4 +60,5 @@ pub use prog::{AluKind, Inst, Op, Reg, VecOpKind};
 pub use stats::{CacheStats, RunStats};
 pub use telemetry::{simulated_instructions, ThroughputProbe};
 pub use timeline::{Timeline, TimelineEntry};
+pub use trace::{MemLevel, OpClass, RegionStalls, StallCause, StallReport, TraceEvent};
 pub use verify::{Verifier, VerifyConfig};

@@ -29,6 +29,16 @@ pub struct Hierarchy {
     dram_write_bytes: u64,
     dram_busy_cycles: u64,
     prefetches_issued: u64,
+    /// Cumulative cycles demand fills queued for the DRAM channel
+    /// (booking start − request time). Pure observation for `via-trace`;
+    /// never feeds back into timing.
+    dram_wait_cycles: u64,
+    /// Cumulative cycles accesses queued for a load/store-port slot.
+    port_wait_cycles: u64,
+    /// Deepest level reached since the engine last cleared the mark
+    /// (0 = untouched/L1 hit, 2 = L2, 3 = L3, 4 = DRAM). Only the
+    /// miss walk writes it, so the L1-hit fast path stays untouched.
+    level_mark: u8,
 }
 
 impl Hierarchy {
@@ -44,6 +54,9 @@ impl Hierarchy {
             dram_write_bytes: 0,
             dram_busy_cycles: 0,
             prefetches_issued: 0,
+            dram_wait_cycles: 0,
+            port_wait_cycles: 0,
+            level_mark: 0,
         }
     }
 
@@ -80,7 +93,10 @@ impl Hierarchy {
         // The fill from L2 (or below) also installs into L1 (done above by
         // access's write-allocate; the line was already inserted).
         match self.l2.access(addr, false) {
-            Access::Hit => return latency,
+            Access::Hit => {
+                self.note_level(2);
+                return latency;
+            }
             Access::Miss { dirty_victim } => {
                 if let Some(victim) = dirty_victim {
                     self.writeback_to_l3(victim, now);
@@ -94,7 +110,10 @@ impl Hierarchy {
         }
         latency += self.cfg.l3.latency as u64;
         match self.l3.access(addr, false) {
-            Access::Hit => return latency,
+            Access::Hit => {
+                self.note_level(3);
+                return latency;
+            }
             Access::Miss { dirty_victim } => {
                 if let Some(victim) = dirty_victim {
                     self.writeback_to_dram(victim, now + latency);
@@ -102,10 +121,12 @@ impl Hierarchy {
             }
         }
         // DRAM: wait for a channel slot, transfer one line.
+        self.note_level(4);
         let request_at = now + latency;
         let line = self.cfg.l3.line_bytes as u64;
         let occupancy = Self::transfer_cycles(line, self.cfg.dram_bytes_per_cycle);
         let start = self.dram.book_span(request_at, occupancy);
+        self.dram_wait_cycles += start.saturating_sub(request_at);
         self.dram_busy_cycles += occupancy;
         self.dram_read_bytes += line;
         let done = start + self.cfg.dram_latency as u64;
@@ -178,6 +199,45 @@ impl Hierarchy {
         self.prefetches_issued
     }
 
+    // ---- via-trace observation counters --------------------------------
+
+    #[inline]
+    fn note_level(&mut self, level: u8) {
+        if level > self.level_mark {
+            self.level_mark = level;
+        }
+    }
+
+    /// Cumulative cycles demand fills queued behind the DRAM channel
+    /// calendar. The engine diffs this around an access to attribute
+    /// bandwidth stalls.
+    pub fn dram_wait_cycles(&self) -> u64 {
+        self.dram_wait_cycles
+    }
+
+    /// Cumulative cycles accesses queued for a load/store-port slot.
+    pub fn port_wait_cycles(&self) -> u64 {
+        self.port_wait_cycles
+    }
+
+    /// Adds externally observed port-slot wait (the engine books ports
+    /// itself for gather/scatter elements).
+    pub fn note_port_wait(&mut self, cycles: u64) {
+        self.port_wait_cycles += cycles;
+    }
+
+    /// Deepest level the miss walk reached since the last clear
+    /// (0 = every access hit L1, 2/3 = L2/L3, 4 = DRAM).
+    pub fn level_mark(&self) -> u8 {
+        self.level_mark
+    }
+
+    /// Resets the deepest-level mark (called by the engine before each
+    /// traced instruction).
+    pub fn clear_level_mark(&mut self) {
+        self.level_mark = 0;
+    }
+
     /// Performs a unit-stride access of `bytes` starting at `addr`,
     /// splitting it into line-sized pieces internally — one amortized call
     /// per vector access instead of one [`Hierarchy::access`] per line,
@@ -202,6 +262,7 @@ impl Hierarchy {
         let mut piece = first;
         loop {
             let start = ports.book(t);
+            self.port_wait_cycles += start.saturating_sub(t);
             let lat = self.access(piece, write, start);
             let effective = if write { sb_latency } else { lat };
             done = done.max(start + effective);
@@ -243,6 +304,9 @@ impl Hierarchy {
         self.dram_write_bytes = 0;
         self.dram_busy_cycles = 0;
         self.prefetches_issued = 0;
+        self.dram_wait_cycles = 0;
+        self.port_wait_cycles = 0;
+        self.level_mark = 0;
     }
 
     /// L1 statistics so far.

@@ -1,15 +1,29 @@
 #!/usr/bin/env sh
 # Tier-1 gate: everything that must stay green on every commit.
 #
-#   scripts/tier1.sh
+#   scripts/tier1.sh [--no-perf]
 #
 # Formatting, the clippy wall, release build, full workspace test suite,
 # the golden cycle-count snapshots (the bit-exactness contract for the
 # timing model), the via-verify static sweep over every shipped kernel's
 # instruction streams, and the simulator-throughput smoke benchmark —
 # correctness and performance regressions surface in one command.
+#
+# Set TIER1_SKIP_PERF=1 (or pass --no-perf) to skip the throughput
+# benchmark: wall-clock numbers are meaningless on noisy shared runners,
+# so CI runs perf_smoke in a separate non-gating step instead.
 set -eu
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+    case "$arg" in
+    --no-perf) TIER1_SKIP_PERF=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -26,10 +40,17 @@ cargo test --workspace --release -q
 echo "==> golden cycle snapshots"
 cargo test -p via-kernels --release -q --test golden_cycles
 
+echo "==> golden stall accounting"
+cargo test -p via-kernels --release -q --test golden_stalls
+
 echo "==> verify_programs --quick (via-verify static sweep)"
 cargo run --release -p via-bench --bin verify_programs -- --quick
 
-echo "==> perf_smoke (simulator throughput)"
-cargo run --release -p via-bench --bin perf_smoke
+if [ "${TIER1_SKIP_PERF:-0}" = "1" ]; then
+    echo "==> perf_smoke skipped (TIER1_SKIP_PERF=1)"
+else
+    echo "==> perf_smoke (simulator throughput)"
+    cargo run --release -p via-bench --bin perf_smoke
+fi
 
 echo "tier-1: OK"
