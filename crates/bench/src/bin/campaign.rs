@@ -1,0 +1,267 @@
+//! `via-campaign`: resumable, fault-isolated sweep campaigns over a matrix
+//! corpus (toward the paper's 1,024-matrix evaluation, §V-B).
+//!
+//! ```sh
+//! # Fresh 1,024-matrix synthetic sweep of the VIA-CSB SpMV kernel:
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     --dir campaign_out --synthetic 1024
+//!
+//! # Killed halfway? Pick up where it died (completed work is skipped):
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     --dir campaign_out --synthetic 1024 --resume
+//!
+//! # Re-attempt only the quarantined jobs:
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     --dir campaign_out --synthetic 1024 --retry-quarantined
+//!
+//! # Regenerate the Fig-10/11-style report from the store alone:
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     --dir campaign_out --report-only
+//! ```
+
+use std::path::PathBuf;
+use via_bench::campaign::{
+    aggregate_report, load_quarantine, quarantine_table, run_campaign, CampaignConfig, Corpus,
+    KernelKind, Mode,
+};
+use via_bench::report::banner;
+use via_formats::gen::StratifiedConfig;
+
+struct Cli {
+    dir: PathBuf,
+    corpus: Corpus,
+    mode: Mode,
+    kernels: Vec<KernelKind>,
+    threads: Option<usize>,
+    budget_ms: u64,
+    max_jobs: Option<usize>,
+    report_only: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign --dir <store> [corpus] [options]\n\
+         \n\
+         corpus (pick one; default --synthetic 64):\n\
+         \x20 --synthetic <N>        N-matrix stratified synthetic corpus (paper uses 1024)\n\
+         \x20 --corpus <manifest>    text file listing local .mtx paths (# comments ok)\n\
+         \n\
+         options:\n\
+         \x20 --resume               skip work already in results.jsonl, run the rest\n\
+         \x20 --retry-quarantined    re-attempt only the quarantined jobs\n\
+         \x20 --kernels <a,b,..>     kernel pairs to sweep (default spmv_csb; `all` for all):\n\
+         \x20                        spmv_csr spmv_spc5 spmv_sell spmv_csb spma spmm\n\
+         \x20 --threads <N>          worker threads (default: all cores)\n\
+         \x20 --budget-ms <N>        per-job wall-clock budget (default 120000)\n\
+         \x20 --max-jobs <N>         stop after N completions this run (kill simulation)\n\
+         \x20 --seed <S>             synthetic corpus master seed\n\
+         \x20 --min-rows/--max-rows  synthetic matrix size range (default 256..8192)\n\
+         \x20 --report-only          print the aggregate report from the store and exit\n\
+         \x20 --quiet                suppress per-job progress lines"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut dir: Option<PathBuf> = None;
+    let mut synthetic: Option<usize> = None;
+    let mut manifest: Option<PathBuf> = None;
+    let mut mode = Mode::Fresh;
+    let mut kernels = vec![KernelKind::SpmvCsb];
+    let mut threads = None;
+    let mut budget_ms = 120_000u64;
+    let mut max_jobs = None;
+    let mut report_only = false;
+    let mut quiet = false;
+    let mut strat = StratifiedConfig::default();
+
+    let mut it = args.iter();
+    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            })
+            .clone()
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value(&mut it, "--dir"))),
+            "--synthetic" => {
+                synthetic = Some(
+                    value(&mut it, "--synthetic")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--corpus" => manifest = Some(PathBuf::from(value(&mut it, "--corpus"))),
+            "--resume" => mode = Mode::Resume,
+            "--retry-quarantined" => mode = Mode::RetryQuarantined,
+            "--kernels" => {
+                let spec = value(&mut it, "--kernels");
+                kernels = if spec == "all" {
+                    KernelKind::ALL.to_vec()
+                } else {
+                    spec.split(',')
+                        .map(|name| {
+                            KernelKind::parse(name.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown kernel {name:?}");
+                                usage()
+                            })
+                        })
+                        .collect()
+                };
+            }
+            "--threads" => {
+                threads = Some(
+                    value(&mut it, "--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--budget-ms" => {
+                budget_ms = value(&mut it, "--budget-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-jobs" => {
+                max_jobs = Some(
+                    value(&mut it, "--max-jobs")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--seed" => strat.seed = value(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--min-rows" => {
+                strat.min_rows = value(&mut it, "--min-rows")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-rows" => {
+                strat.max_rows = value(&mut it, "--max-rows")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--report-only" => report_only = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("--dir is required");
+        usage()
+    };
+    if synthetic.is_some() && manifest.is_some() {
+        eprintln!("--synthetic and --corpus are mutually exclusive");
+        usage();
+    }
+    let corpus = match manifest {
+        Some(path) => Corpus::from_manifest(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read corpus manifest {}: {e}", path.display());
+            std::process::exit(2);
+        }),
+        None => {
+            strat.count = synthetic.unwrap_or(64);
+            Corpus::Synthetic(strat)
+        }
+    };
+    Cli {
+        dir,
+        corpus,
+        mode,
+        kernels,
+        threads,
+        budget_ms,
+        max_jobs,
+        report_only,
+        quiet,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+    print!(
+        "{}",
+        banner(
+            "via-campaign",
+            "resumable, fault-isolated corpus sweep (paper sweeps 1,024 SuiteSparse \
+             matrices in §V-B)",
+        )
+    );
+
+    if cli.report_only {
+        match aggregate_report(&cli.dir) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("cannot read store {}: {e}", cli.dir.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut cfg = CampaignConfig::new(&cli.dir);
+    cfg.kernels = cli.kernels;
+    cfg.budget_ms = cli.budget_ms;
+    cfg.max_jobs = cli.max_jobs;
+    cfg.progress = !cli.quiet;
+    if let Some(t) = cli.threads {
+        cfg.threads = t;
+    }
+    eprintln!(
+        "store {} | {} kernels | {} threads | budget {} ms | mode {:?}",
+        cli.dir.display(),
+        cfg.kernels.len(),
+        cfg.threads,
+        cfg.budget_ms,
+        cli.mode,
+    );
+
+    let outcome = match run_campaign(&cfg, &cli.corpus, cli.mode) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "run: {} completed, {} skipped (already done), {} quarantined{}",
+        outcome.completed,
+        outcome.skipped,
+        outcome.quarantined,
+        if outcome.aborted {
+            " — stopped early at --max-jobs"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "workers: {:?} jobs each | {} simulated cycles this run",
+        outcome.per_worker, outcome.simulated_cycles
+    );
+
+    let quarantine = load_quarantine(&cli.dir).unwrap_or_default();
+    if !quarantine.is_empty() {
+        println!("\nquarantine ({} jobs):", quarantine.len());
+        print!("{}", quarantine_table(&quarantine));
+        println!("re-attempt with --retry-quarantined");
+    }
+
+    if !outcome.aborted {
+        match aggregate_report(&cli.dir) {
+            Ok(report) => print!("\n{report}"),
+            Err(e) => eprintln!("report failed: {e}"),
+        }
+    }
+    if outcome.completed == 0 && outcome.skipped == 0 {
+        // Nothing ran and nothing was already done: the corpus produced no
+        // usable work (all quarantined or empty) — signal failure.
+        std::process::exit(1);
+    }
+}

@@ -4,11 +4,61 @@
 //! ```sh
 //! cargo run --release -p via-bench --bin mtx_runner -- path/to/*.mtx
 //! ```
+//!
+//! Unusable inputs (parse errors, empty matrices, kernel panics,
+//! verification mismatches) no longer abort the run or vanish into stderr
+//! noise: they are collected through the same structured quarantine path
+//! the campaign orchestrator uses and printed as a summary table. The
+//! process exits nonzero when *no* input produced a result, so scripted
+//! sweeps can tell "all inputs were bad" apart from success.
 
+use std::time::Duration;
+use via_bench::campaign::{
+    quarantine_table, run_with_budget, FailureKind, JobFailure, QuarantineRow,
+};
 use via_bench::report::{banner, render_table, speedup};
 use via_core::ViaConfig;
 use via_formats::{gen, mm, Csb, Csr};
 use via_kernels::{spmv, SimContext};
+
+/// Parses, converts, simulates, and verifies one file. Any failure comes
+/// back as the structured [`JobFailure`] the quarantine table renders.
+fn run_one(path: &str) -> Result<Vec<String>, JobFailure> {
+    let ctx = SimContext::default();
+    let bs = ctx.via.csb_block_size();
+    let coo = mm::read_matrix_market_file(path).map_err(JobFailure::from_format)?;
+    let csr = Csr::from_coo(&coo);
+    if csr.rows() == 0 || csr.nnz() == 0 {
+        return Err(JobFailure {
+            kind: FailureKind::Empty,
+            chain: vec![format!(
+                "matrix is empty: {}x{} with {} non-zeros",
+                csr.rows(),
+                csr.cols(),
+                csr.nnz()
+            )],
+        });
+    }
+    let x = gen::dense_vector(csr.cols(), 0xA11CE);
+    let csb = Csb::from_csr(&csr, bs).map_err(JobFailure::from_format)?;
+    let base = spmv::csb_software(&csb, &x, &ctx);
+    let via = spmv::via_csb(&csb, &x, &ctx);
+    if !via_formats::vec_approx_eq(&base.output, &via.output, 1e-6) {
+        return Err(JobFailure {
+            kind: FailureKind::VerifyMismatch,
+            chain: vec!["baseline and VIA outputs disagree beyond 1e-6".into()],
+        });
+    }
+    Ok(vec![
+        path.rsplit('/').next().unwrap_or(path).to_string(),
+        csr.rows().to_string(),
+        csr.nnz().to_string(),
+        format!("{:.1}", csb.mean_block_density()),
+        base.cycles().to_string(),
+        via.cycles().to_string(),
+        speedup(base.cycles() as f64 / via.cycles() as f64),
+    ])
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,10 +72,8 @@ fn main() {
     if args.is_empty() {
         eprintln!("usage: mtx_runner <file.mtx> [more.mtx ...]");
         eprintln!("no files given — nothing to do");
-        return;
+        std::process::exit(2);
     }
-    let ctx = SimContext::default();
-    let bs = ctx.via.csb_block_size();
     let header: Vec<String> = [
         "matrix",
         "rows",
@@ -39,51 +87,42 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
     let mut rows = Vec::new();
+    let mut quarantined: Vec<QuarantineRow> = Vec::new();
     for path in &args {
-        let coo = match mm::read_matrix_market_file(path) {
-            Ok(coo) => coo,
-            Err(err) => {
-                eprintln!("skipping {path}: {err}");
-                continue;
-            }
-        };
-        let csr = Csr::from_coo(&coo);
-        if csr.rows() == 0 || csr.nnz() == 0 {
-            eprintln!("skipping {path}: empty matrix");
-            continue;
+        // Same isolation as the campaign driver: a panic or runaway job in
+        // one matrix must not take down the rest of the sweep.
+        let p = path.clone();
+        let outcome = run_with_budget(Duration::from_secs(300), path, move || run_one(&p))
+            .and_then(|inner| inner);
+        match outcome {
+            Ok(row) => rows.push(row),
+            Err(fail) => quarantined.push(QuarantineRow {
+                matrix: path.clone(),
+                kernel: "spmv_csb".into(),
+                config: ViaConfig::default().name(),
+                kind: fail.kind.name().to_string(),
+                chain: fail.chain,
+            }),
         }
-        let x = gen::dense_vector(csr.cols(), 0xA11CE);
-        let csb = match Csb::from_csr(&csr, bs) {
-            Ok(csb) => csb,
-            Err(err) => {
-                eprintln!("skipping {path}: {err}");
-                continue;
-            }
-        };
-        let base = spmv::csb_software(&csb, &x, &ctx);
-        let via = spmv::via_csb(&csb, &x, &ctx);
-        assert!(
-            via_formats::vec_approx_eq(&base.output, &via.output, 1e-6),
-            "verification failed on {path}"
+    }
+    if !rows.is_empty() {
+        print!("{}", render_table(&header, &rows));
+        println!(
+            "(VIA config {}: CSB block {}, paper reports 4.22x average over its suite)",
+            ViaConfig::default().name(),
+            SimContext::default().via.csb_block_size()
         );
-        rows.push(vec![
-            path.rsplit('/').next().unwrap_or(path).to_string(),
-            csr.rows().to_string(),
-            csr.nnz().to_string(),
-            format!("{:.1}", csb.mean_block_density()),
-            base.cycles().to_string(),
-            via.cycles().to_string(),
-            speedup(base.cycles() as f64 / via.cycles() as f64),
-        ]);
+    }
+    if !quarantined.is_empty() {
+        println!(
+            "quarantined {} of {} inputs:",
+            quarantined.len(),
+            args.len()
+        );
+        print!("{}", quarantine_table(&quarantined));
     }
     if rows.is_empty() {
-        eprintln!("no usable matrices");
-        return;
+        eprintln!("error: no usable matrices — every input was skipped");
+        std::process::exit(1);
     }
-    print!("{}", render_table(&header, &rows));
-    println!(
-        "(VIA config {}: CSB block {}, paper reports 4.22x average over its suite)",
-        ViaConfig::default().name(),
-        bs
-    );
 }

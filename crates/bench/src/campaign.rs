@@ -1,0 +1,1438 @@
+//! `via-campaign`: resumable, fault-isolated sweep orchestration.
+//!
+//! The paper's headline evaluation sweeps **1,024 SuiteSparse matrices**
+//! (§V-B). A sweep of that size is a *campaign*, not a function call: it
+//! runs for hours, individual inputs may be corrupt, individual jobs may
+//! panic or stall, and the machine may die halfway. This module turns the
+//! one-shot experiment runners into a durable orchestrator:
+//!
+//! * **Append-only JSONL result log** — every completed job appends one
+//!   self-describing JSON row to `results.jsonl`, carrying a content hash
+//!   over the row body. Torn rows from a killed writer are detected and
+//!   dropped on reload, so the log is crash-safe without any write barrier
+//!   beyond line-buffered appends.
+//! * **Resume manifest** — the log doubles as the manifest: rows are keyed
+//!   by `(matrix fingerprint, kernel, config)`. [`Mode::Resume`] skips any
+//!   job whose key is already present, so a killed campaign re-run with
+//!   `--resume` is byte-equivalent (after canonical sort) to an
+//!   uninterrupted run and never re-executes completed work.
+//! * **Fault isolation** — each job runs on its own thread under
+//!   `catch_unwind` with a wall-clock budget. Panics, timeouts, malformed
+//!   inputs, and verification mismatches land in `quarantine.jsonl` with a
+//!   structured error chain instead of aborting the sweep;
+//!   [`Mode::RetryQuarantined`] re-attempts exactly those jobs.
+//! * **Work-stealing queue** — workers claim job indices from a shared
+//!   atomic counter (the same contention-free scheme as
+//!   [`parallel_map`](crate::suite::parallel_map)) with per-worker progress
+//!   telemetry.
+//! * **Corpus layer** — a campaign consumes either the deterministic
+//!   size/density-stratified synthetic corpus
+//!   ([`via_formats::gen::stratified_specs`], scaling to the paper's 1,024)
+//!   or a manifest of local SuiteSparse `.mtx` downloads; matrices are
+//!   materialized *inside* the worker that simulates them, so memory stays
+//!   bounded by the thread count.
+//!
+//! [`aggregate_report`] regenerates Figure-10/11-style geomean tables from
+//! the JSONL store alone — no simulation state needed.
+
+use crate::report::{render_table, speedup};
+use crate::suite::default_threads;
+use std::collections::HashSet;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+use via_core::ViaConfig;
+use via_formats::gen::{self, MatrixSpec, StratifiedConfig};
+use via_formats::stats::{geomean, split_categories};
+use via_formats::{Csb, Csr, FormatError, SellCSigma, Spc5};
+use via_kernels::{spma, spmm, spmv, SimContext};
+
+// ---------------------------------------------------------------------------
+// Hashing + JSON primitives (the workspace is dependency-free by design:
+// JSON is hand-rolled here the same way the Chrome-trace exporter does it).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte stream: the stable 64-bit content hash used for
+/// matrix fingerprints and per-row integrity hashes.
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes a string as a JSON string literal (quotes, escapes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One scalar field of a flat JSONL row.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    /// A (decoded) string value.
+    Str(String),
+    /// A number kept as its raw token (re-parsed as needed).
+    Num(String),
+    /// An array of strings (the quarantine error chain).
+    List(Vec<String>),
+}
+
+/// Parses one flat JSON object (`{"k":v,...}` with string / number /
+/// string-array values). Returns `None` on any syntax error — the loader
+/// treats that as a torn line.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
+    let mut chars = line.trim().chars().peekable();
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let code: String = (0..4).map(|_| chars.next().unwrap_or('!')).collect();
+                        let v = u32::from_str_radix(&code, 16).ok()?;
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+    fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+        let mut out = String::new();
+        while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+        {
+            out.push(chars.next()?);
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JsonVal::Str(parse_string(&mut chars)?),
+            '[' => {
+                chars.next();
+                let mut items = Vec::new();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek()? {
+                        ']' => {
+                            chars.next();
+                            break;
+                        }
+                        ',' => {
+                            chars.next();
+                        }
+                        _ => items.push(parse_string(&mut chars)?),
+                    }
+                }
+                JsonVal::List(items)
+            }
+            _ => JsonVal::Num(parse_number(&mut chars)?),
+        };
+        fields.push((key, val));
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+fn field<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn str_field(fields: &[(String, JsonVal)], key: &str) -> Option<String> {
+    match field(fields, key)? {
+        JsonVal::Str(s) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+fn num_field<T: std::str::FromStr>(fields: &[(String, JsonVal)], key: &str) -> Option<T> {
+    match field(fields, key)? {
+        JsonVal::Num(raw) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Validates the `,"hash":"…"}` suffix of a row against the FNV-1a of the
+/// row body before it. Torn / hand-edited rows fail this check.
+fn line_integrity_ok(line: &str) -> bool {
+    const MARK: &str = ",\"hash\":\"";
+    match line.rfind(MARK) {
+        Some(pos) => {
+            let body = &line[..pos];
+            let rest = &line[pos + MARK.len()..];
+            let expect = format!("{:016x}\"}}", fnv1a64(body.bytes()));
+            rest == expect
+        }
+        None => false,
+    }
+}
+
+fn seal_row(body: String) -> String {
+    let h = fnv1a64(body.bytes());
+    format!("{body},\"hash\":\"{h:016x}\"}}")
+}
+
+// ---------------------------------------------------------------------------
+// Kernels and jobs
+// ---------------------------------------------------------------------------
+
+/// The kernel×format pairs a campaign can sweep. Each runs a software
+/// baseline and its VIA counterpart and verifies the functional outputs
+/// agree before a row is logged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum KernelKind {
+    /// SpMV, vectorized CSR baseline vs VIA-CSR (Fig. 10 first group).
+    SpmvCsr,
+    /// SpMV, SPC5 baseline vs VIA-SPC5.
+    SpmvSpc5,
+    /// SpMV, Sell-C-σ baseline vs VIA-Sell.
+    SpmvSell,
+    /// SpMV, software CSB vs VIA-CSB (`vldxblkmult`; the paper's 4.22×).
+    SpmvCsb,
+    /// SpMA, scalar two-pointer merge vs CAM merge (Fig. 11).
+    Spma,
+    /// SpMM, inner-product index matching vs CAM matching (§VII-C).
+    /// Quadratic in matrix size — budget accordingly.
+    Spmm,
+}
+
+impl KernelKind {
+    /// Every kernel, in a fixed order.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::SpmvCsr,
+        KernelKind::SpmvSpc5,
+        KernelKind::SpmvSell,
+        KernelKind::SpmvCsb,
+        KernelKind::Spma,
+        KernelKind::Spmm,
+    ];
+
+    /// Stable machine name (used in logs and `--kernels`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::SpmvCsr => "spmv_csr",
+            KernelKind::SpmvSpc5 => "spmv_spc5",
+            KernelKind::SpmvSell => "spmv_sell",
+            KernelKind::SpmvCsb => "spmv_csb",
+            KernelKind::Spma => "spma",
+            KernelKind::Spmm => "spmm",
+        }
+    }
+
+    /// Parses a machine name back into a kernel.
+    pub fn parse(name: &str) -> Option<KernelKind> {
+        KernelKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a job's matrix comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// A deferred synthetic matrix (materialized inside the worker).
+    Synthetic(MatrixSpec),
+    /// A Matrix Market file on disk (e.g. a SuiteSparse download).
+    File(PathBuf),
+}
+
+impl JobSource {
+    /// Stable display name: the spec name or the file path.
+    pub fn name(&self) -> String {
+        match self {
+            JobSource::Synthetic(spec) => spec.name.clone(),
+            JobSource::File(path) => path.display().to_string(),
+        }
+    }
+
+    /// The matrix content fingerprint: spec fingerprint for synthetic
+    /// matrices, FNV-1a over the raw file bytes for files (no parse
+    /// needed, so completed work is skippable without re-reading the
+    /// matrix into a format).
+    pub fn fingerprint(&self) -> Result<u64, std::io::Error> {
+        match self {
+            JobSource::Synthetic(spec) => Ok(spec.fingerprint()),
+            JobSource::File(path) => {
+                let bytes = std::fs::read(path)?;
+                Ok(fnv1a64(bytes))
+            }
+        }
+    }
+}
+
+/// One schedulable unit of work: a matrix × kernel pair (the VIA config is
+/// campaign-wide).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// The matrix to run on.
+    pub source: JobSource,
+    /// The kernel pair to run.
+    pub kernel: KernelKind,
+}
+
+/// The matrix corpus a campaign sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Corpus {
+    /// The deterministic stratified synthetic corpus (paper-population
+    /// stand-in; scales to 1,024 and beyond).
+    Synthetic(StratifiedConfig),
+    /// Explicit Matrix Market files (local SuiteSparse downloads).
+    Files(Vec<PathBuf>),
+}
+
+impl Corpus {
+    /// Reads a corpus manifest: one `.mtx` path per line, `#` comments and
+    /// blank lines ignored, relative paths resolved against the manifest's
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error from reading the manifest.
+    pub fn from_manifest(path: impl AsRef<Path>) -> std::io::Result<Corpus> {
+        let path = path.as_ref();
+        let base = path.parent().unwrap_or(Path::new("."));
+        let text = std::fs::read_to_string(path)?;
+        let mut files = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let p = PathBuf::from(line);
+            files.push(if p.is_absolute() { p } else { base.join(p) });
+        }
+        Ok(Corpus::Files(files))
+    }
+
+    /// Expands the corpus × kernel grid into the campaign's job list,
+    /// deduplicated by `(name, kernel)`.
+    pub fn jobs(&self, kernels: &[KernelKind]) -> Vec<Job> {
+        let sources: Vec<JobSource> = match self {
+            Corpus::Synthetic(cfg) => gen::stratified_specs(cfg)
+                .into_iter()
+                .map(JobSource::Synthetic)
+                .collect(),
+            Corpus::Files(paths) => paths.iter().cloned().map(JobSource::File).collect(),
+        };
+        let mut seen = HashSet::new();
+        let mut jobs = Vec::with_capacity(sources.len() * kernels.len());
+        for source in &sources {
+            for &kernel in kernels {
+                if seen.insert((source.name(), kernel)) {
+                    jobs.push(Job {
+                        source: source.clone(),
+                        kernel,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rows
+// ---------------------------------------------------------------------------
+
+/// One completed job in `results.jsonl`. Fully deterministic (no
+/// timestamps), so a resumed campaign's merged log is byte-identical,
+/// after canonical sort, to an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Matrix name (spec name or file path).
+    pub matrix: String,
+    /// Matrix content fingerprint.
+    pub fingerprint: u64,
+    /// Kernel machine name.
+    pub kernel: String,
+    /// VIA configuration name (e.g. `16_2p`).
+    pub config: String,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Structural non-zeros.
+    pub nnz: usize,
+    /// The figure's bucketing statistic: CSB block density for SpMV
+    /// kernels (Fig. 10), nnz for SpMA (Fig. 11), nnz/row for SpMM.
+    pub key: f64,
+    /// Baseline kernel cycles.
+    pub base_cycles: u64,
+    /// VIA kernel cycles.
+    pub via_cycles: u64,
+}
+
+impl ResultRow {
+    /// The manifest key identifying this unit of completed work.
+    pub fn manifest_key(&self) -> (u64, String, String) {
+        (self.fingerprint, self.kernel.clone(), self.config.clone())
+    }
+
+    /// Baseline-over-VIA speedup.
+    pub fn speedup(&self) -> f64 {
+        self.base_cycles as f64 / self.via_cycles.max(1) as f64
+    }
+
+    /// Serializes the row as one JSONL line (content-hashed, no newline).
+    pub fn to_jsonl(&self) -> String {
+        let body = format!(
+            "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{}",
+            json_string(&self.matrix),
+            self.fingerprint,
+            json_string(&self.kernel),
+            json_string(&self.config),
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.key,
+            self.base_cycles,
+            self.via_cycles,
+        );
+        seal_row(body)
+    }
+
+    /// Parses one JSONL line, validating the integrity hash. `None` for
+    /// torn or foreign lines.
+    pub fn from_jsonl(line: &str) -> Option<ResultRow> {
+        if !line_integrity_ok(line) {
+            return None;
+        }
+        let fields = parse_flat_object(line)?;
+        Some(ResultRow {
+            matrix: str_field(&fields, "matrix")?,
+            fingerprint: u64::from_str_radix(&str_field(&fields, "fingerprint")?, 16).ok()?,
+            kernel: str_field(&fields, "kernel")?,
+            config: str_field(&fields, "config")?,
+            rows: num_field(&fields, "rows")?,
+            cols: num_field(&fields, "cols")?,
+            nnz: num_field(&fields, "nnz")?,
+            key: num_field(&fields, "key")?,
+            base_cycles: num_field(&fields, "base_cycles")?,
+            via_cycles: num_field(&fields, "via_cycles")?,
+        })
+    }
+}
+
+/// Why a job was quarantined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The input could not be parsed/constructed (`via_formats` error).
+    Format(&'static str),
+    /// The matrix was empty (no rows or no non-zeros).
+    Empty,
+    /// The job panicked.
+    Panic,
+    /// The job exceeded its wall-clock budget.
+    Timeout,
+    /// Baseline and VIA outputs disagreed.
+    VerifyMismatch,
+    /// I/O failure before the job could start (unreadable file).
+    Io,
+}
+
+impl FailureKind {
+    /// Stable machine name written to the quarantine log.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Format(kind) => kind,
+            FailureKind::Empty => "empty",
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::VerifyMismatch => "verify_mismatch",
+            FailureKind::Io => "io",
+        }
+    }
+}
+
+/// A failed job: the structured error that landed it in quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobFailure {
+    /// Failure category.
+    pub kind: FailureKind,
+    /// Human-readable error chain, outermost first (e.g. the
+    /// [`FormatError`] display plus each `source()` below it).
+    pub chain: Vec<String>,
+}
+
+impl JobFailure {
+    /// Wraps a [`FormatError`] as a quarantinable failure, flattening its
+    /// `source()` chain into human-readable lines (outermost first).
+    pub fn from_format(err: FormatError) -> JobFailure {
+        let mut chain = vec![err.to_string()];
+        let mut src: Option<&(dyn std::error::Error + 'static)> = std::error::Error::source(&err);
+        while let Some(e) = src {
+            chain.push(e.to_string());
+            src = e.source();
+        }
+        JobFailure {
+            kind: FailureKind::Format(err.kind()),
+            chain,
+        }
+    }
+}
+
+/// One quarantined job in `quarantine.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRow {
+    /// Matrix name (spec name or file path).
+    pub matrix: String,
+    /// Kernel machine name.
+    pub kernel: String,
+    /// VIA configuration name.
+    pub config: String,
+    /// Failure category (stable machine name).
+    pub kind: String,
+    /// Error chain, outermost first.
+    pub chain: Vec<String>,
+}
+
+impl QuarantineRow {
+    /// Serializes the row as one JSONL line (content-hashed, no newline).
+    pub fn to_jsonl(&self) -> String {
+        let chain = self
+            .chain
+            .iter()
+            .map(|s| json_string(s))
+            .collect::<Vec<_>>()
+            .join(",");
+        let body = format!(
+            "{{\"schema\":1,\"matrix\":{},\"kernel\":{},\"config\":{},\"kind\":{},\"error\":[{}]",
+            json_string(&self.matrix),
+            json_string(&self.kernel),
+            json_string(&self.config),
+            json_string(&self.kind),
+            chain,
+        );
+        seal_row(body)
+    }
+
+    /// Parses one JSONL line, validating the integrity hash.
+    pub fn from_jsonl(line: &str) -> Option<QuarantineRow> {
+        if !line_integrity_ok(line) {
+            return None;
+        }
+        let fields = parse_flat_object(line)?;
+        let chain = match field(&fields, "error")? {
+            JsonVal::List(items) => items.clone(),
+            _ => return None,
+        };
+        Some(QuarantineRow {
+            matrix: str_field(&fields, "matrix")?,
+            kernel: str_field(&fields, "kernel")?,
+            config: str_field(&fields, "config")?,
+            kind: str_field(&fields, "kind")?,
+            chain,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable store
+// ---------------------------------------------------------------------------
+
+/// Path of the result log inside a campaign directory.
+pub fn results_path(dir: &Path) -> PathBuf {
+    dir.join("results.jsonl")
+}
+
+/// Path of the quarantine log inside a campaign directory.
+pub fn quarantine_path(dir: &Path) -> PathBuf {
+    dir.join("quarantine.jsonl")
+}
+
+/// Loads every intact result row from a campaign directory (torn lines are
+/// dropped; missing file ⇒ empty).
+///
+/// # Errors
+///
+/// Returns I/O errors other than `NotFound`.
+pub fn load_results(dir: &Path) -> std::io::Result<Vec<ResultRow>> {
+    load_rows(&results_path(dir), ResultRow::from_jsonl)
+}
+
+/// Loads every intact quarantine row from a campaign directory.
+///
+/// # Errors
+///
+/// Returns I/O errors other than `NotFound`.
+pub fn load_quarantine(dir: &Path) -> std::io::Result<Vec<QuarantineRow>> {
+    load_rows(&quarantine_path(dir), QuarantineRow::from_jsonl)
+}
+
+fn load_rows<T>(path: &Path, parse: impl Fn(&str) -> Option<T>) -> std::io::Result<Vec<T>> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut rows = Vec::new();
+    for line in std::io::BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(row) = parse(&line) {
+            rows.push(row);
+        }
+        // else: torn/corrupt line (killed writer) — dropped; the job it
+        // described is simply not in the manifest and will re-run.
+    }
+    Ok(rows)
+}
+
+/// Atomically rewrites a JSONL file with the given lines (tmp + rename),
+/// compacting away torn lines after a crash.
+fn rewrite_jsonl(path: &Path, lines: impl IntoIterator<Item = String>) -> std::io::Result<()> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        for line in lines {
+            writeln!(f, "{line}")?;
+        }
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// A line-atomic appender shared by all workers.
+struct Appender {
+    file: Mutex<std::fs::File>,
+}
+
+impl Appender {
+    fn open(path: &Path) -> std::io::Result<Appender> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Appender {
+            file: Mutex::new(file),
+        })
+    }
+
+    fn append(&self, line: &str) -> std::io::Result<()> {
+        let mut file = self.file.lock().expect("appender poisoned");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted, panic-isolated execution
+// ---------------------------------------------------------------------------
+
+/// Runs `f` on a dedicated thread under `catch_unwind` with a wall-clock
+/// budget. On timeout the runaway thread is *abandoned* (it keeps running
+/// detached until its own completion — the simulator has no preemption
+/// points) and the job is reported as [`FailureKind::Timeout`].
+pub fn run_with_budget<T: Send + 'static>(
+    budget: Duration,
+    label: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Result<T, JobFailure> {
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name(format!("via-job-{label}"))
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => {
+            return Err(JobFailure {
+                kind: FailureKind::Io,
+                chain: vec![format!("failed to spawn job thread: {e}")],
+            })
+        }
+    };
+    match rx.recv_timeout(budget) {
+        Ok(Ok(v)) => {
+            let _ = handle.join();
+            Ok(v)
+        }
+        Ok(Err(panic)) => {
+            let _ = handle.join();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic payload of unknown type".to_string());
+            Err(JobFailure {
+                kind: FailureKind::Panic,
+                chain: vec![format!("job panicked: {msg}")],
+            })
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(JobFailure {
+            kind: FailureKind::Timeout,
+            chain: vec![format!(
+                "job exceeded its wall-clock budget of {} ms (thread abandoned)",
+                budget.as_millis()
+            )],
+        }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(JobFailure {
+            kind: FailureKind::Panic,
+            chain: vec!["job thread vanished without reporting".into()],
+        }),
+    }
+}
+
+/// Structural + approximate-value equality for two canonical CSR results.
+fn csr_approx_eq(a: &Csr, b: &Csr, tol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz() {
+        return false;
+    }
+    a.iter()
+        .zip(b.iter())
+        .all(|((ra, ca, va), (rb, cb, vb))| ra == rb && ca == cb && (va - vb).abs() <= tol)
+}
+
+/// Executes one job end to end: materialize the matrix, run the
+/// baseline/VIA kernel pair, verify functional agreement, build the row.
+/// Pure function of its inputs — the determinism the resume test pins.
+fn execute_job(
+    source: JobSource,
+    kernel: KernelKind,
+    via: ViaConfig,
+    fingerprint: u64,
+) -> Result<ResultRow, JobFailure> {
+    const TOL: f64 = 1e-6;
+    let (name, csr, seed) = match &source {
+        JobSource::Synthetic(spec) => {
+            let m = spec.build();
+            (m.name, m.csr, spec.seed)
+        }
+        JobSource::File(path) => {
+            let coo =
+                via_formats::mm::read_matrix_market_file(path).map_err(JobFailure::from_format)?;
+            (path.display().to_string(), Csr::from_coo(&coo), fingerprint)
+        }
+    };
+    if csr.rows() == 0 || csr.cols() == 0 || csr.nnz() == 0 {
+        return Err(JobFailure {
+            kind: FailureKind::Empty,
+            chain: vec![format!(
+                "matrix is empty: {}x{} with {} non-zeros",
+                csr.rows(),
+                csr.cols(),
+                csr.nnz()
+            )],
+        });
+    }
+    let ctx = SimContext::with_via(via);
+    let config = ctx.via.name();
+    let verify_vec = |base: &[f64], via_out: &[f64]| -> Result<(), JobFailure> {
+        if via_formats::vec_approx_eq(base, via_out, TOL) {
+            Ok(())
+        } else {
+            Err(JobFailure {
+                kind: FailureKind::VerifyMismatch,
+                chain: vec!["baseline and VIA outputs disagree beyond 1e-6".into()],
+            })
+        }
+    };
+    let verify_csr = |base: &Csr, via_out: &Csr| -> Result<(), JobFailure> {
+        if csr_approx_eq(base, via_out, TOL) {
+            Ok(())
+        } else {
+            Err(JobFailure {
+                kind: FailureKind::VerifyMismatch,
+                chain: vec!["baseline and VIA sparse outputs disagree beyond 1e-6".into()],
+            })
+        }
+    };
+    let (key, base_cycles, via_cycles) = match kernel {
+        KernelKind::SpmvCsr | KernelKind::SpmvSpc5 | KernelKind::SpmvSell | KernelKind::SpmvCsb => {
+            let x = gen::dense_vector(csr.cols(), seed);
+            let bs = ctx.via.csb_block_size();
+            let csb = Csb::from_csr(&csr, bs).map_err(JobFailure::from_format)?;
+            let key = csb.mean_block_density();
+            let (base, via_run) = match kernel {
+                KernelKind::SpmvCsr => {
+                    (spmv::csr_vec(&csr, &x, &ctx), spmv::via_csr(&csr, &x, &ctx))
+                }
+                KernelKind::SpmvSpc5 => {
+                    let m = Spc5::from_csr(&csr, ctx.vl()).map_err(JobFailure::from_format)?;
+                    (spmv::spc5(&m, &x, &ctx), spmv::via_spc5(&m, &x, &ctx))
+                }
+                KernelKind::SpmvSell => {
+                    let vl = ctx.vl();
+                    let sigma = (vl * 8).min(csr.rows().max(vl));
+                    let m = SellCSigma::from_csr(&csr, vl, sigma)
+                        .or_else(|_| SellCSigma::from_csr(&csr, vl, vl))
+                        .map_err(JobFailure::from_format)?;
+                    (spmv::sell(&m, &x, &ctx), spmv::via_sell(&m, &x, &ctx))
+                }
+                KernelKind::SpmvCsb => (
+                    spmv::csb_software(&csb, &x, &ctx),
+                    spmv::via_csb(&csb, &x, &ctx),
+                ),
+                _ => unreachable!(),
+            };
+            verify_vec(&base.output, &via_run.output)?;
+            (key, base.cycles(), via_run.cycles())
+        }
+        KernelKind::Spma => {
+            let b = gen::perturb_structure(&csr, 0.6, 0.5, seed ^ 1);
+            let base = spma::merge_csr(&csr, &b, &ctx);
+            let via_run = spma::via_cam(&csr, &b, &ctx);
+            verify_csr(&base.output, &via_run.output)?;
+            (csr.nnz() as f64, base.cycles(), via_run.cycles())
+        }
+        KernelKind::Spmm => {
+            let b = gen::uniform(csr.cols(), csr.cols(), csr.density(), seed ^ 2).to_csc();
+            let base = spmm::inner_product(&csr, &b, &ctx);
+            let via_run = spmm::via_cam(&csr, &b, &ctx);
+            verify_csr(&base.output, &via_run.output)?;
+            (
+                csr.nnz() as f64 / csr.rows().max(1) as f64,
+                base.cycles(),
+                via_run.cycles(),
+            )
+        }
+    };
+    Ok(ResultRow {
+        matrix: name,
+        fingerprint,
+        kernel: kernel.name().to_string(),
+        config,
+        rows: csr.rows(),
+        cols: csr.cols(),
+        nnz: csr.nnz(),
+        key,
+        base_cycles,
+        via_cycles,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------------
+
+/// How a campaign treats pre-existing state in its directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Refuse to run if the directory already holds results (anti-clobber
+    /// guard for fat-fingered re-launches).
+    Fresh,
+    /// Skip every job whose manifest key is already in `results.jsonl` or
+    /// whose `(matrix, kernel)` is quarantined; run the rest.
+    Resume,
+    /// Re-attempt *only* the quarantined jobs; completed work stays
+    /// skipped, successes leave quarantine, new failures replace their
+    /// old quarantine rows.
+    RetryQuarantined,
+}
+
+/// Campaign-wide knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Durable store directory (`results.jsonl`, `quarantine.jsonl`).
+    pub dir: PathBuf,
+    /// Kernel pairs to sweep per matrix.
+    pub kernels: Vec<KernelKind>,
+    /// VIA hardware configuration for the sweep.
+    pub via: ViaConfig,
+    /// Worker threads.
+    pub threads: usize,
+    /// Per-job wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// Stop claiming new jobs once this many have *completed this run*
+    /// (simulates a mid-sweep kill for the resume tests; `None` = run to
+    /// the end).
+    pub max_jobs: Option<usize>,
+    /// Print one line per finished job.
+    pub progress: bool,
+}
+
+impl CampaignConfig {
+    /// A config with defaults (VIA `16_2p`, all cores, 120 s budget,
+    /// VIA-CSB SpMV kernel) writing to `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CampaignConfig {
+            dir: dir.into(),
+            kernels: vec![KernelKind::SpmvCsb],
+            via: ViaConfig::default(),
+            threads: default_threads(),
+            budget_ms: 120_000,
+            max_jobs: None,
+            progress: false,
+        }
+    }
+}
+
+/// What a campaign run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Jobs that completed and were logged *this run*.
+    pub completed: usize,
+    /// Jobs skipped because the manifest already had them.
+    pub skipped: usize,
+    /// Jobs quarantined this run.
+    pub quarantined: usize,
+    /// Whether the run stopped early because [`CampaignConfig::max_jobs`]
+    /// was reached.
+    pub aborted: bool,
+    /// Jobs completed per worker (work-stealing telemetry).
+    pub per_worker: Vec<u64>,
+    /// Total simulated cycles (baseline + VIA) this run.
+    pub simulated_cycles: u64,
+}
+
+/// Errors a campaign can fail with before any job runs.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// [`Mode::Fresh`] on a directory that already holds results.
+    WouldClobber(PathBuf),
+    /// Underlying I/O failure on the durable store.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::WouldClobber(p) => write!(
+                f,
+                "campaign directory {} already holds results; pass --resume to continue it \
+                 or point --dir at a fresh directory",
+                p.display()
+            ),
+            CampaignError::Io(e) => write!(f, "campaign store i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Runs (or resumes, or retries) a campaign over `corpus`.
+///
+/// See the module docs for the durability contract. Returns the run's
+/// telemetry; the durable outputs are `results.jsonl` / `quarantine.jsonl`
+/// in `cfg.dir`.
+///
+/// # Errors
+///
+/// [`CampaignError::WouldClobber`] for [`Mode::Fresh`] on a non-empty
+/// store, [`CampaignError::Io`] for store I/O failures.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    corpus: &Corpus,
+    mode: Mode,
+) -> Result<CampaignOutcome, CampaignError> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let existing = load_results(&cfg.dir)?;
+    if mode == Mode::Fresh && !existing.is_empty() {
+        return Err(CampaignError::WouldClobber(cfg.dir.clone()));
+    }
+    let old_quarantine = load_quarantine(&cfg.dir)?;
+
+    // Compact both logs (drops torn lines from a killed writer) so the
+    // final merged log is clean regardless of where the previous run died.
+    rewrite_jsonl(
+        &results_path(&cfg.dir),
+        existing.iter().map(|r| r.to_jsonl()),
+    )?;
+
+    let manifest: HashSet<(u64, String, String)> =
+        existing.iter().map(|r| r.manifest_key()).collect();
+    let quarantined_keys: HashSet<(String, String, String)> = old_quarantine
+        .iter()
+        .map(|q| (q.matrix.clone(), q.kernel.clone(), q.config.clone()))
+        .collect();
+
+    let all_jobs = corpus.jobs(&cfg.kernels);
+    let config_name = cfg.via.name();
+    let jobs: Vec<Job> = match mode {
+        Mode::RetryQuarantined => all_jobs
+            .into_iter()
+            .filter(|j| {
+                quarantined_keys.contains(&(
+                    j.source.name(),
+                    j.kernel.name().to_string(),
+                    config_name.clone(),
+                ))
+            })
+            .collect(),
+        _ => all_jobs,
+    };
+
+    // In retry mode the retried jobs' old quarantine rows are dropped up
+    // front and only fresh failures are re-recorded; rows for jobs no
+    // longer in the corpus are preserved verbatim.
+    if mode == Mode::RetryQuarantined {
+        let retried: HashSet<(String, String)> = jobs
+            .iter()
+            .map(|j| (j.source.name(), j.kernel.name().to_string()))
+            .collect();
+        rewrite_jsonl(
+            &quarantine_path(&cfg.dir),
+            old_quarantine
+                .iter()
+                .filter(|q| !retried.contains(&(q.matrix.clone(), q.kernel.clone())))
+                .map(|q| q.to_jsonl()),
+        )?;
+    } else {
+        rewrite_jsonl(
+            &quarantine_path(&cfg.dir),
+            old_quarantine.iter().map(|q| q.to_jsonl()),
+        )?;
+    }
+
+    let results_log = Appender::open(&results_path(&cfg.dir))?;
+    let quarantine_log = Appender::open(&quarantine_path(&cfg.dir))?;
+
+    let threads = cfg.threads.max(1).min(jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let completed = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let quarantined = AtomicUsize::new(0);
+    let simulated_cycles = AtomicU64::new(0);
+    let per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let budget = Duration::from_millis(cfg.budget_ms.max(1));
+    let total = jobs.len();
+
+    let record_io_err = |e: std::io::Error| {
+        stop.store(true, Ordering::Relaxed);
+        let mut slot = io_error.lock().expect("io_error poisoned");
+        slot.get_or_insert(e);
+    };
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let jobs = &jobs;
+            let manifest = &manifest;
+            let quarantined_keys = &quarantined_keys;
+            let results_log = &results_log;
+            let quarantine_log = &quarantine_log;
+            let next = &next;
+            let stop = &stop;
+            let completed = &completed;
+            let skipped = &skipped;
+            let quarantined = &quarantined;
+            let simulated_cycles = &simulated_cycles;
+            let per_worker = &per_worker;
+            let record_io_err = &record_io_err;
+            let config_name = config_name.clone();
+            let via = cfg.via;
+            let skip_quarantined = mode != Mode::RetryQuarantined;
+            let (progress, max_jobs) = (cfg.progress, cfg.max_jobs);
+            scope.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let name = job.source.name();
+                let kernel = job.kernel;
+                // Previously quarantined jobs are only re-attempted in
+                // retry mode (where the schedule contains nothing else);
+                // a plain resume leaves them quarantined rather than
+                // re-burning their budget on every restart.
+                if skip_quarantined
+                    && quarantined_keys.contains(&(
+                        name.clone(),
+                        kernel.name().to_string(),
+                        config_name.clone(),
+                    ))
+                {
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let fingerprint = match job.source.fingerprint() {
+                    Ok(fp) => fp,
+                    Err(e) => {
+                        let row = QuarantineRow {
+                            matrix: name.clone(),
+                            kernel: kernel.name().to_string(),
+                            config: config_name.clone(),
+                            kind: FailureKind::Io.name().to_string(),
+                            chain: vec![format!("cannot read input: {e}")],
+                        };
+                        if let Err(e) = quarantine_log.append(&row.to_jsonl()) {
+                            record_io_err(e);
+                        }
+                        quarantined.fetch_add(1, Ordering::Relaxed);
+                        if progress {
+                            println!("[{i}/{total}] {name} x {kernel}: quarantined (io)");
+                        }
+                        continue;
+                    }
+                };
+                if manifest.contains(&(fingerprint, kernel.name().to_string(), config_name.clone()))
+                {
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let source = job.source.clone();
+                let outcome = run_with_budget(budget, &name, move || {
+                    execute_job(source, kernel, via, fingerprint)
+                })
+                .and_then(|inner| inner);
+                match outcome {
+                    Ok(row) => {
+                        simulated_cycles
+                            .fetch_add(row.base_cycles + row.via_cycles, Ordering::Relaxed);
+                        if let Err(e) = results_log.append(&row.to_jsonl()) {
+                            record_io_err(e);
+                        }
+                        per_worker[w].fetch_add(1, Ordering::Relaxed);
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if progress {
+                            println!(
+                                "[{done}/{total}] {name} x {kernel}: {} (base {} / via {})",
+                                speedup(row.speedup()),
+                                row.base_cycles,
+                                row.via_cycles
+                            );
+                        }
+                        if let Some(limit) = max_jobs {
+                            if done >= limit {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(fail) => {
+                        let row = QuarantineRow {
+                            matrix: name.clone(),
+                            kernel: kernel.name().to_string(),
+                            config: config_name.clone(),
+                            kind: fail.kind.name().to_string(),
+                            chain: fail.chain,
+                        };
+                        if let Err(e) = quarantine_log.append(&row.to_jsonl()) {
+                            record_io_err(e);
+                        }
+                        quarantined.fetch_add(1, Ordering::Relaxed);
+                        if progress {
+                            println!(
+                                "[{i}/{total}] {name} x {kernel}: quarantined ({})",
+                                row.kind
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = io_error.into_inner().expect("io_error poisoned") {
+        return Err(CampaignError::Io(e));
+    }
+    Ok(CampaignOutcome {
+        completed: completed.into_inner(),
+        skipped: skipped.into_inner(),
+        quarantined: quarantined.into_inner(),
+        aborted: stop.into_inner() && cfg.max_jobs.is_some(),
+        per_worker: per_worker.into_iter().map(|a| a.into_inner()).collect(),
+        simulated_cycles: simulated_cycles.into_inner(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate report
+// ---------------------------------------------------------------------------
+
+/// Regenerates Figure-10/11-style geomean tables from the JSONL store
+/// alone: per kernel, speedups bucketed into four categories of the
+/// kernel's bucketing statistic (CSB block density for SpMV, nnz for SpMA,
+/// nnz/row for SpMM), plus the overall geomean.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading the store.
+pub fn aggregate_report(dir: &Path) -> std::io::Result<String> {
+    let rows = load_results(dir)?;
+    let quarantine = load_quarantine(dir)?;
+    let mut out = String::new();
+    if rows.is_empty() {
+        out.push_str("no results in store\n");
+    }
+    let mut kernels: Vec<String> = rows.iter().map(|r| r.kernel.clone()).collect();
+    kernels.sort();
+    kernels.dedup();
+    for kernel in &kernels {
+        let kr: Vec<&ResultRow> = rows.iter().filter(|r| &r.kernel == kernel).collect();
+        let header: Vec<String> = ["category (median key)", "matrices", "geomean speedup"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut table = Vec::new();
+        if kr.len() >= 4 {
+            let cats = split_categories(&kr, 4, |r| r.key);
+            for c in &cats {
+                let sp: Vec<f64> = c.indices.iter().map(|&i| kr[i].speedup()).collect();
+                table.push(vec![
+                    format!("{:.2}", c.median_key),
+                    c.indices.len().to_string(),
+                    speedup(geomean(&sp)),
+                ]);
+            }
+        }
+        let all: Vec<f64> = kr.iter().map(|r| r.speedup()).collect();
+        table.push(vec![
+            "overall".to_string(),
+            kr.len().to_string(),
+            speedup(geomean(&all)),
+        ]);
+        out.push_str(&format!("kernel {kernel} ({} matrices)\n", kr.len()));
+        out.push_str(&render_table(&header, &table));
+    }
+    out.push_str(&format!(
+        "store: {} result rows, {} quarantined\n",
+        rows.len(),
+        quarantine.len()
+    ));
+    Ok(out)
+}
+
+/// Renders the quarantine log as a summary table (used by the `campaign`
+/// binary and `mtx_runner`).
+pub fn quarantine_table(rows: &[QuarantineRow]) -> String {
+    let header: Vec<String> = ["matrix", "kernel", "kind", "error"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|q| {
+            vec![
+                q.matrix.clone(),
+                q.kernel.clone(),
+                q.kind.clone(),
+                q.chain.first().cloned().unwrap_or_default(),
+            ]
+        })
+        .collect();
+    render_table(&header, &table)
+}
+
+/// Canonically sorts serialized result rows (by fingerprint, kernel,
+/// config, then full line) — the order-independent view the resume
+/// determinism contract is stated over.
+pub fn canonical_sort(rows: &mut [ResultRow]) {
+    rows.sort_by(|a, b| {
+        (a.fingerprint, &a.kernel, &a.config, &a.matrix).cmp(&(
+            b.fingerprint,
+            &b.kernel,
+            &b.config,
+            &b.matrix,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> ResultRow {
+        ResultRow {
+            matrix: "s0001_banded_r128 \"quoted\\path\"".into(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            kernel: "spmv_csb".into(),
+            config: "16_2p".into(),
+            rows: 128,
+            cols: 128,
+            nnz: 512,
+            key: 7.25,
+            base_cycles: 10_000,
+            via_cycles: 2_500,
+        }
+    }
+
+    #[test]
+    fn result_row_round_trips() {
+        let row = sample_row();
+        let line = row.to_jsonl();
+        assert!(line_integrity_ok(&line));
+        let back = ResultRow::from_jsonl(&line).expect("parse");
+        assert_eq!(back, row);
+        assert!((back.speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torn_lines_are_rejected() {
+        let line = sample_row().to_jsonl();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(
+                ResultRow::from_jsonl(&line[..cut]).is_none(),
+                "truncated at {cut} should not parse"
+            );
+        }
+        let mut tampered = line.clone();
+        tampered = tampered.replace("\"rows\":128", "\"rows\":129");
+        assert!(
+            ResultRow::from_jsonl(&tampered).is_none(),
+            "hash must catch edits"
+        );
+    }
+
+    #[test]
+    fn quarantine_row_round_trips() {
+        let row = QuarantineRow {
+            matrix: "bad.mtx".into(),
+            kernel: "spma".into(),
+            config: "16_2p".into(),
+            kind: "parse".into(),
+            chain: vec![
+                "parse error at line 3, column 5: bad value".into(),
+                "io".into(),
+            ],
+        };
+        let line = row.to_jsonl();
+        let back = QuarantineRow::from_jsonl(&line).expect("parse");
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn budget_isolates_panics() {
+        let err = run_with_budget(Duration::from_secs(5), "t", || -> u32 {
+            panic!("boom {}", 7)
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Panic);
+        assert!(err.chain[0].contains("boom 7"));
+    }
+
+    #[test]
+    fn budget_times_out_runaway_jobs() {
+        let err = run_with_budget(Duration::from_millis(20), "t", || {
+            std::thread::sleep(Duration::from_millis(400));
+            1u32
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Timeout);
+    }
+
+    #[test]
+    fn budget_returns_results() {
+        assert_eq!(
+            run_with_budget(Duration::from_secs(5), "t", || 41 + 1).unwrap(),
+            42
+        );
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in KernelKind::ALL {
+            assert_eq!(KernelKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(KernelKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn corpus_jobs_dedupe() {
+        let corpus = Corpus::Files(vec![PathBuf::from("a.mtx"), PathBuf::from("a.mtx")]);
+        let jobs = corpus.jobs(&[KernelKind::SpmvCsb, KernelKind::Spma]);
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn flat_object_parser_handles_escapes_and_arrays() {
+        let fields =
+            parse_flat_object(r#"{"a":"x\"y\\z","b":-1.5e3,"c":["p","q\n"]}"#).expect("parse");
+        assert_eq!(str_field(&fields, "a").unwrap(), "x\"y\\z");
+        assert_eq!(num_field::<f64>(&fields, "b").unwrap(), -1500.0);
+        assert_eq!(
+            field(&fields, "c"),
+            Some(&JsonVal::List(vec!["p".into(), "q\n".into()]))
+        );
+        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
+        assert!(parse_flat_object("{\"a\":").is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: the store format depends on this constant staying put.
+        assert_eq!(fnv1a64(*b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(*b"via"), fnv1a64(*b"via"));
+        assert_ne!(fnv1a64(*b"via"), fnv1a64(*b"vib"));
+    }
+}

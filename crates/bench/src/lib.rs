@@ -17,12 +17,17 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod campaign;
 pub mod experiments;
 pub mod microbench;
 pub mod paper;
 pub mod report;
 pub mod suite;
 
+pub use campaign::{
+    aggregate_report, run_campaign, CampaignConfig, CampaignOutcome, Corpus, KernelKind, Mode,
+    QuarantineRow, ResultRow,
+};
 pub use experiments::{
     fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse, stall_sweep,
     table2_area, CategoryRow, DseRow, HistogramRow, SpmvFormatRow, StallRow, StencilRow,

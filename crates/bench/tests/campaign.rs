@@ -1,0 +1,308 @@
+//! Integration tests for the campaign orchestrator: the resume-determinism
+//! and quarantine contracts from the durable-store design.
+
+use std::path::PathBuf;
+use via_bench::campaign::{
+    canonical_sort, load_quarantine, load_results, quarantine_path, results_path, run_campaign,
+    CampaignConfig, CampaignError, Corpus, KernelKind, Mode,
+};
+use via_formats::gen::StratifiedConfig;
+
+/// A self-cleaning unique scratch directory (the workspace is
+/// dependency-free, so no `tempfile`).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("via_campaign_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+
+    fn join(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small, fast synthetic corpus (same shape as the 1,024-matrix sweep,
+/// scaled down for CI).
+fn small_corpus() -> Corpus {
+    Corpus::Synthetic(StratifiedConfig {
+        count: 10,
+        min_rows: 48,
+        max_rows: 128,
+        density_range: (0.01, 0.1),
+        size_strata: 2,
+        density_strata: 2,
+        seed: 0xCA4_41F2,
+    })
+}
+
+fn config(dir: &std::path::Path) -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(dir);
+    cfg.kernels = vec![KernelKind::SpmvCsb, KernelKind::Spma];
+    cfg.threads = 2;
+    cfg.budget_ms = 60_000;
+    cfg
+}
+
+/// Canonically sorted serialized store contents (the byte-level view the
+/// resume contract is stated over).
+fn canonical_store(dir: &std::path::Path) -> String {
+    let mut rows = load_results(dir).expect("load results");
+    canonical_sort(&mut rows);
+    rows.iter()
+        .map(|r| r.to_jsonl())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn killed_campaign_resumes_to_byte_identical_store() {
+    let corpus = small_corpus();
+    let total = corpus.jobs(&[KernelKind::SpmvCsb, KernelKind::Spma]).len();
+    assert_eq!(total, 20);
+
+    // Reference: one uninterrupted run.
+    let straight = Scratch::new("straight");
+    let outcome = run_campaign(&config(straight.path()), &corpus, Mode::Fresh).expect("run");
+    assert_eq!(outcome.completed, total);
+    assert_eq!(outcome.quarantined, 0);
+    assert!(!outcome.aborted);
+
+    // Killed run: stop after ~30 % of the jobs...
+    let resumed = Scratch::new("resumed");
+    let mut cfg = config(resumed.path());
+    cfg.max_jobs = Some(6);
+    let first = run_campaign(&cfg, &corpus, Mode::Fresh).expect("first leg");
+    assert!(first.aborted, "max_jobs should abort the run");
+    assert!(
+        first.completed >= 6 && first.completed < total,
+        "kill must land mid-sweep, got {}",
+        first.completed
+    );
+
+    // ...simulate the torn trailing line of a writer killed mid-append...
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(results_path(resumed.path()))
+            .unwrap();
+        write!(f, "{{\"schema\":1,\"matrix\":\"torn").unwrap();
+    }
+
+    // ...and resume. No completed job may re-execute.
+    cfg.max_jobs = None;
+    let second = run_campaign(&cfg, &corpus, Mode::Resume).expect("resume leg");
+    assert_eq!(
+        second.skipped, first.completed,
+        "completed work must be skipped"
+    );
+    assert_eq!(second.completed, total - first.completed);
+    assert!(!second.aborted);
+
+    // The merged store is byte-identical (after canonical sort) to the
+    // uninterrupted run's.
+    let merged = canonical_store(resumed.path());
+    let reference = canonical_store(straight.path());
+    assert!(!merged.is_empty());
+    assert_eq!(merged, reference);
+
+    // And every job appears exactly once (no duplicate rows).
+    let rows = load_results(resumed.path()).unwrap();
+    let mut keys: Vec<_> = rows.iter().map(|r| r.manifest_key()).collect();
+    keys.sort();
+    let before = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "no job may be recorded twice");
+    assert_eq!(before, total);
+
+    // A third resume is a no-op.
+    let third = run_campaign(&cfg, &corpus, Mode::Resume).expect("idempotent resume");
+    assert_eq!(third.completed, 0);
+    assert_eq!(third.skipped, total);
+    assert_eq!(canonical_store(resumed.path()), reference);
+}
+
+#[test]
+fn fresh_mode_refuses_to_clobber() {
+    let dir = Scratch::new("clobber");
+    let corpus = Corpus::Synthetic(StratifiedConfig {
+        count: 1,
+        min_rows: 48,
+        max_rows: 64,
+        density_range: (0.05, 0.1),
+        size_strata: 1,
+        density_strata: 1,
+        seed: 1,
+    });
+    let mut cfg = config(dir.path());
+    cfg.kernels = vec![KernelKind::SpmvCsb];
+    run_campaign(&cfg, &corpus, Mode::Fresh).expect("first run");
+    match run_campaign(&cfg, &corpus, Mode::Fresh) {
+        Err(CampaignError::WouldClobber(p)) => assert_eq!(p, dir.path()),
+        other => panic!("expected WouldClobber, got {other:?}"),
+    }
+}
+
+/// The five corrupt inputs the quarantine acceptance test salts the corpus
+/// with, plus the error they must surface.
+fn corrupt_files(dir: &Scratch) -> Vec<(PathBuf, &'static str, &'static str)> {
+    let specs: [(&str, &str, &str, &str); 5] = [
+        (
+            "truncated_header.mtx",
+            "%%MatrixMarket matrix\n",
+            "parse",
+            "truncated %%MatrixMarket header",
+        ),
+        (
+            "bad_coordinates.mtx",
+            "%%MatrixMarket matrix coordinate real general\n3 3 1\nx 2 1.0\n",
+            "parse",
+            "row index",
+        ),
+        (
+            "nan_value.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 nan\n2 2 1.0\n",
+            "parse",
+            "non-finite",
+        ),
+        (
+            "out_of_bounds.mtx",
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 1.0\n",
+            "index_out_of_bounds",
+            "outside a 2x2 matrix",
+        ),
+        ("empty.mtx", "", "parse", "empty input"),
+    ];
+    specs
+        .iter()
+        .map(|(name, content, kind, needle)| {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            (path, *kind, *needle)
+        })
+        .collect()
+}
+
+fn good_file(dir: &Scratch, name: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate real general\n\
+         4 4 6\n1 1 2.0\n1 3 -1.0\n2 2 4.0\n3 3 1.5\n4 1 0.5\n4 4 3.0\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn corrupt_corpus_is_quarantined_and_retried_exactly() {
+    let files = Scratch::new("corrupt_files");
+    let store = Scratch::new("corrupt_store");
+    let corrupt = corrupt_files(&files);
+    let good = vec![
+        good_file(&files, "good_a.mtx"),
+        good_file(&files, "good_b.mtx"),
+    ];
+
+    let mut paths: Vec<PathBuf> = corrupt.iter().map(|(p, _, _)| p.clone()).collect();
+    paths.extend(good.iter().cloned());
+    let corpus = Corpus::Files(paths);
+
+    let mut cfg = config(store.path());
+    cfg.kernels = vec![KernelKind::SpmvCsb];
+
+    // The sweep completes despite the salt: good inputs land in results,
+    // exactly the 5 corrupt ones in quarantine.
+    let outcome = run_campaign(&cfg, &corpus, Mode::Fresh).expect("salted sweep");
+    assert_eq!(outcome.completed, 2);
+    assert_eq!(outcome.quarantined, 5);
+
+    let rows = load_quarantine(store.path()).expect("load quarantine");
+    assert_eq!(rows.len(), 5);
+    for (path, kind, needle) in &corrupt {
+        let row = rows
+            .iter()
+            .find(|r| r.matrix == path.display().to_string())
+            .unwrap_or_else(|| panic!("{} missing from quarantine", path.display()));
+        assert_eq!(&row.kind, kind, "{}", path.display());
+        assert!(
+            row.chain.iter().any(|line| line.contains(needle)),
+            "{}: error chain {:?} should mention {needle:?}",
+            path.display(),
+            row.chain
+        );
+    }
+    // The five structured errors are pairwise distinct.
+    let mut chains: Vec<_> = rows.iter().map(|r| r.chain.join(" | ")).collect();
+    chains.sort();
+    chains.dedup();
+    assert_eq!(chains.len(), 5, "quarantine errors must be distinct");
+
+    // Fix one corrupt input, then --retry-quarantined: only the 5
+    // quarantined jobs re-run (the 2 good ones are untouched), the fixed
+    // one graduates to results, the other 4 stay quarantined.
+    std::fs::write(
+        files.join("empty.mtx"),
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 2.0\n",
+    )
+    .unwrap();
+    let retry = run_campaign(&cfg, &corpus, Mode::RetryQuarantined).expect("retry");
+    assert_eq!(retry.completed, 1, "only the fixed input may succeed");
+    assert_eq!(retry.quarantined, 4);
+    assert_eq!(retry.skipped, 0, "completed work is not even scheduled");
+
+    let rows = load_quarantine(store.path()).expect("reload quarantine");
+    assert_eq!(rows.len(), 4);
+    assert!(rows.iter().all(|r| !r.matrix.ends_with("empty.mtx")));
+    let results = load_results(store.path()).expect("reload results");
+    assert_eq!(results.len(), 3);
+}
+
+#[test]
+fn retry_quarantined_schedules_nothing_when_quarantine_is_empty() {
+    let files = Scratch::new("noq_files");
+    let store = Scratch::new("noq_store");
+    let corpus = Corpus::Files(vec![good_file(&files, "fine.mtx")]);
+    let mut cfg = config(store.path());
+    cfg.kernels = vec![KernelKind::SpmvCsb];
+    run_campaign(&cfg, &corpus, Mode::Fresh).expect("fresh");
+    let retry = run_campaign(&cfg, &corpus, Mode::RetryQuarantined).expect("retry");
+    assert_eq!(
+        (retry.completed, retry.skipped, retry.quarantined),
+        (0, 0, 0)
+    );
+    assert!(quarantine_path(store.path()).exists());
+}
+
+#[test]
+fn corpus_manifest_resolves_relative_paths() {
+    let files = Scratch::new("manifest");
+    good_file(&files, "rel.mtx");
+    let manifest = files.join("corpus.txt");
+    std::fs::write(&manifest, "# local corpus\n\nrel.mtx\n").unwrap();
+    let corpus = Corpus::from_manifest(&manifest).expect("manifest");
+    match &corpus {
+        Corpus::Files(paths) => {
+            assert_eq!(paths.len(), 1);
+            assert_eq!(paths[0], files.join("rel.mtx"));
+        }
+        other => panic!("expected files corpus, got {other:?}"),
+    }
+}

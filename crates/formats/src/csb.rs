@@ -158,6 +158,37 @@ impl Csb {
     /// # Errors
     ///
     /// Same conditions as [`Csb::from_coo`].
+    ///
+    /// # Examples
+    ///
+    /// Round trip through CSB and back (every entry survives):
+    ///
+    /// ```
+    /// use via_formats::{Coo, Csb, Csr};
+    ///
+    /// let mut coo = Coo::new(4, 4);
+    /// coo.push(0, 0, 2.0);
+    /// coo.push(1, 3, -1.0);
+    /// coo.push(3, 2, 0.5);
+    /// let csr = Csr::from_coo(&coo);
+    ///
+    /// let csb = Csb::from_csr(&csr, 2)?;
+    /// assert_eq!(csb.grid(), (2, 2));
+    /// assert_eq!(csb.nnz(), 3);
+    /// assert_eq!(csb.to_csr(), csr);
+    /// # Ok::<(), via_formats::FormatError>(())
+    /// ```
+    ///
+    /// The block size must be a non-zero power of two:
+    ///
+    /// ```
+    /// use via_formats::{Csb, Csr, Coo, FormatError};
+    ///
+    /// let csr = Csr::from_coo(&Coo::new(4, 4));
+    /// let err = Csb::from_csr(&csr, 3).unwrap_err();
+    /// assert_eq!(err.kind(), "invalid_structure");
+    /// assert!(err.to_string().contains("power of two"));
+    /// ```
     pub fn from_csr(csr: &Csr, block_size: usize) -> Result<Self, FormatError> {
         Csb::from_coo(&csr.to_coo(), block_size)
     }

@@ -30,6 +30,9 @@ pub enum FormatError {
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
+        /// 1-based character column of the offending token (`None` when the
+        /// whole line is at fault, e.g. a missing header).
+        col: Option<usize>,
         /// Description of the problem.
         message: String,
     },
@@ -54,10 +57,35 @@ impl fmt::Display for FormatError {
             FormatError::InvalidStructure(msg) => {
                 write!(f, "invalid compressed structure: {msg}")
             }
-            FormatError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
-            }
+            FormatError::Parse { line, col, message } => match col {
+                Some(col) => write!(f, "parse error at line {line}, column {col}: {message}"),
+                None => write!(f, "parse error at line {line}: {message}"),
+            },
             FormatError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl FormatError {
+    /// A short, machine-stable category name for this error, used by the
+    /// campaign quarantine log (`via-bench`) to classify failures without
+    /// string-matching display text.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FormatError::IndexOutOfBounds { .. } => "index_out_of_bounds",
+            FormatError::DimensionMismatch { .. } => "dimension_mismatch",
+            FormatError::InvalidStructure(_) => "invalid_structure",
+            FormatError::Parse { .. } => "parse",
+            FormatError::Io(_) => "io",
+        }
+    }
+
+    /// For [`FormatError::Parse`], the `(line, column)` location
+    /// (1-based; column is `None` when the whole line is at fault).
+    pub fn parse_location(&self) -> Option<(usize, Option<usize>)> {
+        match self {
+            FormatError::Parse { line, col, .. } => Some((*line, *col)),
+            _ => None,
         }
     }
 }
@@ -101,6 +129,52 @@ mod tests {
         let err = FormatError::from(io);
         assert!(err.source().is_some());
         assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn parse_error_reports_line_and_column() {
+        let err = FormatError::Parse {
+            line: 7,
+            col: Some(13),
+            message: "bad value".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 7"));
+        assert!(text.contains("column 13"));
+        assert_eq!(err.parse_location(), Some((7, Some(13))));
+        assert_eq!(err.kind(), "parse");
+        let whole_line = FormatError::Parse {
+            line: 2,
+            col: None,
+            message: "missing size line".into(),
+        };
+        assert!(!whole_line.to_string().contains("column"));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        use std::collections::HashSet;
+        let errs = [
+            FormatError::IndexOutOfBounds {
+                row: 1,
+                col: 1,
+                rows: 1,
+                cols: 1,
+            },
+            FormatError::DimensionMismatch {
+                left: (1, 1),
+                right: (2, 2),
+            },
+            FormatError::InvalidStructure("x".into()),
+            FormatError::Parse {
+                line: 1,
+                col: None,
+                message: "y".into(),
+            },
+            FormatError::Io(std::io::Error::other("z")),
+        ];
+        let kinds: HashSet<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), errs.len());
     }
 
     #[test]

@@ -350,31 +350,185 @@ pub fn suite(config: &SuiteConfig) -> Vec<GenMatrix> {
             rng.random_range(lo..=hi).exp().round() as usize
         };
         let density = rng.random_range(config.density_range.0..=config.density_range.1);
-        let target_nnz = ((rows * rows) as f64 * density).max(1.0) as usize;
-        let csr = match family {
-            Family::Uniform => uniform(rows, rows, density, seed),
-            Family::Banded => {
-                let per_row = (target_nnz / rows).clamp(1, rows);
-                let bw = (per_row * 4).clamp(1, rows / 2 + 1);
-                banded(rows, bw, per_row.max(1), seed)
-            }
-            Family::Blocked => {
-                let cluster = 16usize.min(rows);
-                let per_cluster = (cluster * cluster) / 2;
-                let nclusters = (target_nnz / per_cluster.max(1)).max(1);
-                blocked(rows, cluster, nclusters, 0.5, seed)
-            }
-            Family::PowerLaw => rmat(rows, target_nnz, seed),
-            Family::Diagonal => {
-                let ndiags = (target_nnz / rows).clamp(1, 16);
-                diagonal_perturbed(rows, ndiags, 0.8, seed)
-            }
-        };
+        let csr = build_family(family, rows, density, seed);
         out.push(GenMatrix {
             name: format!("{family}_{i:04}"),
             family,
             seed,
             csr,
+        });
+    }
+    out
+}
+
+/// A deferred recipe for one synthetic matrix: everything needed to
+/// regenerate it deterministically, without holding the materialized CSR.
+///
+/// The campaign orchestrator in `via-bench` schedules thousands of these and
+/// materializes each one inside the worker that simulates it, so a
+/// 1,024-matrix sweep never holds more than `threads` matrices in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Stable name, e.g. `"s0173_blocked_r1024"`.
+    pub name: String,
+    /// Structural family.
+    pub family: Family,
+    /// Per-matrix seed (derived from the corpus master seed).
+    pub seed: u64,
+    /// Matrix dimension (square).
+    pub rows: usize,
+    /// Target non-zero density.
+    pub density: f64,
+}
+
+impl MatrixSpec {
+    /// Materializes the matrix this spec describes. Deterministic: the same
+    /// spec always builds the same [`GenMatrix`].
+    pub fn build(&self) -> GenMatrix {
+        let csr = build_family(self.family, self.rows, self.density, self.seed);
+        GenMatrix {
+            name: self.name.clone(),
+            family: self.family,
+            seed: self.seed,
+            csr,
+        }
+    }
+
+    /// A stable content fingerprint of the spec (not of the materialized
+    /// matrix): campaigns key their result manifest on this, so completed
+    /// work can be skipped without regenerating the matrix.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in self
+            .name
+            .bytes()
+            .chain(self.seed.to_le_bytes())
+            .chain((self.rows as u64).to_le_bytes())
+            .chain(self.density.to_bits().to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+fn build_family(family: Family, rows: usize, density: f64, seed: u64) -> Csr {
+    let target_nnz = ((rows * rows) as f64 * density).max(1.0) as usize;
+    match family {
+        Family::Uniform => uniform(rows, rows, density, seed),
+        Family::Banded => {
+            let per_row = (target_nnz / rows).clamp(1, rows);
+            let bw = (per_row * 4).clamp(1, rows / 2 + 1);
+            banded(rows, bw, per_row.max(1), seed)
+        }
+        Family::Blocked => {
+            let cluster = 16usize.min(rows);
+            let per_cluster = (cluster * cluster) / 2;
+            let nclusters = (target_nnz / per_cluster.max(1)).max(1);
+            blocked(rows, cluster, nclusters, 0.5, seed)
+        }
+        Family::PowerLaw => rmat(rows, target_nnz, seed),
+        Family::Diagonal => {
+            let ndiags = (target_nnz / rows).clamp(1, 16);
+            diagonal_perturbed(rows, ndiags, 0.8, seed)
+        }
+    }
+}
+
+/// Configuration for [`stratified_specs`]: a corpus stratified over size,
+/// density, and structural family, standing in for the paper's 1,024-matrix
+/// SuiteSparse population (§V-B; the Fig. 8 scatter spans 0.01–2.6 %
+/// density and up to 20,000 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedConfig {
+    /// Number of matrices (the paper uses 1,024).
+    pub count: usize,
+    /// Smallest matrix dimension.
+    pub min_rows: usize,
+    /// Largest matrix dimension.
+    pub max_rows: usize,
+    /// Density range covered by the density strata.
+    pub density_range: (f64, f64),
+    /// Number of log-spaced size strata.
+    pub size_strata: usize,
+    /// Number of log-spaced density strata.
+    pub density_strata: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StratifiedConfig {
+    fn default() -> Self {
+        StratifiedConfig {
+            count: 1024,
+            min_rows: 256,
+            max_rows: 8192,
+            density_range: (0.0001, 0.026),
+            size_strata: 8,
+            density_strata: 4,
+            seed: 0x0C0_4B05,
+        }
+    }
+}
+
+/// Generates `count` deferred matrix specs stratified over the
+/// `size_strata × density_strata × family` grid: every cell of the grid is
+/// visited round-robin before any cell repeats, so even small prefixes of
+/// the corpus cover the full structural spectrum (and the full corpus is a
+/// near-uniform population over the grid, like the paper's Fig. 8 scatter).
+///
+/// Within a cell, the exact size/density are jittered log-uniformly inside
+/// the cell bounds. Deterministic in `config.seed`; spec `i` of a larger
+/// corpus equals spec `i` of a smaller one with the same config except
+/// `count` — a campaign can be widened without invalidating earlier work.
+///
+/// # Panics
+///
+/// Panics if `count == 0`, a stratum count is zero, or the size/density
+/// ranges are empty or non-positive.
+pub fn stratified_specs(config: &StratifiedConfig) -> Vec<MatrixSpec> {
+    assert!(config.count > 0, "corpus must be non-empty");
+    assert!(config.size_strata > 0 && config.density_strata > 0);
+    assert!(
+        config.min_rows >= 2 && config.max_rows >= config.min_rows,
+        "bad size range"
+    );
+    assert!(
+        config.density_range.0 > 0.0 && config.density_range.1 >= config.density_range.0,
+        "bad density range"
+    );
+    let mut seed_state = config.seed;
+    let (lo_r, hi_r) = ((config.min_rows as f64).ln(), (config.max_rows as f64).ln());
+    let (lo_d, hi_d) = (config.density_range.0.ln(), config.density_range.1.ln());
+    let cells = config.size_strata * config.density_strata * Family::ALL.len();
+    let mut out = Vec::with_capacity(config.count);
+    for i in 0..config.count {
+        let cell = i % cells;
+        let fam = Family::ALL[cell % Family::ALL.len()];
+        let rest = cell / Family::ALL.len();
+        let s_stratum = rest % config.size_strata;
+        let d_stratum = rest / config.size_strata;
+        // Each spec gets its own rng so spec i is independent of count.
+        let mut h = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(via_rng::splitmix64(&mut h));
+        let stratum_span = (hi_r - lo_r) / config.size_strata as f64;
+        let r_lo = lo_r + s_stratum as f64 * stratum_span;
+        let rows = rng
+            .random_range(r_lo..=r_lo + stratum_span)
+            .exp()
+            .round()
+            .clamp(config.min_rows as f64, config.max_rows as f64) as usize;
+        let d_span = (hi_d - lo_d) / config.density_strata as f64;
+        let d_lo = lo_d + d_stratum as f64 * d_span;
+        let density = rng.random_range(d_lo..=d_lo + d_span).exp();
+        let seed = via_rng::splitmix64(&mut seed_state) ^ rng.random::<u64>();
+        out.push(MatrixSpec {
+            name: format!("s{i:04}_{fam}_r{rows}"),
+            family: fam,
+            seed,
+            rows,
+            density,
         });
     }
     out
@@ -518,6 +672,73 @@ mod tests {
         // Center voxel has 7 entries.
         let center = (2 * 4 + 2) * 4 + 2;
         assert_eq!(m.row_nnz(center), 7);
+    }
+
+    #[test]
+    fn stratified_specs_cover_grid_and_are_deterministic() {
+        let config = StratifiedConfig {
+            count: 80,
+            min_rows: 64,
+            max_rows: 512,
+            size_strata: 2,
+            density_strata: 2,
+            ..StratifiedConfig::default()
+        };
+        let a = stratified_specs(&config);
+        let b = stratified_specs(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 80);
+        // All families appear in any prefix of one grid pass (2*2*5 = 20).
+        let fams: std::collections::HashSet<_> = a[..20].iter().map(|s| s.family).collect();
+        assert_eq!(fams.len(), Family::ALL.len());
+        // Sizes and densities stay inside the configured ranges.
+        for s in &a {
+            assert!(s.rows >= 64 && s.rows <= 512, "{}", s.rows);
+            assert!(
+                s.density >= config.density_range.0 * 0.999
+                    && s.density <= config.density_range.1 * 1.001,
+                "{}",
+                s.density
+            );
+        }
+        // Both size strata are populated.
+        assert!(a.iter().any(|s| s.rows < 181)); // below sqrt(64*512)
+        assert!(a.iter().any(|s| s.rows >= 181));
+    }
+
+    #[test]
+    fn stratified_prefix_is_stable_under_count_growth() {
+        let small = StratifiedConfig {
+            count: 16,
+            min_rows: 64,
+            max_rows: 256,
+            ..StratifiedConfig::default()
+        };
+        let large = StratifiedConfig {
+            count: 48,
+            ..small.clone()
+        };
+        let a = stratified_specs(&small);
+        let b = stratified_specs(&large);
+        assert_eq!(a[..], b[..16]);
+    }
+
+    #[test]
+    fn matrix_spec_build_is_deterministic_and_fingerprinted() {
+        let spec = MatrixSpec {
+            name: "t_banded".into(),
+            family: Family::Banded,
+            seed: 99,
+            rows: 128,
+            density: 0.01,
+        };
+        let m1 = spec.build();
+        let m2 = spec.build();
+        assert_eq!(m1.csr, m2.csr);
+        assert_eq!(m1.name, "t_banded");
+        let mut other = spec.clone();
+        other.seed = 100;
+        assert_ne!(spec.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! compiler versions: the generated experiment suites are part of the
 //! reproduction's fixtures, so the byte-for-byte stream matters.
 
+#![warn(missing_docs)]
+
 /// The workspace-standard deterministic generator (xoshiro256\*\*, seeded
 /// via SplitMix64). The name mirrors `rand::rngs::StdRng` so call sites
 /// read the same.

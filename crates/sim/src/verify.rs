@@ -627,6 +627,39 @@ impl FromIterator<Inst> for Program {
 
 /// Verifies a recorded program in one pass. The program's declared register
 /// count (if any) overrides the configuration's.
+///
+/// # Examples
+///
+/// A stream whose every source register has a producer is clean; dropping
+/// a producer makes the use an undefined-register violation (VIA001):
+///
+/// ```
+/// use via_sim::prog::{AluKind, Inst};
+/// use via_sim::verify::{verify_program, DiagCode, Program, VerifyConfig};
+///
+/// let cfg = VerifyConfig::default();
+///
+/// // r0 <- load, r1 <- load, r2 <- r0 + r1: every source is defined.
+/// let good: Program = [
+///     Inst::load(0x1000, 8, 0),
+///     Inst::load(0x1008, 8, 1),
+///     Inst::scalar(AluKind::FpAdd, &[0, 1], Some(2)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert!(verify_program(&good, &cfg).is_clean());
+///
+/// // The same stream without the second load: r1 has no producer.
+/// let bad: Program = [
+///     Inst::load(0x1000, 8, 0),
+///     Inst::scalar(AluKind::FpAdd, &[0, 1], Some(2)),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let report = verify_program(&bad, &cfg);
+/// assert_eq!(report.error_count(), 1);
+/// assert_eq!(report.diags[0].code, DiagCode::UndefinedRegister);
+/// ```
 pub fn verify_program(prog: &Program, cfg: &VerifyConfig) -> Report {
     let mut cfg = cfg.clone();
     if prog.declared_regs.is_some() {

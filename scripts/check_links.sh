@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Markdown link check: every relative link target in the repo's top-level
+# documentation (and docs/) must exist on disk. External http(s) links,
+# mailto:, pure #anchors, and GitHub web-relative badge links are skipped
+# — the point is catching renamed/deleted files, dependency-free.
+#
+#   scripts/check_links.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Markdown link/image targets: the (...) part of [text](target).
+    targets=$(grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//') || continue
+    for target in $targets; do
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        ../../actions/*) continue ;; # GitHub web-relative (CI badge)
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $f: $target" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "markdown links: OK"
+fi
+exit $status

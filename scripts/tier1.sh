@@ -48,9 +48,27 @@ cargo run --release -p via-bench --bin verify_programs -- --quick
 
 if [ "${TIER1_SKIP_PERF:-0}" = "1" ]; then
     echo "==> perf_smoke skipped (TIER1_SKIP_PERF=1)"
+    echo "==> campaign kill-and-resume smoke skipped (TIER1_SKIP_PERF=1)"
 else
     echo "==> perf_smoke (simulator throughput)"
     cargo run --release -p via-bench --bin perf_smoke
+
+    echo "==> campaign kill-and-resume smoke"
+    CAMPAIGN_SMOKE_DIR=$(mktemp -d)
+    trap 'rm -rf "$CAMPAIGN_SMOKE_DIR"' EXIT
+    CAMPAIGN_ARGS="--synthetic 6 --min-rows 48 --max-rows 128 --quiet"
+    # Kill a sweep after 2 jobs, resume it, and demand the resumed store
+    # is byte-identical to an uninterrupted run's (canonical sort).
+    cargo run --release -p via-bench --bin campaign -- \
+        --dir "$CAMPAIGN_SMOKE_DIR/killed" $CAMPAIGN_ARGS --max-jobs 2 >/dev/null
+    cargo run --release -p via-bench --bin campaign -- \
+        --dir "$CAMPAIGN_SMOKE_DIR/killed" $CAMPAIGN_ARGS --resume >/dev/null
+    cargo run --release -p via-bench --bin campaign -- \
+        --dir "$CAMPAIGN_SMOKE_DIR/straight" $CAMPAIGN_ARGS >/dev/null
+    LC_ALL=C sort "$CAMPAIGN_SMOKE_DIR/killed/results.jsonl" >"$CAMPAIGN_SMOKE_DIR/a"
+    LC_ALL=C sort "$CAMPAIGN_SMOKE_DIR/straight/results.jsonl" >"$CAMPAIGN_SMOKE_DIR/b"
+    cmp "$CAMPAIGN_SMOKE_DIR/a" "$CAMPAIGN_SMOKE_DIR/b"
+    echo "    resume smoke OK (stores byte-identical)"
 fi
 
 echo "tier-1: OK"
