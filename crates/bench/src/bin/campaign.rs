@@ -223,6 +223,7 @@ fn main() {
         cli.mode,
     );
 
+    let telemetry_start = via_sim::telemetry::snapshot();
     let outcome = match run_campaign(&cfg, &cli.corpus, cli.mode) {
         Ok(o) => o,
         Err(e) => {
@@ -231,8 +232,10 @@ fn main() {
         }
     };
     println!(
-        "run: {} completed, {} skipped (already done), {} quarantined{}",
+        "run: {} completed ({} from the cycle memo), {} skipped (already done), \
+         {} quarantined{}",
         outcome.completed,
+        outcome.cycle_cache_hits,
         outcome.skipped,
         outcome.quarantined,
         if outcome.aborted {
@@ -244,6 +247,12 @@ fn main() {
     println!(
         "workers: {:?} jobs each | {} simulated cycles this run",
         outcome.per_worker, outcome.simulated_cycles
+    );
+    println!(
+        "{}",
+        via_sim::telemetry::snapshot()
+            .since(&telemetry_start)
+            .render()
     );
 
     let quarantine = load_quarantine(&cli.dir).unwrap_or_default();

@@ -28,6 +28,7 @@ fn main() {
         eff.density_range.1 * 100.0,
         eff.seed
     );
+    let before = via_sim::telemetry::snapshot();
     let rows = fig9_dse(&eff);
     let header: Vec<String> = ["config", "SpMV (CSB)", "SpMA", "SpMM"]
         .iter()
@@ -54,4 +55,8 @@ fn main() {
         })
         .collect();
     print!("{}", render_table(&header, &table));
+    // The DSE sweep runs on the compile/replay path (streams recorded
+    // once, identical streams deduplicated across configs) — the counters
+    // below make that visible in CI logs.
+    println!("{}", via_sim::telemetry::snapshot().since(&before).render());
 }

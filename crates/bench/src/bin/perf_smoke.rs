@@ -1,18 +1,31 @@
 //! Simulator-throughput smoke benchmark.
 //!
-//! Re-runs two fixed workloads that were timed with the same harness
-//! *before* the engine hot-path overhaul (allocation-free instruction
-//! streams, flat predictor, cache fast path, lock-free sweep), then writes
-//! `BENCH_sim_throughput.json` with per-workload wall-clock, the recorded
-//! pre-overhaul baselines, the speedup over them, and the aggregate
-//! simulated-instruction throughput (MIPS).
+//! Two measurements, one JSON artifact (`BENCH_sim_throughput.json`):
+//!
+//! 1. **Legacy hot-path workloads** — re-runs two fixed workloads that were
+//!    timed with the same harness *before* the engine hot-path overhaul
+//!    (allocation-free instruction streams, flat predictor, cache fast
+//!    path, lock-free sweep) and reports wall-clock against the recorded
+//!    pre-overhaul baselines.
+//! 2. **Compiled sweep** — runs the Figure-9 DSE sweep `SWEEP_REPS` times
+//!    through one [`SweepMemo`]: repetition 1 compiles every point
+//!    (records + verifies the streams), repetition 2 replays the cached
+//!    streams after the cycle memo is cleared, and every further
+//!    repetition answers from the `(stream, config)` cycle memo without
+//!    simulating. The *effective* sweep throughput counts both simulated
+//!    and memo-skipped instructions over the total wall time — the
+//!    decode-once / sweep-many win ROADMAP item 1 targets (≥10× over the
+//!    11.7 MIPS interpreted single-thread baseline). Every repetition is
+//!    asserted bit-identical to the first.
 //!
 //! ```sh
 //! cargo run --release -p via-bench --bin perf_smoke [-- --out path.json]
 //! ```
 
 use std::time::Instant;
-use via_bench::{fig10_spmv, fig12a_histogram, ExperimentScale};
+use via_bench::{
+    default_threads, fig10_spmv, fig12a_histogram, fig9_dse_with_memo, ExperimentScale, SweepMemo,
+};
 
 /// Pre-overhaul wall-clock per iteration (ms), measured with
 /// `cargo bench -p via-bench` on the same workloads at the commit that
@@ -20,6 +33,16 @@ use via_bench::{fig10_spmv, fig12a_histogram, ExperimentScale};
 /// timing model and today's are bit-identical by test).
 const BASELINE_SPMV_TINY_MS: f64 = 7.472;
 const BASELINE_HISTOGRAM_MS: f64 = 16.257;
+
+/// Interpreted single-thread throughput recorded before the compile/replay
+/// engine landed (the `mips` field of the previous
+/// `BENCH_sim_throughput.json`; ROADMAP item 1's reference point).
+const BASELINE_SWEEP_MIPS: f64 = 11.73;
+
+/// Figure-9 sweep repetitions: one compile pass, one pure-replay pass, and
+/// `SWEEP_REPS - 2` memoized passes — the shape of a DSE campaign that
+/// keeps revisiting the same (config × matrix) grid while iterating.
+const SWEEP_REPS: usize = 40;
 
 /// The exact workloads the baselines were recorded on (see
 /// `benches/spmv.rs` and `benches/histogram.rs`).
@@ -31,6 +54,19 @@ fn spmv_tiny_scale() -> ExperimentScale {
         density_range: (0.001, 0.026),
         seed: 1,
         ..ExperimentScale::quick()
+    }
+}
+
+/// The Figure-9 DSE sweep the compiled-path throughput is measured on
+/// (the `fig9_normalizes_to_4_2p` test scale, on all cores).
+fn fig9_sweep_scale() -> ExperimentScale {
+    ExperimentScale {
+        matrices: 4,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 5,
+        threads: default_threads(),
     }
 }
 
@@ -54,6 +90,7 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
 
+    // --- Legacy hot-path workloads -------------------------------------
     let probe = via_sim::ThroughputProbe::start();
     let scale = spmv_tiny_scale();
     let spmv_ms = best_ms(9, || fig10_spmv(&scale));
@@ -82,16 +119,91 @@ fn main() {
             base / ms
         );
     }
+
+    // --- Compiled fig9 sweep -------------------------------------------
+    let sweep_scale = fig9_sweep_scale();
+    let memo = SweepMemo::new();
+    let t_start = via_sim::telemetry::snapshot();
+
+    // Repetition 1: compile (record + verify every stream).
+    let t = Instant::now();
+    let reference = fig9_dse_with_memo(&sweep_scale, &memo);
+    let compile_s = t.elapsed().as_secs_f64();
+    let after_compile = via_sim::telemetry::snapshot();
+    let compiled_instructions = after_compile.since(&t_start).instructions;
+
+    // Repetition 2: pure replay (cycle memo cleared, streams kept).
+    memo.clear_cycle_memo();
+    let t = Instant::now();
+    let replayed = fig9_dse_with_memo(&sweep_scale, &memo);
+    let replay_s = t.elapsed().as_secs_f64();
+    let after_replay = via_sim::telemetry::snapshot();
+    let replayed_instructions = after_replay.since(&after_compile).instructions;
+    assert_eq!(replayed, reference, "replay must be bit-identical");
+
+    // Repetitions 3..=SWEEP_REPS: memoized (no simulation at all).
+    let t = Instant::now();
+    for _ in 2..SWEEP_REPS {
+        let rep = fig9_dse_with_memo(&sweep_scale, &memo);
+        assert_eq!(rep, reference, "memo hit must be bit-identical");
+    }
+    let memo_s = t.elapsed().as_secs_f64();
+    let sweep_delta = via_sim::telemetry::snapshot().since(&t_start);
+
+    let sweep_wall = compile_s + replay_s + memo_s;
+    let compile_mips = compiled_instructions as f64 / compile_s.max(1e-9) / 1e6;
+    let replay_mips = replayed_instructions as f64 / replay_s.max(1e-9) / 1e6;
+    let sweep_mips = sweep_delta.effective_instructions() as f64 / sweep_wall.max(1e-9) / 1e6;
+    let speedup = sweep_mips / BASELINE_SWEEP_MIPS;
+
+    eprintln!(
+        "  fig9 sweep x{SWEEP_REPS}: compile {:.1} ms ({compile_mips:.1} MIPS), \
+         replay {:.1} ms ({replay_mips:.1} MIPS), {} memoized reps {:.1} ms",
+        compile_s * 1e3,
+        replay_s * 1e3,
+        SWEEP_REPS - 2,
+        memo_s * 1e3,
+    );
+    eprintln!(
+        "  effective sweep throughput {sweep_mips:.1} MIPS = {speedup:.1}x \
+         the {BASELINE_SWEEP_MIPS} MIPS interpreted baseline"
+    );
+    eprintln!("  {}", sweep_delta.render());
+
+    let sweep_json = format!(
+        "  \"sweep\": {{\n    \"name\": \"fig9_dse_compiled\",\n    \
+         \"reps\": {SWEEP_REPS},\n    \"threads\": {},\n    \
+         \"compile_seconds\": {compile_s:.4},\n    \
+         \"replay_seconds\": {replay_s:.4},\n    \
+         \"memo_seconds\": {memo_s:.4},\n    \
+         \"compiled_instructions\": {compiled_instructions},\n    \
+         \"replayed_instructions\": {replayed_instructions},\n    \
+         \"memo_skipped_instructions\": {},\n    \
+         \"stream_cache_hits\": {},\n    \"stream_cache_misses\": {},\n    \
+         \"cycle_memo_hits\": {},\n    \"cycle_memo_misses\": {},\n    \
+         \"compile_mips\": {compile_mips:.2},\n    \
+         \"replay_mips\": {replay_mips:.2},\n    \
+         \"sweep_mips\": {sweep_mips:.2},\n    \
+         \"baseline_sweep_mips\": {BASELINE_SWEEP_MIPS},\n    \
+         \"speedup_vs_baseline\": {speedup:.2}\n  }}",
+        sweep_scale.threads,
+        sweep_delta.skipped_instructions,
+        memo.streams().hits(),
+        memo.streams().misses(),
+        memo.cycle_hits(),
+        memo.replays() + memo.compiles(),
+    );
+
     let json = format!(
-        "{{\n  \"workloads\": [\n{entries}\n  ],\n  \
+        "{{\n  \"workloads\": [\n{entries}\n  ],\n{sweep_json},\n  \
          \"simulated_instructions\": {instructions},\n  \
          \"wall_seconds\": {wall_s:.3},\n  \"mips\": {mips:.2},\n  \
          \"threads\": {}\n}}\n",
-        scale.threads
+        default_threads()
     );
     std::fs::write(&out_path, &json).expect("write throughput json");
     eprintln!(
-        "  simulated {:.1}M instructions at {mips:.2} MIPS -> {out_path}",
+        "  simulated {:.1}M instructions at {mips:.2} MIPS (legacy workloads) -> {out_path}",
         instructions as f64 / 1e6
     );
 }

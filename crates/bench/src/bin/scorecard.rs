@@ -31,6 +31,7 @@ fn main() {
         scale.matrices, scale.min_rows, scale.max_rows, scale.seed, scale.threads
     );
     let probe = via_sim::ThroughputProbe::start();
+    let telemetry_start = via_sim::telemetry::snapshot();
 
     let mut measured: Vec<(&'static str, f64)> = Vec::new();
 
@@ -117,10 +118,16 @@ fn main() {
          (of {})",
         measured.len()
     );
+    let delta = via_sim::telemetry::snapshot().since(&telemetry_start);
+    let effective_mips =
+        delta.effective_instructions() as f64 / probe.elapsed().as_secs_f64().max(1e-9) / 1e6;
     println!(
-        "simulated {:.1}M instructions in {:.1}s — {:.2} MIPS",
+        "simulated {:.1}M instructions in {:.1}s — {:.2} MIPS simulated, \
+         {:.2} MIPS effective (memo-skipped included)",
         probe.instructions() as f64 / 1e6,
         probe.elapsed().as_secs_f64(),
-        probe.mips()
+        probe.mips(),
+        effective_mips,
     );
+    println!("{}", delta.render());
 }

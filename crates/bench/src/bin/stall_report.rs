@@ -37,6 +37,7 @@ fn main() {
         scale.matrices, scale.min_rows, scale.max_rows, scale.seed, scale.threads
     );
 
+    let before = via_sim::telemetry::snapshot();
     let rows = stall_sweep(&scale);
 
     // Summary CPI-stack table across all kernels.
@@ -47,6 +48,13 @@ fn main() {
         println!("\n-- {} --", r.kernel);
         print!("{}", r.report.render(top));
     }
+
+    // Compile/replay pipeline counters for the sweep (all zero when the
+    // sweep ran fully interpreted, as stall_sweep does today).
+    println!(
+        "\n{}",
+        via_sim::telemetry::snapshot().since(&before).render()
+    );
 
     if let Some(path) = chrome_path {
         write_chrome_trace(&scale, &path);

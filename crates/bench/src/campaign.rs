@@ -21,6 +21,13 @@
 //!   inputs, and verification mismatches land in `quarantine.jsonl` with a
 //!   structured error chain instead of aborting the sweep;
 //!   [`Mode::RetryQuarantined`] re-attempts exactly those jobs.
+//! * **Persistent cycle memo** — every simulated job also appends a
+//!   `(stream-hash, config-hash)`-tagged row to `cycles.jsonl`. A later
+//!   campaign (resume, overlap, or a fresh directory seeded with the
+//!   memo) that meets the same `(matrix, kernel, config)` under the same
+//!   timing configuration rebuilds its result row from the memo and skips
+//!   the simulator entirely — level two of the compile/replay pipeline's
+//!   memoization (level one is the in-process [`via_sim::StreamCache`]).
 //! * **Work-stealing queue** — workers claim job indices from a shared
 //!   atomic counter (the same contention-free scheme as
 //!   [`parallel_map`](crate::suite::parallel_map)) with per-worker progress
@@ -56,14 +63,11 @@ use via_kernels::{spma, spmm, spmv, SimContext};
 // ---------------------------------------------------------------------------
 
 /// FNV-1a over a byte stream: the stable 64-bit content hash used for
-/// matrix fingerprints and per-row integrity hashes.
+/// matrix fingerprints and per-row integrity hashes. Delegates to the
+/// simulator's [`via_sim::fnv1a64`] so the store's fingerprints and the
+/// compile/replay pipeline's stream/config hashes share one definition.
 pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    via_sim::fnv1a64(bytes)
 }
 
 /// Serializes a string as a JSON string literal (quotes, escapes).
@@ -482,6 +486,125 @@ impl ResultRow {
     }
 }
 
+/// One entry of the persistent cycle memo in `cycles.jsonl`: the timing
+/// outcome of a simulated `(matrix, kernel, config)` job, keyed by the
+/// compiled streams' content hashes and the core/memory timing-config
+/// hash. A later campaign over the same inputs under the same timing
+/// config rebuilds the [`ResultRow`] from this memo and **skips the
+/// simulator entirely** — the second level of the compile/replay
+/// pipeline's memoization (level one, the in-process
+/// [`via_sim::StreamCache`], saves re-compiles within a run; this level
+/// saves replays across runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRow {
+    /// Matrix name (spec name or file path).
+    pub matrix: String,
+    /// Matrix content fingerprint.
+    pub fingerprint: u64,
+    /// Kernel machine name.
+    pub kernel: String,
+    /// VIA configuration name.
+    pub config: String,
+    /// [`via_sim::config_hash`] of the core/memory timing configuration
+    /// both engines were built from. A memo entry is only valid while
+    /// this matches — a timing-model change invalidates the whole memo.
+    pub config_hash: u64,
+    /// [`via_sim::CompiledStream::stream_hash`] of the baseline kernel's
+    /// recorded stream.
+    pub base_stream: u64,
+    /// Stream hash of the VIA kernel's recorded stream.
+    pub via_stream: u64,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Structural non-zeros.
+    pub nnz: usize,
+    /// The figure's bucketing statistic (see [`ResultRow::key`]).
+    pub key: f64,
+    /// Baseline kernel cycles.
+    pub base_cycles: u64,
+    /// VIA kernel cycles.
+    pub via_cycles: u64,
+    /// Instructions the baseline run simulated (what a memo hit skips).
+    pub base_instructions: u64,
+    /// Instructions the VIA run simulated.
+    pub via_instructions: u64,
+}
+
+impl CycleRow {
+    /// The memo key: same identity as [`ResultRow::manifest_key`].
+    pub fn memo_key(&self) -> (u64, String, String) {
+        (self.fingerprint, self.kernel.clone(), self.config.clone())
+    }
+
+    /// Rebuilds the result row this memo entry stands in for.
+    pub fn to_result_row(&self) -> ResultRow {
+        ResultRow {
+            matrix: self.matrix.clone(),
+            fingerprint: self.fingerprint,
+            kernel: self.kernel.clone(),
+            config: self.config.clone(),
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz,
+            key: self.key,
+            base_cycles: self.base_cycles,
+            via_cycles: self.via_cycles,
+        }
+    }
+
+    /// Serializes the row as one JSONL line (content-hashed, no newline).
+    pub fn to_jsonl(&self) -> String {
+        let body = format!(
+            "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"config_hash\":\"{:016x}\",\"base_stream\":\"{:016x}\",\"via_stream\":\"{:016x}\",\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{},\"base_instructions\":{},\"via_instructions\":{}",
+            json_string(&self.matrix),
+            self.fingerprint,
+            json_string(&self.kernel),
+            json_string(&self.config),
+            self.config_hash,
+            self.base_stream,
+            self.via_stream,
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.key,
+            self.base_cycles,
+            self.via_cycles,
+            self.base_instructions,
+            self.via_instructions,
+        );
+        seal_row(body)
+    }
+
+    /// Parses one JSONL line, validating the integrity hash.
+    pub fn from_jsonl(line: &str) -> Option<CycleRow> {
+        if !line_integrity_ok(line) {
+            return None;
+        }
+        let fields = parse_flat_object(line)?;
+        let hex =
+            |key: &str| -> Option<u64> { u64::from_str_radix(&str_field(&fields, key)?, 16).ok() };
+        Some(CycleRow {
+            matrix: str_field(&fields, "matrix")?,
+            fingerprint: hex("fingerprint")?,
+            kernel: str_field(&fields, "kernel")?,
+            config: str_field(&fields, "config")?,
+            config_hash: hex("config_hash")?,
+            base_stream: hex("base_stream")?,
+            via_stream: hex("via_stream")?,
+            rows: num_field(&fields, "rows")?,
+            cols: num_field(&fields, "cols")?,
+            nnz: num_field(&fields, "nnz")?,
+            key: num_field(&fields, "key")?,
+            base_cycles: num_field(&fields, "base_cycles")?,
+            via_cycles: num_field(&fields, "via_cycles")?,
+            base_instructions: num_field(&fields, "base_instructions")?,
+            via_instructions: num_field(&fields, "via_instructions")?,
+        })
+    }
+}
+
 /// Why a job was quarantined.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailureKind {
@@ -609,6 +732,11 @@ pub fn quarantine_path(dir: &Path) -> PathBuf {
     dir.join("quarantine.jsonl")
 }
 
+/// Path of the persistent cycle memo inside a campaign directory.
+pub fn cycles_path(dir: &Path) -> PathBuf {
+    dir.join("cycles.jsonl")
+}
+
 /// Loads every intact result row from a campaign directory (torn lines are
 /// dropped; missing file ⇒ empty).
 ///
@@ -626,6 +754,15 @@ pub fn load_results(dir: &Path) -> std::io::Result<Vec<ResultRow>> {
 /// Returns I/O errors other than `NotFound`.
 pub fn load_quarantine(dir: &Path) -> std::io::Result<Vec<QuarantineRow>> {
     load_rows(&quarantine_path(dir), QuarantineRow::from_jsonl)
+}
+
+/// Loads every intact cycle-memo row from a campaign directory.
+///
+/// # Errors
+///
+/// Returns I/O errors other than `NotFound`.
+pub fn load_cycles(dir: &Path) -> std::io::Result<Vec<CycleRow>> {
+    load_rows(&cycles_path(dir), CycleRow::from_jsonl)
 }
 
 fn load_rows<T>(path: &Path, parse: impl Fn(&str) -> Option<T>) -> std::io::Result<Vec<T>> {
@@ -757,15 +894,28 @@ fn csr_approx_eq(a: &Csr, b: &Csr, tol: f64) -> bool {
         .all(|((ra, ca, va), (rb, cb, vb))| ra == rb && ca == cb && (va - vb).abs() <= tol)
 }
 
+/// `(cycles, instructions, stream hash)` of one finished kernel run — the
+/// slice of a [`via_kernels::KernelRun`] the cycle memo records.
+fn run_meta<T>(run: &via_kernels::KernelRun<T>) -> (u64, u64, u64) {
+    (
+        run.stats.cycles,
+        run.stats.instructions,
+        run.compiled.as_ref().map_or(0, |s| s.stream_hash()),
+    )
+}
+
 /// Executes one job end to end: materialize the matrix, run the
-/// baseline/VIA kernel pair, verify functional agreement, build the row.
-/// Pure function of its inputs — the determinism the resume test pins.
+/// baseline/VIA kernel pair under stream recording (the compile phase),
+/// verify functional agreement, build the result row and its cycle-memo
+/// row. Pure function of its inputs — the determinism the resume test
+/// pins.
 fn execute_job(
     source: JobSource,
     kernel: KernelKind,
     via: ViaConfig,
     fingerprint: u64,
-) -> Result<ResultRow, JobFailure> {
+    config_hash: u64,
+) -> Result<(ResultRow, CycleRow), JobFailure> {
     const TOL: f64 = 1e-6;
     let (name, csr, seed) = match &source {
         JobSource::Synthetic(spec) => {
@@ -789,7 +939,7 @@ fn execute_job(
             )],
         });
     }
-    let ctx = SimContext::with_via(via);
+    let ctx = SimContext::with_via(via).with_recording();
     let config = ctx.via.name();
     let verify_vec = |base: &[f64], via_out: &[f64]| -> Result<(), JobFailure> {
         if via_formats::vec_approx_eq(base, via_out, TOL) {
@@ -811,7 +961,7 @@ fn execute_job(
             })
         }
     };
-    let (key, base_cycles, via_cycles) = match kernel {
+    let (key, base_meta, via_meta) = match kernel {
         KernelKind::SpmvCsr | KernelKind::SpmvSpc5 | KernelKind::SpmvSell | KernelKind::SpmvCsb => {
             let x = gen::dense_vector(csr.cols(), seed);
             let bs = ctx.via.csb_block_size();
@@ -840,14 +990,14 @@ fn execute_job(
                 _ => unreachable!(),
             };
             verify_vec(&base.output, &via_run.output)?;
-            (key, base.cycles(), via_run.cycles())
+            (key, run_meta(&base), run_meta(&via_run))
         }
         KernelKind::Spma => {
             let b = gen::perturb_structure(&csr, 0.6, 0.5, seed ^ 1);
             let base = spma::merge_csr(&csr, &b, &ctx);
             let via_run = spma::via_cam(&csr, &b, &ctx);
             verify_csr(&base.output, &via_run.output)?;
-            (csr.nnz() as f64, base.cycles(), via_run.cycles())
+            (csr.nnz() as f64, run_meta(&base), run_meta(&via_run))
         }
         KernelKind::Spmm => {
             let b = gen::uniform(csr.cols(), csr.cols(), csr.density(), seed ^ 2).to_csc();
@@ -856,23 +1006,43 @@ fn execute_job(
             verify_csr(&base.output, &via_run.output)?;
             (
                 csr.nnz() as f64 / csr.rows().max(1) as f64,
-                base.cycles(),
-                via_run.cycles(),
+                run_meta(&base),
+                run_meta(&via_run),
             )
         }
     };
-    Ok(ResultRow {
+    let (base_cycles, base_instructions, base_stream) = base_meta;
+    let (via_cycles, via_instructions, via_stream) = via_meta;
+    let result = ResultRow {
         matrix: name,
         fingerprint,
         kernel: kernel.name().to_string(),
-        config,
+        config: config.clone(),
         rows: csr.rows(),
         cols: csr.cols(),
         nnz: csr.nnz(),
         key,
         base_cycles,
         via_cycles,
-    })
+    };
+    let memo = CycleRow {
+        matrix: result.matrix.clone(),
+        fingerprint,
+        kernel: result.kernel.clone(),
+        config,
+        config_hash,
+        base_stream,
+        via_stream,
+        rows: result.rows,
+        cols: result.cols,
+        nnz: result.nnz,
+        key,
+        base_cycles,
+        via_cycles,
+        base_instructions,
+        via_instructions,
+    };
+    Ok((result, memo))
 }
 
 // ---------------------------------------------------------------------------
@@ -945,8 +1115,12 @@ pub struct CampaignOutcome {
     pub aborted: bool,
     /// Jobs completed per worker (work-stealing telemetry).
     pub per_worker: Vec<u64>,
-    /// Total simulated cycles (baseline + VIA) this run.
+    /// Total simulated cycles (baseline + VIA) this run. Memo hits
+    /// contribute nothing here — they never touch the simulator.
     pub simulated_cycles: u64,
+    /// Jobs completed from the persistent cycle memo (`cycles.jsonl`)
+    /// without simulating anything.
+    pub cycle_cache_hits: usize,
 }
 
 /// Errors a campaign can fail with before any job runs.
@@ -1008,16 +1182,30 @@ pub fn run_campaign(
         return Err(CampaignError::WouldClobber(cfg.dir.clone()));
     }
     let old_quarantine = load_quarantine(&cfg.dir)?;
+    let old_cycles = load_cycles(&cfg.dir)?;
 
-    // Compact both logs (drops torn lines from a killed writer) so the
+    // Compact the logs (drops torn lines from a killed writer) so the
     // final merged log is clean regardless of where the previous run died.
     rewrite_jsonl(
         &results_path(&cfg.dir),
         existing.iter().map(|r| r.to_jsonl()),
     )?;
+    rewrite_jsonl(
+        &cycles_path(&cfg.dir),
+        old_cycles.iter().map(|r| r.to_jsonl()),
+    )?;
 
     let manifest: HashSet<(u64, String, String)> =
         existing.iter().map(|r| r.manifest_key()).collect();
+    // The persistent cycle memo (level two of the compile/replay
+    // pipeline's memoization): jobs whose timing is already known under
+    // the current timing config skip the simulator entirely.
+    let timing_hash = {
+        let ctx = SimContext::default();
+        via_sim::config_hash(&ctx.core, &ctx.mem)
+    };
+    let cycle_memo: std::collections::HashMap<(u64, String, String), &CycleRow> =
+        old_cycles.iter().map(|r| (r.memo_key(), r)).collect();
     let quarantined_keys: HashSet<(String, String, String)> = old_quarantine
         .iter()
         .map(|q| (q.matrix.clone(), q.kernel.clone(), q.config.clone()))
@@ -1063,6 +1251,7 @@ pub fn run_campaign(
 
     let results_log = Appender::open(&results_path(&cfg.dir))?;
     let quarantine_log = Appender::open(&quarantine_path(&cfg.dir))?;
+    let cycles_log = Appender::open(&cycles_path(&cfg.dir))?;
 
     let threads = cfg.threads.max(1).min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
@@ -1070,6 +1259,7 @@ pub fn run_campaign(
     let completed = AtomicUsize::new(0);
     let skipped = AtomicUsize::new(0);
     let quarantined = AtomicUsize::new(0);
+    let cycle_hits = AtomicUsize::new(0);
     let simulated_cycles = AtomicU64::new(0);
     let per_worker: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
     let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
@@ -1087,13 +1277,16 @@ pub fn run_campaign(
             let jobs = &jobs;
             let manifest = &manifest;
             let quarantined_keys = &quarantined_keys;
+            let cycle_memo = &cycle_memo;
             let results_log = &results_log;
             let quarantine_log = &quarantine_log;
+            let cycles_log = &cycles_log;
             let next = &next;
             let stop = &stop;
             let completed = &completed;
             let skipped = &skipped;
             let quarantined = &quarantined;
+            let cycle_hits = &cycle_hits;
             let simulated_cycles = &simulated_cycles;
             let per_worker = &per_worker;
             let record_io_err = &record_io_err;
@@ -1151,16 +1344,53 @@ pub fn run_campaign(
                     skipped.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                // Level-two memo: a prior campaign already simulated this
+                // (matrix, kernel, config) under the same timing config —
+                // rebuild the result row from `cycles.jsonl` and skip the
+                // simulator entirely.
+                let memo_hit = cycle_memo
+                    .get(&(fingerprint, kernel.name().to_string(), config_name.clone()))
+                    .filter(|c| c.config_hash == timing_hash);
+                via_sim::telemetry::record_cycle_cache(memo_hit.is_some());
+                if let Some(c) = memo_hit {
+                    via_sim::telemetry::record_skipped_instructions(
+                        c.base_instructions + c.via_instructions,
+                    );
+                    let row = c.to_result_row();
+                    if let Err(e) = results_log.append(&row.to_jsonl()) {
+                        record_io_err(e);
+                    }
+                    per_worker[w].fetch_add(1, Ordering::Relaxed);
+                    cycle_hits.fetch_add(1, Ordering::Relaxed);
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        println!(
+                            "[{done}/{total}] {name} x {kernel}: {} (memo hit, base {} / via {})",
+                            speedup(row.speedup()),
+                            row.base_cycles,
+                            row.via_cycles
+                        );
+                    }
+                    if let Some(limit) = max_jobs {
+                        if done >= limit {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    continue;
+                }
                 let source = job.source.clone();
                 let outcome = run_with_budget(budget, &name, move || {
-                    execute_job(source, kernel, via, fingerprint)
+                    execute_job(source, kernel, via, fingerprint, timing_hash)
                 })
                 .and_then(|inner| inner);
                 match outcome {
-                    Ok(row) => {
+                    Ok((row, memo)) => {
                         simulated_cycles
                             .fetch_add(row.base_cycles + row.via_cycles, Ordering::Relaxed);
                         if let Err(e) = results_log.append(&row.to_jsonl()) {
+                            record_io_err(e);
+                        }
+                        if let Err(e) = cycles_log.append(&memo.to_jsonl()) {
                             record_io_err(e);
                         }
                         per_worker[w].fetch_add(1, Ordering::Relaxed);
@@ -1213,6 +1443,7 @@ pub fn run_campaign(
         aborted: stop.into_inner() && cfg.max_jobs.is_some(),
         per_worker: per_worker.into_iter().map(|a| a.into_inner()).collect(),
         simulated_cycles: simulated_cycles.into_inner(),
+        cycle_cache_hits: cycle_hits.into_inner(),
     })
 }
 
@@ -1352,6 +1583,33 @@ mod tests {
             ResultRow::from_jsonl(&tampered).is_none(),
             "hash must catch edits"
         );
+    }
+
+    #[test]
+    fn cycle_row_round_trips() {
+        let row = CycleRow {
+            matrix: "s0001_banded_r128".into(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            kernel: "spmv_csb".into(),
+            config: "16_2p".into(),
+            config_hash: 0x0123_4567_89AB_CDEF,
+            base_stream: 0xFEDC_BA98_7654_3210,
+            via_stream: 0x0F1E_2D3C_4B5A_6978,
+            rows: 128,
+            cols: 128,
+            nnz: 512,
+            key: 7.25,
+            base_cycles: 10_000,
+            via_cycles: 2_500,
+            base_instructions: 4_000,
+            via_instructions: 1_200,
+        };
+        let line = row.to_jsonl();
+        assert!(line_integrity_ok(&line));
+        let back = CycleRow::from_jsonl(&line).expect("parse");
+        assert_eq!(back, row);
+        assert_eq!(back.memo_key(), back.to_result_row().manifest_key());
+        assert_eq!(back.to_result_row().base_cycles, 10_000);
     }
 
     #[test]

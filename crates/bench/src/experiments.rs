@@ -1,13 +1,15 @@
 //! One runner per paper table/figure.
 
 use crate::suite::{parallel_map, ExperimentScale, Suite};
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use via_core::ViaConfig;
 use via_energy::{AreaModel, EnergyModel, SynthesisPoint, PAPER_SYNTHESIS};
 use via_formats::gen::GenMatrix;
 use via_formats::stats::{geomean, split_categories};
 use via_formats::{gen, Csb, SellCSigma, Spc5};
-use via_kernels::{histogram, spma, spmm, spmv, stencil, SimContext, TraceOptions};
-use via_sim::{StallCause, StallReport};
+use via_kernels::{histogram, spma, spmm, spmv, stencil, KernelRun, SimContext, TraceOptions};
+use via_sim::{fnv1a64, Engine, StallCause, StallReport, StreamCache};
 
 /// One row of the Figure 9 design-space exploration: the speedup of each
 /// configuration over the `4_2p` baseline for the three kernels.
@@ -23,9 +25,166 @@ pub struct DseRow {
     pub spmm: f64,
 }
 
+/// The in-process sweep memo: level one of the compile/replay pipeline's
+/// two-level memoization (level two is the campaign store's persistent
+/// `cycles.jsonl`).
+///
+/// * The [`StreamCache`] maps a *point key* (kernel × config × matrix,
+///   hashed with [`fnv1a64`]) to the kernel's [`via_sim::CompiledStream`],
+///   so each point is emitted, decoded, and statically verified exactly
+///   once per process no matter how many sweep repetitions touch it.
+/// * The cycle memo maps `(stream hash, config hash)` to the replayed
+///   `(cycles, instructions)`, so a repetition that has already replayed a
+///   stream under the current timing config skips the simulator entirely
+///   — the point costs one cache probe instead of one simulation.
+///
+/// Shared by reference across `parallel_map` workers; all interior
+/// mutability is lock-scoped and never held across kernel code.
+#[derive(Debug, Default)]
+pub struct SweepMemo {
+    streams: StreamCache,
+    cycles: Mutex<HashMap<(u64, u64), (u64, u64)>>,
+    compiles: std::sync::atomic::AtomicU64,
+    replays: std::sync::atomic::AtomicU64,
+    cycle_hits: std::sync::atomic::AtomicU64,
+}
+
+/// What the compile closure of [`SweepMemo::cycles_for`] produces: the
+/// recorded (compile-phase) run's stream plus its timing outcome.
+#[derive(Debug, Clone)]
+pub struct CompiledRun {
+    /// The recorded, pre-decoded, statically verified stream.
+    pub stream: via_sim::CompiledStream,
+    /// Cycles the recorded run took.
+    pub cycles: u64,
+    /// Instructions the recorded run simulated.
+    pub instructions: u64,
+}
+
+impl CompiledRun {
+    /// Harvests the compile outcome of a kernel run executed under a
+    /// recording [`SimContext`] (see [`SimContext::with_recording`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was not recorded.
+    pub fn from_run<T>(run: KernelRun<T>) -> CompiledRun {
+        CompiledRun {
+            stream: run.compiled.expect("recording context compiles"),
+            cycles: run.stats.cycles,
+            instructions: run.stats.instructions,
+        }
+    }
+}
+
+impl SweepMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        SweepMemo::default()
+    }
+
+    fn cycle_map(&self) -> MutexGuard<'_, HashMap<(u64, u64), (u64, u64)>> {
+        self.cycles.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shared compiled-stream cache (hit/miss counters included).
+    pub fn streams(&self) -> &StreamCache {
+        &self.streams
+    }
+
+    /// Drops every cycle-memo entry while keeping the compiled streams —
+    /// the next repetition then measures the pure-replay path.
+    pub fn clear_cycle_memo(&self) {
+        self.cycle_map().clear();
+    }
+
+    /// Number of memoized `(stream, config)` cycle entries.
+    pub fn cycle_entries(&self) -> usize {
+        self.cycle_map().len()
+    }
+
+    /// Points resolved by running the compile closure (full simulation).
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Points resolved by replaying a cached stream.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Points resolved from the cycle memo without any simulation.
+    pub fn cycle_hits(&self) -> u64 {
+        self.cycle_hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Resolves one sweep point's cycle count through the memo:
+    ///
+    /// 1. compiled stream cached **and** cycles memoized under
+    ///    `config_hash` → return the memoized cycles (no simulation);
+    /// 2. stream cached but cycles unknown → replay it on a fresh engine
+    ///    from `replay_engine` (no re-emit, no re-decode, no re-verify);
+    /// 3. nothing cached → run `compile` (a recorded kernel run), cache
+    ///    the stream and its timing.
+    ///
+    /// All three paths return bit-identical cycle counts — the memo is a
+    /// pure performance transformation (pinned by the compiled-equivalence
+    /// tests and `fig9_dse`'s goldens).
+    pub fn cycles_for(
+        &self,
+        point_key: u64,
+        config_hash: u64,
+        compile: impl FnOnce() -> CompiledRun,
+        replay_engine: impl FnOnce() -> Engine,
+    ) -> u64 {
+        use std::sync::atomic::Ordering;
+        if let Some(stream) = self.streams.get(point_key) {
+            let memo_key = (stream.stream_hash(), config_hash);
+            let memoized = self.cycle_map().get(&memo_key).copied();
+            via_sim::telemetry::record_cycle_cache(memoized.is_some());
+            if let Some((cycles, instructions)) = memoized {
+                via_sim::telemetry::record_skipped_instructions(instructions);
+                self.cycle_hits.fetch_add(1, Ordering::Relaxed);
+                return cycles;
+            }
+            let mut e = replay_engine();
+            e.replay(&stream);
+            let stats = e.finish();
+            self.cycle_map()
+                .insert(memo_key, (stats.cycles, stats.instructions));
+            self.replays.fetch_add(1, Ordering::Relaxed);
+            return stats.cycles;
+        }
+        let run = compile();
+        let memo_key = (run.stream.stream_hash(), config_hash);
+        self.streams.insert(point_key, run.stream);
+        self.cycle_map()
+            .insert(memo_key, (run.cycles, run.instructions));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        run.cycles
+    }
+}
+
+/// The [`fnv1a64`] point key identifying one sweep point in a
+/// [`SweepMemo`]'s stream cache. Computable from names alone — a memoized
+/// repetition never has to materialize the point's matrix or inputs.
+pub fn point_key(kernel: &str, config: &str, matrix: &str, seed: u64) -> u64 {
+    fnv1a64(format!("{kernel}|{config}|{matrix}|{seed}").bytes())
+}
+
 /// Figure 9: performance of the SSPM design points, normalized to `4_2p`
-/// per kernel (paper §VI-A).
+/// per kernel (paper §VI-A). One-shot entry point: runs
+/// [`fig9_dse_with_memo`] over a fresh [`SweepMemo`].
 pub fn fig9_dse(scale: &ExperimentScale) -> Vec<DseRow> {
+    fig9_dse_with_memo(scale, &SweepMemo::new())
+}
+
+/// Figure 9 on the compiled path: every sweep point resolves through
+/// `memo` ([`SweepMemo::cycles_for`]), so repeated invocations over the
+/// same scale compile each point once, replay it once per timing config,
+/// and afterwards answer from the cycle memo without simulating. Results
+/// are bit-identical to the interpreted path at every memo state.
+pub fn fig9_dse_with_memo(scale: &ExperimentScale, memo: &SweepMemo) -> Vec<DseRow> {
     let spmv_suite = Suite::generate(scale);
     let spmm_scale = scale.spmm();
     let spmm_suite = Suite::generate(&spmm_scale);
@@ -34,20 +193,47 @@ pub fn fig9_dse(scale: &ExperimentScale) -> Vec<DseRow> {
     let mut per_config: Vec<(String, f64, f64, f64)> = Vec::new();
     for config in configs {
         let ctx = SimContext::with_via(config);
+        // Compile-phase context (recording on) and the timing-config hash
+        // all three kernels replay under (they all run on the VIA engine).
+        let rec = ctx.clone().with_recording();
+        let cfg_hash = via_sim::config_hash(&ctx.core.clone().with_custom_unit(), &ctx.mem);
+        let cname = config.name();
         // SpMV with CSB tuned to this config's scratchpad.
         let bs = config.csb_block_size();
         let spmv_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, scale.threads, |m| {
-            let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
-            let x = gen::dense_vector(m.csr.cols(), m.seed);
-            spmv::via_csb(&csb, &x, &ctx).cycles() as f64
+            memo.cycles_for(
+                point_key("spmv/via_csb", &cname, &m.name, m.seed),
+                cfg_hash,
+                || {
+                    let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+                    let x = gen::dense_vector(m.csr.cols(), m.seed);
+                    CompiledRun::from_run(spmv::via_csb(&csb, &x, &rec))
+                },
+                || ctx.via_engine(),
+            ) as f64
         });
         let spma_cycles: Vec<f64> = parallel_map(&spmv_suite.matrices, scale.threads, |m| {
-            let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
-            spma::via_cam(&m.csr, &b, &ctx).cycles() as f64
+            memo.cycles_for(
+                point_key("spma/via_cam", &cname, &m.name, m.seed),
+                cfg_hash,
+                || {
+                    let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+                    CompiledRun::from_run(spma::via_cam(&m.csr, &b, &rec))
+                },
+                || ctx.via_engine(),
+            ) as f64
         });
         let spmm_cycles: Vec<f64> = parallel_map(&spmm_suite.matrices, spmm_scale.threads, |m| {
-            let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
-            spmm::via_cam(&m.csr, &b, &ctx).cycles() as f64
+            memo.cycles_for(
+                point_key("spmm/via_cam", &cname, &m.name, m.seed),
+                cfg_hash,
+                || {
+                    let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2)
+                        .to_csc();
+                    CompiledRun::from_run(spmm::via_cam(&m.csr, &b, &rec))
+                },
+                || ctx.via_engine(),
+            ) as f64
         });
         per_config.push((
             config.name(),
@@ -605,6 +791,48 @@ mod tests {
         // Bigger scratchpads should not hurt.
         let big = rows.iter().find(|r| r.config == "16_4p").unwrap();
         assert!(big.spmv >= base.spmv * 0.9);
+    }
+
+    #[test]
+    fn fig9_memo_reps_are_bit_identical_and_skip_simulation() {
+        let scale = ExperimentScale {
+            matrices: 2,
+            min_rows: 64,
+            max_rows: 96,
+            density_range: (0.005, 0.02),
+            seed: 17,
+            threads: 2,
+        };
+        let memo = SweepMemo::new();
+        let first = fig9_dse_with_memo(&scale, &memo);
+        let points = memo.compiles();
+        assert!(points > 0);
+        assert_eq!(memo.replays(), 0, "rep 1 compiles, never replays");
+        assert_eq!(memo.cycle_hits(), 0);
+        assert_eq!(memo.streams().len() as u64, points);
+        // Configs that emit identical streams (e.g. differing only in a
+        // knob the kernel ignores) share one cycle entry — fewer entries
+        // than points is the memo working, not a miss.
+        let distinct = memo.cycle_entries() as u64;
+        assert!(distinct > 0 && distinct <= points);
+
+        // Rep 2 must answer every point from the cycle memo without
+        // simulating, at bit-identical results.
+        let second = fig9_dse_with_memo(&scale, &memo);
+        assert_eq!(second, first, "memo hits must be bit-identical");
+        assert_eq!(memo.compiles(), points, "rep 2 must not re-compile");
+        assert_eq!(memo.replays(), 0, "rep 2 must not re-simulate");
+        assert_eq!(memo.cycle_hits(), points, "rep 2 is pure memo hits");
+
+        // Dropping the cycle memo (but keeping the streams) forces the
+        // replay path — still bit-identical, still no re-compiles, and
+        // only one replay per distinct (stream, config) pair.
+        memo.clear_cycle_memo();
+        let third = fig9_dse_with_memo(&scale, &memo);
+        assert_eq!(third, first, "replay must be bit-identical");
+        assert_eq!(memo.compiles(), points);
+        assert_eq!(memo.replays(), distinct, "one replay per distinct stream");
+        assert_eq!(memo.cycle_hits(), points + (points - distinct));
     }
 
     #[test]

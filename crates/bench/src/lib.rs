@@ -25,11 +25,12 @@ pub mod report;
 pub mod suite;
 
 pub use campaign::{
-    aggregate_report, run_campaign, CampaignConfig, CampaignOutcome, Corpus, KernelKind, Mode,
-    QuarantineRow, ResultRow,
+    aggregate_report, run_campaign, CampaignConfig, CampaignOutcome, Corpus, CycleRow, KernelKind,
+    Mode, QuarantineRow, ResultRow,
 };
 pub use experiments::{
-    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse, stall_sweep,
-    table2_area, CategoryRow, DseRow, HistogramRow, SpmvFormatRow, StallRow, StencilRow,
+    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse,
+    fig9_dse_with_memo, point_key, stall_sweep, table2_area, CategoryRow, CompiledRun, DseRow,
+    HistogramRow, SpmvFormatRow, StallRow, StencilRow, SweepMemo,
 };
-pub use suite::{parallel_map, ExperimentScale, Suite};
+pub use suite::{default_threads, parallel_map, ExperimentScale, Suite};

@@ -3,8 +3,8 @@
 
 use std::path::PathBuf;
 use via_bench::campaign::{
-    canonical_sort, load_quarantine, load_results, quarantine_path, results_path, run_campaign,
-    CampaignConfig, CampaignError, Corpus, KernelKind, Mode,
+    canonical_sort, load_cycles, load_quarantine, load_results, quarantine_path, results_path,
+    run_campaign, CampaignConfig, CampaignError, Corpus, KernelKind, Mode,
 };
 use via_formats::gen::StratifiedConfig;
 
@@ -137,6 +137,43 @@ fn killed_campaign_resumes_to_byte_identical_store() {
     assert_eq!(third.completed, 0);
     assert_eq!(third.skipped, total);
     assert_eq!(canonical_store(resumed.path()), reference);
+}
+
+#[test]
+fn warm_cycle_memo_resumes_without_simulating() {
+    let corpus = small_corpus();
+    let total = 20;
+    let dir = Scratch::new("warm");
+    let cfg = config(dir.path());
+    let fresh = run_campaign(&cfg, &corpus, Mode::Fresh).expect("fresh run");
+    assert_eq!(fresh.completed, total);
+    assert!(fresh.simulated_cycles > 0);
+    assert_eq!(fresh.cycle_cache_hits, 0, "a cold store has nothing to hit");
+
+    let reference = canonical_store(dir.path());
+    let memo = load_cycles(dir.path()).expect("load cycles");
+    assert_eq!(
+        memo.len(),
+        total,
+        "every simulated job must leave a memo row"
+    );
+
+    // Blow away the result log but keep the cycle memo: the resume must
+    // rebuild every row from `cycles.jsonl` without simulating anything.
+    std::fs::remove_file(results_path(dir.path())).expect("drop results");
+    let warm = run_campaign(&cfg, &corpus, Mode::Resume).expect("warm resume");
+    assert_eq!(warm.completed, total);
+    assert_eq!(warm.cycle_cache_hits, total, "every job must be a memo hit");
+    assert_eq!(warm.simulated_cycles, 0, "a warm resume must not simulate");
+    assert_eq!(warm.skipped, 0);
+    assert_eq!(
+        canonical_store(dir.path()),
+        reference,
+        "memo-rebuilt rows must be byte-identical to simulated ones"
+    );
+
+    // Memo hits must not grow the memo itself.
+    assert_eq!(load_cycles(dir.path()).expect("reload cycles").len(), total);
 }
 
 #[test]

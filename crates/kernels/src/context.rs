@@ -1,7 +1,7 @@
 //! Shared simulation context and kernel result types.
 
 use via_core::{SspmEvents, ViaConfig};
-use via_sim::{CoreConfig, Engine, MemConfig, RunStats, StallReport};
+use via_sim::{CompiledStream, CoreConfig, Engine, MemConfig, RunStats, StallReport};
 
 /// Observability switches applied to every engine a [`SimContext`] builds.
 ///
@@ -48,6 +48,11 @@ pub struct SimContext {
     pub via: ViaConfig,
     /// Observability switches (off by default; timing-transparent).
     pub trace: TraceOptions,
+    /// Record the emitted instruction stream so the run doubles as the
+    /// *compile* phase of the compile/replay pipeline:
+    /// [`KernelRun::compiled`] then carries the [`CompiledStream`] for
+    /// later [`Engine::replay`]s. Timing-transparent (off by default).
+    pub record: bool,
 }
 
 impl SimContext {
@@ -65,12 +70,22 @@ impl SimContext {
         self
     }
 
+    /// This context with stream recording on (the emit-once entry point:
+    /// one recorded run compiles the kernel for any number of replays).
+    pub fn with_recording(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
     fn apply_trace(&self, mut e: Engine) -> Engine {
         if self.trace.stall_accounting {
             e.enable_stall_accounting();
         }
         if self.trace.events_capacity > 0 {
             e.enable_trace_events(self.trace.events_capacity);
+        }
+        if self.record {
+            e.enable_recording();
         }
         e
     }
@@ -110,6 +125,9 @@ pub struct KernelRun<T> {
     pub stall: Option<StallReport>,
     /// Chrome trace-event JSON ([`TraceOptions::events_capacity`] > 0 only).
     pub chrome: Option<String>,
+    /// The recorded instruction stream compiled for replay
+    /// ([`SimContext::with_recording`] only).
+    pub compiled: Option<CompiledStream>,
 }
 
 impl<T> KernelRun<T> {
@@ -121,6 +139,7 @@ impl<T> KernelRun<T> {
             sspm_events: None,
             stall: None,
             chrome: None,
+            compiled: None,
         }
     }
 
@@ -132,34 +151,40 @@ impl<T> KernelRun<T> {
             sspm_events: Some(events),
             stall: None,
             chrome: None,
+            compiled: None,
         }
     }
 
-    /// Finishes a baseline engine, harvesting the stall report and Chrome
-    /// trace (whichever switches were enabled) alongside the run statistics.
-    pub fn finish_baseline(output: T, e: Engine) -> Self {
+    /// Finishes a baseline engine, harvesting the stall report, Chrome
+    /// trace, and compiled stream (whichever switches were enabled)
+    /// alongside the run statistics.
+    pub fn finish_baseline(output: T, mut e: Engine) -> Self {
         let stall = e.stall_report();
         let chrome = e.chrome_trace();
+        let compiled = e.take_compiled();
         KernelRun {
             output,
             stats: e.finish(),
             sspm_events: None,
             stall,
             chrome,
+            compiled,
         }
     }
 
-    /// Finishes a VIA engine: stall report and Chrome trace (if enabled),
-    /// run statistics, and the SSPM event counters.
-    pub fn finish_via(output: T, e: Engine, events: SspmEvents) -> Self {
+    /// Finishes a VIA engine: stall report, Chrome trace, and compiled
+    /// stream (if enabled), run statistics, and the SSPM event counters.
+    pub fn finish_via(output: T, mut e: Engine, events: SspmEvents) -> Self {
         let stall = e.stall_report();
         let chrome = e.chrome_trace();
+        let compiled = e.take_compiled();
         KernelRun {
             output,
             stats: e.finish(),
             sspm_events: Some(events),
             stall,
             chrome,
+            compiled,
         }
     }
 
@@ -185,6 +210,20 @@ mod tests {
         let ctx = SimContext::default();
         assert_eq!(ctx.baseline_engine().core_config().custom_units, 0);
         assert_eq!(ctx.via_engine().core_config().custom_units, 1);
+    }
+
+    #[test]
+    fn recording_context_compiles_the_run() {
+        let ctx = SimContext::default().with_recording();
+        let mut e = ctx.baseline_engine();
+        assert!(e.recording_enabled());
+        e.scalar_op(via_sim::AluKind::Int, &[]);
+        let run = KernelRun::finish_baseline((), e);
+        let stream = run.compiled.expect("recording context compiles");
+        assert_eq!(stream.len(), 1);
+        // A default context stays on the plain path.
+        let plain = KernelRun::finish_baseline((), SimContext::default().baseline_engine());
+        assert!(plain.compiled.is_none());
     }
 
     #[test]

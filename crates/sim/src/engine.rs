@@ -22,6 +22,7 @@
 
 use crate::alloc::AddressSpace;
 use crate::calendar::Calendar;
+use crate::compile::{CompiledStream, StreamEvent};
 use crate::config::{CoreConfig, MemConfig};
 use crate::mem::Hierarchy;
 use crate::prog::{AluKind, Inst, Op, Reg, VecOpKind};
@@ -46,6 +47,13 @@ struct TracePoints {
     issue: u64,
     complete: u64,
     commit: u64,
+}
+
+/// An in-progress stream recording (see [`Engine::enable_recording`]).
+#[derive(Debug, Default)]
+struct Recording {
+    insts: Vec<Inst>,
+    events: Vec<(usize, StreamEvent)>,
 }
 
 /// The streaming out-of-order timing engine.
@@ -105,6 +113,16 @@ pub struct Engine {
     /// Whether the attached verifier should flush its reports to the
     /// thread-local capture sink (instead of panicking in debug builds).
     verify_capture: bool,
+    /// When recording ([`Engine::enable_recording`]), every pushed
+    /// instruction — and every region/marker call, positionally — is also
+    /// appended here, to be harvested as a [`CompiledStream`] by
+    /// [`Engine::take_compiled`].
+    recording: Option<Recording>,
+    /// The compile-time verify report of a stream fed through
+    /// [`Engine::replay`]; flushed to the capture sink instead of the (then
+    /// empty) streaming verifier's report, so captured diagnostics are
+    /// bit-identical between the interpreted and compiled paths.
+    replayed_report: Option<verify::Report>,
     stats: RunStats,
 }
 
@@ -144,6 +162,8 @@ impl Engine {
             trace: TraceState::default(),
             verifier,
             verify_capture,
+            recording: None,
+            replayed_report: None,
             core,
             stats: RunStats::default(),
         }
@@ -218,7 +238,19 @@ impl Engine {
                 }
             }
         }
+        let complete = self.push_core(&inst);
+        if let Some(rec) = &mut self.recording {
+            rec.insts.push(inst);
+        }
+        complete
+    }
 
+    /// The timing model proper: everything [`Engine::push`] does after the
+    /// verifier check. [`Engine::replay`] drives this directly for every
+    /// pre-decoded instruction of a [`CompiledStream`], so interpreted and
+    /// replayed runs share one code path and produce bit-identical cycles,
+    /// stall attribution, and statistics.
+    fn push_core(&mut self, inst: &Inst) -> u64 {
         // --- via-trace: pre-push snapshots ------------------------------
         // One branch when tracing is off; none of this feeds timing.
         let tracing = self.trace.enabled();
@@ -618,6 +650,10 @@ impl Engine {
     /// [`Engine::region_end`]. Regions nest; a no-op while tracing is off,
     /// so kernels label phases unconditionally.
     pub fn region(&mut self, name: &'static str) {
+        if let Some(rec) = &mut self.recording {
+            rec.events
+                .push((rec.insts.len(), StreamEvent::RegionBegin(name)));
+        }
         if !self.trace.enabled() {
             return;
         }
@@ -633,6 +669,9 @@ impl Engine {
     /// Leaves the innermost open region (no-op at top level or while
     /// tracing is off).
     pub fn region_end(&mut self) {
+        if let Some(rec) = &mut self.recording {
+            rec.events.push((rec.insts.len(), StreamEvent::RegionEnd));
+        }
         if !self.trace.enabled() {
             return;
         }
@@ -652,6 +691,10 @@ impl Engine {
     /// Records an instant marker (e.g. an SSPM mode transition) at the
     /// current commit frontier; a no-op unless event tracing is on.
     pub fn trace_marker(&mut self, name: &'static str) {
+        if let Some(rec) = &mut self.recording {
+            rec.events
+                .push((rec.insts.len(), StreamEvent::Marker(name)));
+        }
         let at = self.last_commit;
         if let Some(ring) = &mut self.trace.events {
             ring.record(TraceEvent::Marker { name, at });
@@ -719,13 +762,115 @@ impl Engine {
         }
     }
 
-    /// Flushes the attached verifier's report to the thread-local capture
-    /// sink (when capture is on) and clears its streaming state.
+    // ---- compile / replay (via-sim::compile) ---------------------------
+
+    /// Starts recording the pushed instruction stream so it can be
+    /// harvested with [`Engine::take_compiled`]. Also attaches a verifier
+    /// if none is present (release builds without capture), so the
+    /// compiled stream's one-shot verify report carries the same
+    /// diagnostics — including externally routed ones like `via-core`'s
+    /// SSPM checks — that a debug interpreted run would see.
+    pub fn enable_recording(&mut self) {
+        if self.verifier.is_none() {
+            self.verifier = Some(Box::new(Verifier::new(VerifyConfig::from_core(&self.core))));
+        }
+        self.recording = Some(Recording::default());
+    }
+
+    /// Whether the engine is recording for [`Engine::take_compiled`].
+    pub fn recording_enabled(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Harvests the recorded stream as a [`CompiledStream`] (turning
+    /// recording off), or `None` if [`Engine::enable_recording`] was never
+    /// called. Call before [`Engine::finish`]/[`Engine::reset`]. The
+    /// verify report is *cloned*, not taken: a capturing recorded run
+    /// still flushes its own report exactly like an interpreted one.
+    pub fn take_compiled(&mut self) -> Option<CompiledStream> {
+        let rec = self.recording.take()?;
+        let report = self
+            .verifier
+            .as_deref()
+            .map(|v| v.report().clone())
+            .unwrap_or_default();
+        Some(CompiledStream::from_recording(
+            rec.insts, rec.events, report,
+        ))
+    }
+
+    /// Replays a compiled stream through the timing model: a tight loop
+    /// over the pre-decoded instructions with no verifier work (the stream
+    /// was verified once at compile). Returns the last instruction's
+    /// completion cycle (0 for an empty stream). Cycles, stall attribution
+    /// and statistics are bit-identical to pushing the same instructions.
+    ///
+    /// The stream's compile-time verify report stands in for the streaming
+    /// verifier's: under capture it is flushed verbatim at
+    /// [`Engine::finish`]/[`Engine::reset`], and in debug builds without
+    /// capture an error-carrying stream panics here, mirroring
+    /// [`Engine::push`]. One stream per run — reset between replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds (without capture) if `stream`'s verify
+    /// report contains an error-severity diagnostic.
+    pub fn replay(&mut self, stream: &CompiledStream) -> u64 {
+        if cfg!(debug_assertions) && !self.verify_capture {
+            if let Some(d) = stream
+                .verify()
+                .diags
+                .iter()
+                .find(|d| d.severity() == Severity::Error)
+            {
+                panic!("via-verify rejected the compiled stream:\n{}", d.render());
+            }
+        }
+        self.replayed_report = Some(stream.verify().clone());
+        let mut last = 0;
+        let mut events = stream.events().iter().peekable();
+        for (i, inst) in stream.insts().iter().enumerate() {
+            while let Some(&&(pos, event)) = events.peek() {
+                if pos > i {
+                    break;
+                }
+                events.next();
+                self.apply_stream_event(event);
+            }
+            last = self.push_core(inst);
+        }
+        for &(_, event) in events {
+            self.apply_stream_event(event);
+        }
+        crate::telemetry::record_replayed(stream.len() as u64);
+        last
+    }
+
+    /// Re-issues a recorded region/marker call at its stream position, so
+    /// replayed stall attribution and event traces carry the same region
+    /// structure as the interpreted run.
+    fn apply_stream_event(&mut self, event: StreamEvent) {
+        match event {
+            StreamEvent::RegionBegin(name) => self.region(name),
+            StreamEvent::RegionEnd => self.region_end(),
+            StreamEvent::Marker(name) => self.trace_marker(name),
+        }
+    }
+
+    /// Flushes the run's verify report to the thread-local capture sink
+    /// (when capture is on) and clears the streaming state. A replayed
+    /// run's report is its stream's compile-time report; otherwise it is
+    /// whatever the attached verifier accumulated.
     fn flush_verifier(&mut self) {
-        if let Some(v) = self.verifier.as_deref_mut() {
-            if self.verify_capture {
+        let replayed = self.replayed_report.take();
+        if self.verify_capture {
+            if let Some(report) = replayed {
+                verify::submit_report(report);
+            } else if let Some(v) = self.verifier.as_deref_mut() {
                 verify::submit_report(v.take_report());
             }
+        }
+        if let Some(v) = self.verifier.as_deref_mut() {
             v.reset();
         }
     }
@@ -733,7 +878,8 @@ impl Engine {
     /// Returns the engine to its just-constructed state while keeping its
     /// internal allocations (register-ready table, ROB window, cache set
     /// storage), so a sweep can reuse one engine across many runs instead
-    /// of reconstructing per run. Timeline recording is turned off.
+    /// of reconstructing per run. Timeline and stream recording are turned
+    /// off.
     pub fn reset(&mut self) {
         crate::telemetry::record_instructions(self.stats.instructions);
         self.flush_verifier();
@@ -759,6 +905,7 @@ impl Engine {
         self.predictor.clear();
         self.pushes_since_prune = 0;
         self.timeline = None;
+        self.recording = None;
         // Trace state must not leak between back-to-back runs: zero the
         // accumulators, empty the ring, and unwind the region stack, while
         // keeping the enabled flags so a reused engine keeps tracing.
@@ -1245,6 +1392,115 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].warning_count(), 1);
         assert!(reports[0].is_clean(), "warnings are not violations");
+    }
+
+    fn mixed_workload(e: &mut Engine) {
+        for i in 0..200u64 {
+            let r = e.load(0x1000 + (i * 192) % 4096, 8);
+            let s = e.scalar_op(AluKind::FpAdd, &[r]);
+            e.vec_op(VecOpKind::Fma, &[s]);
+            e.branch(i % 7 != 0, 3, &[s]);
+            if i % 16 == 0 {
+                let addrs: Vec<u64> = (0..4).map(|k| 0x8000 + ((i + k) * 72) % 2048).collect();
+                let dst = e.fresh_reg();
+                e.push(Inst::gather(addrs, 8, &[s], dst));
+            }
+        }
+    }
+
+    #[test]
+    fn recording_does_not_perturb_timing() {
+        let mut plain = engine();
+        mixed_workload(&mut plain);
+        let mut recorded = engine();
+        recorded.enable_recording();
+        assert!(recorded.recording_enabled());
+        mixed_workload(&mut recorded);
+        let stream = recorded.take_compiled().expect("recording was on");
+        assert!(!recorded.recording_enabled());
+        assert_eq!(stream.len() as u64, 200 * 4 + 13);
+        assert_eq!(plain.finish(), recorded.finish());
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_interpretation() {
+        let mut recorded = engine();
+        recorded.enable_stall_accounting();
+        recorded.enable_recording();
+        mixed_workload(&mut recorded);
+        let stream = recorded.take_compiled().expect("recording was on");
+        let recorded_stalls = recorded.stall_report();
+        let recorded_stats = recorded.finish();
+
+        let mut replayer = engine();
+        replayer.enable_stall_accounting();
+        let last = replayer.replay(&stream);
+        assert_eq!(replayer.stall_report(), recorded_stalls);
+        let replayed_stats = replayer.finish();
+        assert_eq!(replayed_stats, recorded_stats);
+        assert!(last <= replayed_stats.cycles);
+    }
+
+    #[test]
+    fn replay_flushes_the_compile_time_report_under_capture() {
+        let _guard = verify::capture_guard();
+        let mut recorded = engine();
+        recorded.enable_recording();
+        // Undefined source register: captured as VIA001 instead of a panic.
+        recorded.push(Inst::scalar(AluKind::Int, &[42], None));
+        let stream = recorded.take_compiled().expect("recording was on");
+        let _ = recorded.finish();
+        let from_recording = verify::drain_captured();
+        assert_eq!(from_recording.len(), 1);
+
+        let mut replayer = engine();
+        replayer.replay(&stream);
+        let _ = replayer.finish();
+        let from_replay = verify::drain_captured();
+        assert_eq!(from_replay.len(), 1);
+        // Bit-identical diagnostics across the two paths, and both match
+        // the stream's one-shot report.
+        assert_eq!(from_replay, from_recording);
+        assert_eq!(&from_replay[0], stream.verify());
+        assert_eq!(from_replay[0].error_count(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "VIA001")]
+    fn debug_replay_panics_on_error_carrying_stream() {
+        use crate::compile::CompiledStream;
+        use crate::verify::Program;
+        // Compile offline (no engine, no capture): the error lands in the
+        // stream's report rather than panicking.
+        let prog: Program = vec![Inst::scalar(AluKind::Int, &[42], None)]
+            .into_iter()
+            .collect();
+        let stream =
+            CompiledStream::compile(prog, &VerifyConfig::from_core(&CoreConfig::default()));
+        assert_eq!(stream.verify().error_count(), 1);
+        engine().replay(&stream);
+    }
+
+    #[test]
+    fn reset_clears_replay_state_between_runs() {
+        let _guard = verify::capture_guard();
+        let mut recorded = engine();
+        recorded.enable_recording();
+        recorded.scalar_op(AluKind::Int, &[]);
+        let stream = recorded.take_compiled().expect("recording was on");
+        let _ = recorded.finish();
+
+        let mut e = engine();
+        e.replay(&stream);
+        e.reset();
+        // A fresh interpreted run after the reset flushes its own (clean)
+        // streaming report, not the stale replayed one.
+        e.push(Inst::scalar(AluKind::Int, &[7], None));
+        let _ = e.finish();
+        let reports = verify::drain_captured();
+        assert_eq!(reports.len(), 3); // recorded run + replay + interpreted
+        assert_eq!(reports[2].error_count(), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod alloc;
 pub mod calendar;
+pub mod compile;
 pub mod config;
 pub mod engine;
 pub mod mem;
@@ -54,11 +55,12 @@ pub mod trace;
 pub mod verify;
 
 pub use alloc::{AddressSpace, Region};
+pub use compile::{config_hash, fnv1a64, stream_hash, CompiledStream, StreamCache};
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use engine::Engine;
 pub use prog::{AluKind, Inst, Op, Reg, VecOpKind};
 pub use stats::{CacheStats, RunStats};
-pub use telemetry::{simulated_instructions, ThroughputProbe};
+pub use telemetry::{simulated_instructions, TelemetrySnapshot, ThroughputProbe};
 pub use timeline::{Timeline, TimelineEntry};
 pub use trace::{MemLevel, OpClass, RegionStalls, StallCause, StallReport, TraceEvent};
 pub use verify::{Verifier, VerifyConfig};

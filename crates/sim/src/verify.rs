@@ -11,7 +11,7 @@
 //! * [`Verifier`] — a streaming checker with O(1) amortized work per
 //!   instruction. The [`Engine`](crate::Engine) runs one over every pushed
 //!   instruction in debug builds (panicking on the first error), and
-//!   attaches one in release builds when [capture](enable_capture) is on,
+//!   attaches one in release builds when [capture](capture_guard) is on,
 //!   so the `verify_programs` binary can sweep every kernel × format with
 //!   the shipping optimized code.
 //! * [`Program`] + [`verify_program`] — an offline API over a recorded

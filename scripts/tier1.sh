@@ -43,6 +43,9 @@ cargo test -p via-kernels --release -q --test golden_cycles
 echo "==> golden stall accounting"
 cargo test -p via-kernels --release -q --test golden_stalls
 
+echo "==> compiled-vs-interpreted golden equivalence"
+cargo test -p via-kernels --release -q --test compiled_equivalence
+
 echo "==> verify_programs --quick (via-verify static sweep)"
 cargo run --release -p via-bench --bin verify_programs -- --quick
 
