@@ -1,7 +1,8 @@
 //! Figure 9: design-space exploration of SSPM size and ports.
 
 use via_bench::report::{banner, render_table, speedup};
-use via_bench::{fig9_dse, ExperimentScale};
+use via_bench::{fig9_bound_audit, fig9_dse_with_memo, ExperimentScale, SweepMemo};
+use via_sim::AnalysisCache;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +30,8 @@ fn main() {
         eff.seed
     );
     let before = via_sim::telemetry::snapshot();
-    let rows = fig9_dse(&eff);
+    let memo = SweepMemo::new();
+    let rows = fig9_dse_with_memo(&eff, &memo);
     let header: Vec<String> = ["config", "SpMV (CSB)", "SpMA", "SpMM"]
         .iter()
         .map(|s| s.to_string())
@@ -55,6 +57,36 @@ fn main() {
         })
         .collect();
     print!("{}", render_table(&header, &table));
+
+    // Post-sweep static-bound audit over the memoized streams: how tight
+    // the analyzer's cycle lower bound is per kernel, and how many sweep
+    // points a repetition could prune before simulation because their
+    // lower bound already exceeds the per-matrix winner's measured cycles.
+    let cache = AnalysisCache::default();
+    let audit = fig9_bound_audit(&eff, &memo, &cache);
+    let audit_header: Vec<String> = ["kernel", "points", "bound tightness", "prunable", "unsound"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let audit_table: Vec<Vec<String>> = audit
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.points.to_string(),
+                format!("{:.3}x", r.tightness()),
+                format!("{}/{}", r.prunable, r.points),
+                r.violations.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nstatic-bound audit (pre-simulation pruning filter):");
+    print!("{}", render_table(&audit_header, &audit_table));
+    if audit.iter().any(|r| r.violations > 0) {
+        eprintln!("fig9_dse: static bound exceeded simulated cycles — model unsound");
+        std::process::exit(1);
+    }
+
     // The DSE sweep runs on the compile/replay path (streams recorded
     // once, identical streams deduplicated across configs) — the counters
     // below make that visible in CI logs.

@@ -113,6 +113,35 @@ fn main() {
     println!("\nstall attribution ({} matrices):", stall_scale.matrices);
     print!("{}", stall_table(&stall_sweep(&stall_scale)));
 
+    // Static-analysis sharpness: the analyzer's cycle lower bound against
+    // one representative recorded run per kernel (closer to 1.0 = the
+    // dataflow/port model explains more of the measured time).
+    let tightness = experiments::kernel_bound_tightness(scale.seed);
+    let t_header: Vec<String> = [
+        "kernel",
+        "static bound",
+        "simulated",
+        "tightness",
+        "dead stores",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let t_rows: Vec<Vec<String>> = tightness
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.bound_cycles.to_string(),
+                r.simulated_cycles.to_string(),
+                format!("{:.3}x", r.tightness()),
+                r.dead_stores.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nstatic cycle lower bound (per-kernel tightness):");
+    print!("{}", render_table(&t_header, &t_rows));
+
     println!(
         "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
          (of {})",

@@ -49,6 +49,11 @@ fn main() {
         print!("{}", r.report.render(top));
     }
 
+    // Static cycle lower bound on one representative recorded via_csb run:
+    // the fraction of the measured time the dataflow/port model already
+    // explains — the rest is what the stall columns above attribute.
+    print_static_bound(&scale);
+
     // Compile/replay pipeline counters for the sweep (all zero when the
     // sweep ran fully interpreted, as stall_sweep does today).
     println!(
@@ -59,6 +64,32 @@ fn main() {
     if let Some(path) = chrome_path {
         write_chrome_trace(&scale, &path);
     }
+}
+
+/// Analyzes one representative recorded VIA-CSB run (the first matrix of
+/// the suite) and prints the static cycle lower bound next to the
+/// simulated count.
+fn print_static_bound(scale: &ExperimentScale) {
+    let suite = Suite::generate(scale);
+    let m = suite.matrices.first().expect("non-empty suite");
+    let ctx = SimContext::default().with_recording();
+    let csb = Csb::from_csr(&m.csr, ctx.via.csb_block_size()).expect("power-of-two block");
+    let x = gen::dense_vector(m.csr.cols(), m.seed);
+    let run = spmv::via_csb(&csb, &x, &ctx);
+    let stream = run.compiled.as_ref().expect("recording context compiles");
+    let report = via_sim::analyze(stream, &ctx.analyze_config(&run));
+    println!(
+        "\nstatic bound (spmv/via_csb, {}x{}, {} nnz): {} of {} simulated \
+         cycles ({:.3}x tight; replica {}, dram term {})",
+        m.csr.rows(),
+        m.csr.cols(),
+        m.csr.nnz(),
+        report.bound.lower_cycles,
+        run.stats.cycles,
+        report.bound.tightness(run.stats.cycles),
+        report.bound.replica_cycles,
+        report.bound.dram_term,
+    );
 }
 
 /// Writes a Chrome trace of one representative VIA-CSB run (the first

@@ -4,24 +4,111 @@
 //! report capture enabled, so every engine the kernels construct verifies
 //! its instruction stream (def-before-use, structural lints, gather/scatter
 //! ordering) and the `ViaUnit` mode checker validates the SSPM direct/CAM
-//! interleaving. Diagnostics are printed rustc-style on stderr and the
-//! machine-readable summary (per-target counts plus every violation with
-//! its instruction index) is written as JSON.
+//! interleaving. Every run is recorded and its [`via_sim::CompiledStream`] is fed
+//! through the whole-stream analyzer (`via_sim::analyze`): the static
+//! cycle lower bound is asserted against the simulated cycle count, every
+//! liveness/alias finding is re-proved by its brute-force oracle, and the
+//! per-target analysis summary (dead writes/stores, bound tightness, CAM
+//! index-table occupancy) lands in the JSON next to the verifier counts.
+//! Diagnostics are printed rustc-style on stderr and the machine-readable
+//! summary (per-target counts plus every violation with its instruction
+//! index) is written as JSON.
 //!
 //! ```sh
 //! cargo run --release -p via-bench --bin verify_programs [-- --quick] [--out path.json]
 //! ```
 //!
-//! Exit status is 1 if any error-severity diagnostic is produced — the
-//! tier-1 gate runs this with `--quick`.
+//! Exit status is 1 if any error-severity diagnostic is produced, if any
+//! static bound exceeds its simulated cycle count, or if any analyzer
+//! finding is refuted by its oracle — the tier-1 gate runs this with
+//! `--quick`.
 
 use via_bench::{ExperimentScale, Suite};
 use via_core::ViaConfig;
 use via_formats::{gen, Csb, SellCSigma, Spc5};
 use via_kernels::spmspv::SparseVector;
-use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil, SimContext};
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil, KernelRun, SimContext};
 use via_rng::StdRng;
 use via_sim::verify::{self, Diag, Severity};
+use via_sim::{analyze, AnalysisCache};
+
+/// Aggregated static-analysis outcome over one target's recorded streams.
+#[derive(Default)]
+struct AnalysisStats {
+    streams: usize,
+    instructions: u64,
+    dead_writes: u64,
+    dead_stores: u64,
+    dead_store_bytes: u64,
+    alias_conflicts: u64,
+    alias_dropped: u64,
+    cam_runs: usize,
+    cam_proven: usize,
+    cam_insert_upper_max: u64,
+    bound_sum: u64,
+    cycles_sum: u64,
+    /// Bound violations or oracle refutations — any entry fails the sweep.
+    failures: Vec<String>,
+}
+
+impl AnalysisStats {
+    /// Mean bound tightness: static lower bound as a fraction of the
+    /// simulated cycles, summed over the target's runs (1.0 = exact).
+    fn tightness(&self) -> f64 {
+        if self.cycles_sum == 0 {
+            0.0
+        } else {
+            self.bound_sum as f64 / self.cycles_sum as f64
+        }
+    }
+}
+
+/// Runs the analyzer (through the shared memo cache) over one recorded
+/// kernel run and folds the report into per-target statistics.
+struct Analyzer<'a> {
+    cache: &'a AnalysisCache,
+    ctx: &'a SimContext,
+    stats: AnalysisStats,
+}
+
+impl Analyzer<'_> {
+    fn run<T>(&mut self, name: &str, run: &KernelRun<T>) {
+        let stream = run
+            .compiled
+            .as_ref()
+            .expect("verify_programs contexts record every run");
+        let is_via = run.sspm_events.is_some();
+        let cfg = self.ctx.analyze_config(run);
+        let report = self.cache.get_or_analyze(stream, &cfg);
+
+        let s = &mut self.stats;
+        s.streams += 1;
+        s.instructions += report.instructions;
+        s.dead_writes += report.dead_writes;
+        s.dead_stores += report.dead_stores;
+        s.dead_store_bytes += report.dead_store_bytes;
+        s.alias_conflicts += report.alias_conflicts;
+        s.alias_dropped += report.alias_dropped;
+        if is_via {
+            s.cam_runs += 1;
+            s.cam_insert_upper_max = s.cam_insert_upper_max.max(report.cam.insert_upper);
+            if report.cam.proven_no_overflow == Some(true) {
+                s.cam_proven += 1;
+            }
+        }
+        s.bound_sum += report.bound.lower_cycles;
+        s.cycles_sum += run.stats.cycles;
+        if report.bound.lower_cycles > run.stats.cycles {
+            s.failures.push(format!(
+                "{name}: static bound {} > simulated {} (terms: {:?})",
+                report.bound.lower_cycles, run.stats.cycles, report.bound
+            ));
+        }
+        if let Err(e) = analyze::validate(stream, &report) {
+            s.failures.push(format!("{name}: {e}"));
+        }
+    }
+}
 
 /// Aggregated verification outcome of one kernel-family target.
 struct TargetOutcome {
@@ -29,6 +116,7 @@ struct TargetOutcome {
     engines: usize,
     instructions: u64,
     diags: Vec<Diag>,
+    analysis: AnalysisStats,
 }
 
 impl TargetOutcome {
@@ -46,10 +134,23 @@ impl TargetOutcome {
 
 /// Runs `run` with report capture on and folds every engine's report into
 /// one labeled outcome. Kernels must run on this thread — capture is
-/// thread-local by design (parallel sweeps would interleave reports).
-fn check(name: &str, outcomes: &mut Vec<TargetOutcome>, run: impl FnOnce()) {
+/// thread-local by design (parallel sweeps would interleave reports). The
+/// closure receives an [`Analyzer`] so every recorded run is pushed
+/// through the static-analysis passes as it completes.
+fn check(
+    name: &str,
+    outcomes: &mut Vec<TargetOutcome>,
+    cache: &AnalysisCache,
+    ctx: &SimContext,
+    run: impl FnOnce(&mut Analyzer),
+) {
     let guard = verify::capture_guard();
-    run();
+    let mut analyzer = Analyzer {
+        cache,
+        ctx,
+        stats: AnalysisStats::default(),
+    };
+    run(&mut analyzer);
     let reports = verify::drain_captured();
     drop(guard);
     let mut outcome = TargetOutcome {
@@ -57,21 +158,29 @@ fn check(name: &str, outcomes: &mut Vec<TargetOutcome>, run: impl FnOnce()) {
         engines: reports.len(),
         instructions: 0,
         diags: Vec::new(),
+        analysis: analyzer.stats,
     };
     for report in reports {
         outcome.instructions += report.instructions;
         outcome.diags.extend(report.diags);
     }
     eprintln!(
-        "  {:<22} {:>4} engines  {:>9} instructions  {} errors, {} warnings",
+        "  {:<22} {:>4} engines  {:>9} instructions  {} errors, {} warnings  \
+         | bound {:.3}x, {} dead stores, {} alias drops",
         outcome.name,
         outcome.engines,
         outcome.instructions,
         outcome.errors(),
-        outcome.warnings()
+        outcome.warnings(),
+        outcome.analysis.tightness(),
+        outcome.analysis.dead_stores,
+        outcome.analysis.alias_dropped,
     );
     for diag in &outcome.diags {
         eprintln!("{}", diag.render());
+    }
+    for failure in &outcome.analysis.failures {
+        eprintln!("analysis failure: {failure}");
     }
     outcomes.push(outcome);
 }
@@ -133,9 +242,13 @@ fn main() {
     let suite = Suite::generate(&scale);
     // Two SSPM geometries: the paper's default 16 KB point, and the small
     // 4 KB point that forces the kernels' segmentation/multi-pass paths.
+    // Both record, so every stream is also statically analyzed.
     let ctxs = [
-        ("16k2p", SimContext::default()),
-        ("4k2p", SimContext::with_via(ViaConfig::new(4, 2))),
+        ("16k2p", SimContext::default().with_recording()),
+        (
+            "4k2p",
+            SimContext::with_via(ViaConfig::new(4, 2)).with_recording(),
+        ),
     ];
     eprintln!(
         "verify_programs: {} matrices (rows {}..{}), {} SSPM geometries{}",
@@ -147,99 +260,180 @@ fn main() {
     );
 
     let mut outcomes: Vec<TargetOutcome> = Vec::new();
+    // Shared across targets and geometries: baseline kernels produce the
+    // same stream under both SSPM geometries, so the memo collapses them.
+    let cache = AnalysisCache::default();
 
     for (cfg_name, ctx) in &ctxs {
         let bs = ctx.via.csb_block_size();
         let vl = ctx.vl();
-        check(&format!("spmv/{cfg_name}"), &mut outcomes, || {
-            for m in &suite.matrices {
-                let x = gen::dense_vector(m.csr.cols(), m.seed);
-                let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
-                let spc5_m = Spc5::from_csr(&m.csr, vl).expect("valid block height");
-                let sell_m = SellCSigma::from_csr(&m.csr, vl, (vl * 8).min(m.csr.rows().max(vl)))
-                    .unwrap_or_else(|_| SellCSigma::from_csr(&m.csr, vl, vl).expect("c=sigma"));
-                spmv::scalar_csr(&m.csr, &x, ctx);
-                spmv::csr_vec(&m.csr, &x, ctx);
-                spmv::via_csr(&m.csr, &x, ctx);
-                spmv::spc5(&spc5_m, &x, ctx);
-                spmv::via_spc5(&spc5_m, &x, ctx);
-                spmv::sell(&sell_m, &x, ctx);
-                spmv::via_sell(&sell_m, &x, ctx);
-                spmv::csb_software(&csb, &x, ctx);
-                spmv::csb_software_vec(&csb, &x, ctx);
-                spmv::via_csb(&csb, &x, ctx);
-            }
-        });
-        check(&format!("spma/{cfg_name}"), &mut outcomes, || {
-            for m in &suite.matrices {
-                let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
-                spma::merge_csr(&m.csr, &b, ctx);
-                spma::via_cam(&m.csr, &b, ctx);
-            }
-        });
-        check(&format!("spmm/{cfg_name}"), &mut outcomes, || {
-            // SpMM cost is quadratic in rows — cap like ExperimentScale::spmm.
-            for m in suite.matrices.iter().filter(|m| m.csr.rows() <= 384) {
-                let b =
-                    gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2).to_csc();
-                spmm::inner_product(&m.csr, &b, ctx);
-                spmm::via_cam(&m.csr, &b, ctx);
-                let b2 = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 3);
-                spmm::gustavson(&m.csr, &b2, ctx);
-            }
-        });
-        check(&format!("spmspv/{cfg_name}"), &mut outcomes, || {
-            for (n, seed) in [(200usize, 31u64), (600, 33)] {
-                let a = gen::rmat(n, n * 6, seed).to_csc();
-                let x = frontier(n, n / 12, seed ^ 1);
-                spmspv::spa_dense(&a, &x, ctx);
-                spmspv::via_cam(&a, &x, ctx);
-            }
-        });
-        check(&format!("histogram/{cfg_name}"), &mut outcomes, || {
-            let n = if quick { 400 } else { 1500 };
-            for (keys, nbins) in [
-                (uniform_keys(n, 256, 5), 256usize),
-                (uniform_keys(n, 2048, 6), 2048),
-                (skewed_keys(n, 256, 7), 256),
-            ] {
-                histogram::scalar(&keys, nbins, ctx);
-                histogram::vector_cd(&keys, nbins, ctx);
-                histogram::via(&keys, nbins, ctx);
-            }
-        });
-        check(&format!("stencil/{cfg_name}"), &mut outcomes, || {
-            let filter = stencil::gaussian4();
-            let sides: &[usize] = if quick { &[32] } else { &[32, 64] };
-            for &side in sides {
-                let image: Vec<f64> = gen::dense_vector(side * side, side as u64)
-                    .into_iter()
-                    .map(f64::abs)
-                    .collect();
-                stencil::scalar(&image, side, side, &filter, ctx);
-                stencil::vector(&image, side, side, &filter, ctx);
-                stencil::via(&image, side, side, &filter, ctx);
-            }
-        });
+        check(
+            &format!("spmv/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                for m in &suite.matrices {
+                    let x = gen::dense_vector(m.csr.cols(), m.seed);
+                    let csb = Csb::from_csr(&m.csr, bs).expect("power-of-two block");
+                    let spc5_m = Spc5::from_csr(&m.csr, vl).expect("valid block height");
+                    let sell_m =
+                        SellCSigma::from_csr(&m.csr, vl, (vl * 8).min(m.csr.rows().max(vl)))
+                            .unwrap_or_else(|_| {
+                                SellCSigma::from_csr(&m.csr, vl, vl).expect("c=sigma")
+                            });
+                    an.run("spmv::scalar_csr", &spmv::scalar_csr(&m.csr, &x, ctx));
+                    an.run("spmv::csr_vec", &spmv::csr_vec(&m.csr, &x, ctx));
+                    an.run("spmv::via_csr", &spmv::via_csr(&m.csr, &x, ctx));
+                    an.run("spmv::spc5", &spmv::spc5(&spc5_m, &x, ctx));
+                    an.run("spmv::via_spc5", &spmv::via_spc5(&spc5_m, &x, ctx));
+                    an.run("spmv::sell", &spmv::sell(&sell_m, &x, ctx));
+                    an.run("spmv::via_sell", &spmv::via_sell(&sell_m, &x, ctx));
+                    an.run("spmv::csb_software", &spmv::csb_software(&csb, &x, ctx));
+                    an.run(
+                        "spmv::csb_software_vec",
+                        &spmv::csb_software_vec(&csb, &x, ctx),
+                    );
+                    an.run("spmv::via_csb", &spmv::via_csb(&csb, &x, ctx));
+                }
+            },
+        );
+        check(
+            &format!("spma/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                for m in &suite.matrices {
+                    let b = gen::perturb_structure(&m.csr, 0.6, 0.5, m.seed ^ 1);
+                    an.run("spma::merge_csr", &spma::merge_csr(&m.csr, &b, ctx));
+                    an.run("spma::via_cam", &spma::via_cam(&m.csr, &b, ctx));
+                }
+            },
+        );
+        check(
+            &format!("spmm/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                // SpMM cost is quadratic in rows — cap like ExperimentScale::spmm.
+                for m in suite.matrices.iter().filter(|m| m.csr.rows() <= 384) {
+                    let b = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 2)
+                        .to_csc();
+                    an.run("spmm::inner_product", &spmm::inner_product(&m.csr, &b, ctx));
+                    an.run("spmm::via_cam", &spmm::via_cam(&m.csr, &b, ctx));
+                    let b2 = gen::uniform(m.csr.cols(), m.csr.cols(), m.csr.density(), m.seed ^ 3);
+                    an.run("spmm::gustavson", &spmm::gustavson(&m.csr, &b2, ctx));
+                }
+            },
+        );
+        check(
+            &format!("spmspv/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                for (n, seed) in [(200usize, 31u64), (600, 33)] {
+                    let a = gen::rmat(n, n * 6, seed).to_csc();
+                    let x = frontier(n, n / 12, seed ^ 1);
+                    an.run("spmspv::spa_dense", &spmspv::spa_dense(&a, &x, ctx));
+                    an.run("spmspv::via_cam", &spmspv::via_cam(&a, &x, ctx));
+                }
+            },
+        );
+        check(
+            &format!("histogram/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                let n = if quick { 400 } else { 1500 };
+                for (keys, nbins) in [
+                    (uniform_keys(n, 256, 5), 256usize),
+                    (uniform_keys(n, 2048, 6), 2048),
+                    (skewed_keys(n, 256, 7), 256),
+                ] {
+                    an.run("histogram::scalar", &histogram::scalar(&keys, nbins, ctx));
+                    an.run(
+                        "histogram::vector_cd",
+                        &histogram::vector_cd(&keys, nbins, ctx),
+                    );
+                    an.run("histogram::via", &histogram::via(&keys, nbins, ctx));
+                }
+            },
+        );
+        check(
+            &format!("stencil/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                let filter = stencil::gaussian4();
+                let sides: &[usize] = if quick { &[32] } else { &[32, 64] };
+                for &side in sides {
+                    let image: Vec<f64> = gen::dense_vector(side * side, side as u64)
+                        .into_iter()
+                        .map(f64::abs)
+                        .collect();
+                    an.run(
+                        "stencil::scalar",
+                        &stencil::scalar(&image, side, side, &filter, ctx),
+                    );
+                    an.run(
+                        "stencil::vector",
+                        &stencil::vector(&image, side, side, &filter, ctx),
+                    );
+                    an.run(
+                        "stencil::via",
+                        &stencil::via(&image, side, side, &filter, ctx),
+                    );
+                }
+            },
+        );
     }
 
     let total_instructions: u64 = outcomes.iter().map(|o| o.instructions).sum();
     let errors: usize = outcomes.iter().map(TargetOutcome::errors).sum();
     let warnings: usize = outcomes.iter().map(TargetOutcome::warnings).sum();
+    let analysis_failures: usize = outcomes.iter().map(|o| o.analysis.failures.len()).sum();
+    let analyzed_streams: usize = outcomes.iter().map(|o| o.analysis.streams).sum();
+    let bound_sum: u64 = outcomes.iter().map(|o| o.analysis.bound_sum).sum();
+    let cycles_sum: u64 = outcomes.iter().map(|o| o.analysis.cycles_sum).sum();
 
     let mut targets = String::new();
     for (i, o) in outcomes.iter().enumerate() {
         if i > 0 {
             targets.push_str(",\n");
         }
+        let a = &o.analysis;
         targets.push_str(&format!(
             "    {{\"name\": \"{}\", \"engines\": {}, \"instructions\": {}, \
-             \"errors\": {}, \"warnings\": {}}}",
+             \"errors\": {}, \"warnings\": {}, \"analysis\": {{\
+             \"streams\": {}, \"dead_writes\": {}, \"dead_stores\": {}, \
+             \"dead_store_bytes\": {}, \"alias_conflicts\": {}, \
+             \"alias_dropped\": {}, \"bound_cycles\": {}, \
+             \"simulated_cycles\": {}, \"tightness\": {:.4}, \
+             \"cam_runs\": {}, \"cam_proven\": {}, \
+             \"cam_insert_upper_max\": {}, \"failures\": {}}}}}",
             o.name,
             o.engines,
             o.instructions,
             o.errors(),
-            o.warnings()
+            o.warnings(),
+            a.streams,
+            a.dead_writes,
+            a.dead_stores,
+            a.dead_store_bytes,
+            a.alias_conflicts,
+            a.alias_dropped,
+            a.bound_sum,
+            a.cycles_sum,
+            a.tightness(),
+            a.cam_runs,
+            a.cam_proven,
+            a.cam_insert_upper_max,
+            a.failures.len(),
         ));
     }
     let mut violations = String::new();
@@ -253,6 +447,7 @@ fn main() {
             let severity = match d.severity() {
                 Severity::Error => "error",
                 Severity::Warning => "warning",
+                Severity::Analysis => "analysis",
             };
             violations.push_str(&format!(
                 "    {{\"target\": \"{}\", \"code\": \"{}\", \"severity\": \
@@ -265,22 +460,51 @@ fn main() {
                 json_escape(&d.message)
             ));
         }
+        for f in &o.analysis.failures {
+            if !first {
+                violations.push_str(",\n");
+            }
+            first = false;
+            violations.push_str(&format!(
+                "    {{\"target\": \"{}\", \"code\": \"analysis\", \"severity\": \
+                 \"error\", \"inst_index\": 0, \"tag\": \"bound\", \
+                 \"message\": \"{}\"}}",
+                o.name,
+                json_escape(f)
+            ));
+        }
     }
+    let overall_tightness = if cycles_sum == 0 {
+        0.0
+    } else {
+        bound_sum as f64 / cycles_sum as f64
+    };
     let json = format!(
         "{{\n  \"quick\": {quick},\n  \"targets\": [\n{targets}\n  ],\n  \
          \"violations\": [\n{violations}\n  ],\n  \
          \"total_instructions\": {total_instructions},\n  \
          \"errors\": {errors},\n  \"warnings\": {warnings},\n  \
+         \"analyzed_streams\": {analyzed_streams},\n  \
+         \"analysis_memo_hits\": {},\n  \"analysis_memo_misses\": {},\n  \
+         \"bound_tightness\": {overall_tightness:.4},\n  \
+         \"analysis_failures\": {analysis_failures},\n  \
          \"clean\": {}\n}}\n",
-        errors == 0
+        cache.hits(),
+        cache.misses(),
+        errors == 0 && analysis_failures == 0
     );
     std::fs::write(&out_path, &json).expect("write verify json");
     eprintln!(
         "verify_programs: {total_instructions} instructions across {} targets \
-         -> {errors} errors, {warnings} warnings ({out_path})",
-        outcomes.len()
+         -> {errors} errors, {warnings} warnings; analyzed {analyzed_streams} \
+         streams (bound {overall_tightness:.3}x, memo {}/{} hits, {} failures) \
+         ({out_path})",
+        outcomes.len(),
+        cache.hits(),
+        cache.hits() + cache.misses(),
+        analysis_failures,
     );
-    if errors > 0 {
+    if errors > 0 || analysis_failures > 0 {
         std::process::exit(1);
     }
 }

@@ -8,8 +8,9 @@ use via_energy::{AreaModel, EnergyModel, SynthesisPoint, PAPER_SYNTHESIS};
 use via_formats::gen::GenMatrix;
 use via_formats::stats::{geomean, split_categories};
 use via_formats::{gen, Csb, SellCSigma, Spc5};
+use via_kernels::spmspv::{self, SparseVector};
 use via_kernels::{histogram, spma, spmm, spmv, stencil, KernelRun, SimContext, TraceOptions};
-use via_sim::{fnv1a64, Engine, StallCause, StallReport, StreamCache};
+use via_sim::{analyze, fnv1a64, AnalysisCache, Engine, StallCause, StallReport, StreamCache};
 
 /// One row of the Figure 9 design-space exploration: the speedup of each
 /// configuration over the `4_2p` baseline for the three kernels.
@@ -116,6 +117,15 @@ impl SweepMemo {
     /// Points resolved from the cycle memo without any simulation.
     pub fn cycle_hits(&self) -> u64 {
         self.cycle_hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The memoized cycle count for a `(stream, timing config)` pair, if
+    /// that pair has been resolved at least once. Read-only — used by the
+    /// post-sweep bound audit, which must not perturb the memo.
+    pub fn memoized_cycles(&self, stream_hash: u64, config_hash: u64) -> Option<u64> {
+        self.cycle_map()
+            .get(&(stream_hash, config_hash))
+            .map(|&(cycles, _)| cycles)
     }
 
     /// Resolves one sweep point's cycle count through the memo:
@@ -256,6 +266,200 @@ pub fn fig9_dse_with_memo(scale: &ExperimentScale, memo: &SweepMemo) -> Vec<DseR
             spmm: base.3 / m,
         })
         .collect()
+}
+
+/// One kernel's row of the post-sweep static-bound audit over a Figure 9
+/// design-space exploration ([`fig9_bound_audit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAuditRow {
+    /// Sweep kernel (`spmv/via_csb`, `spma/via_cam`, `spmm/via_cam`).
+    pub kernel: String,
+    /// Audited sweep points (config × matrix pairs found in the memo).
+    pub points: usize,
+    /// Sum of static cycle lower bounds across the audited points.
+    pub bound_cycles: u64,
+    /// Sum of memoized simulated cycles across the audited points.
+    pub simulated_cycles: u64,
+    /// Points whose static lower bound already exceeds the simulated
+    /// cycles of the best config for the same kernel × matrix — a future
+    /// sweep repetition could skip simulating them without changing any
+    /// winner (the winner itself is never prunable, since its bound is a
+    /// lower bound on its own cycles).
+    pub prunable: usize,
+    /// Points whose static bound exceeded their own simulated cycles.
+    /// Always 0 unless the bound model is unsound.
+    pub violations: usize,
+}
+
+impl BoundAuditRow {
+    /// Mean bound tightness: static bound as a fraction of simulated
+    /// cycles over the audited points (1.0 = the bound is exact).
+    pub fn tightness(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            0.0
+        } else {
+            self.bound_cycles as f64 / self.simulated_cycles as f64
+        }
+    }
+}
+
+/// Post-sweep static-bound audit: re-derives every Figure 9 sweep point's
+/// key, pulls its compiled stream and memoized cycle count out of `memo`,
+/// and checks the analyzer's static cycle lower bound against the
+/// simulated result — without simulating anything. Points the sweep has
+/// not resolved are skipped, so the audit composes with partial sweeps.
+///
+/// The `prunable` column is the DSE pre-simulation filter this enables:
+/// a point whose *lower bound* exceeds the per-matrix winner's *measured*
+/// cycles provably cannot win, so a repetition hunting only for winners
+/// could drop it before touching the engine. The audit is read-only on
+/// `memo` (reports are memoized in `cache`), keeping `fig9_dse_with_memo`
+/// bit-identical.
+pub fn fig9_bound_audit(
+    scale: &ExperimentScale,
+    memo: &SweepMemo,
+    cache: &AnalysisCache,
+) -> Vec<BoundAuditRow> {
+    let spmv_suite = Suite::generate(scale);
+    let spmm_scale = scale.spmm();
+    let spmm_suite = Suite::generate(&spmm_scale);
+    let kernels: [(&str, &Suite); 3] = [
+        ("spmv/via_csb", &spmv_suite),
+        ("spma/via_cam", &spmv_suite),
+        ("spmm/via_cam", &spmm_suite),
+    ];
+    let configs = ViaConfig::dse_points();
+    kernels
+        .iter()
+        .map(|&(kernel, suite)| {
+            let mut row = BoundAuditRow {
+                kernel: kernel.to_string(),
+                points: 0,
+                bound_cycles: 0,
+                simulated_cycles: 0,
+                prunable: 0,
+                violations: 0,
+            };
+            for m in &suite.matrices {
+                // (bound, cycles) for every config the memo has resolved.
+                let mut group: Vec<(u64, u64)> = Vec::new();
+                for &config in &configs {
+                    let ctx = SimContext::with_via(config);
+                    let core = ctx.core.clone().with_custom_unit();
+                    let cfg_hash = via_sim::config_hash(&core, &ctx.mem);
+                    let key = point_key(kernel, &config.name(), &m.name, m.seed);
+                    let Some(stream) = memo.streams().get(key) else {
+                        continue;
+                    };
+                    let Some(cycles) = memo.memoized_cycles(stream.stream_hash(), cfg_hash) else {
+                        continue;
+                    };
+                    let acfg = via_sim::AnalyzeConfig::from_machine(&core, &ctx.mem)
+                        .with_cam_entries(ctx.via.cam_entries() as u64);
+                    let report = cache.get_or_analyze(&stream, &acfg);
+                    group.push((report.bound.lower_cycles, cycles));
+                }
+                let Some(winner) = group.iter().map(|&(_, c)| c).min() else {
+                    continue;
+                };
+                for (bound, cycles) in group {
+                    row.points += 1;
+                    row.bound_cycles += bound;
+                    row.simulated_cycles += cycles;
+                    if bound > cycles {
+                        row.violations += 1;
+                    }
+                    if bound > winner {
+                        row.prunable += 1;
+                    }
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Static-bound tightness of one representative recorded run per paper
+/// kernel ([`kernel_bound_tightness`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TightnessRow {
+    /// Kernel label (`spmv/via_csb`, …).
+    pub kernel: String,
+    /// Static cycle lower bound of the recorded stream.
+    pub bound_cycles: u64,
+    /// Simulated cycles of the same run.
+    pub simulated_cycles: u64,
+    /// Oracle-validatable dead stores the analyzer found in the stream.
+    pub dead_stores: u64,
+}
+
+impl TightnessRow {
+    /// Static bound as a fraction of the simulated cycles (1.0 = exact).
+    pub fn tightness(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            0.0
+        } else {
+            self.bound_cycles as f64 / self.simulated_cycles as f64
+        }
+    }
+}
+
+/// Runs the VIA variant of each of the six paper kernels once on a
+/// representative input with recording on, analyzes the stream, and
+/// reports the static-bound tightness per kernel — the scorecard's
+/// "how sharp is the model" column.
+pub fn kernel_bound_tightness(seed: u64) -> Vec<TightnessRow> {
+    let ctx = SimContext::default().with_recording();
+
+    fn row<T>(kernel: &str, ctx: &SimContext, run: &KernelRun<T>) -> TightnessRow {
+        let stream = run.compiled.as_ref().expect("recording context compiles");
+        let report = analyze::analyze(stream, &ctx.analyze_config(run));
+        assert!(
+            report.bound.lower_cycles <= run.stats.cycles,
+            "{kernel}: static bound {} exceeds simulated {}",
+            report.bound.lower_cycles,
+            run.stats.cycles
+        );
+        TightnessRow {
+            kernel: kernel.to_string(),
+            bound_cycles: report.bound.lower_cycles,
+            simulated_cycles: run.stats.cycles,
+            dead_stores: report.dead_stores,
+        }
+    }
+
+    let a = gen::uniform(192, 192, 0.02, seed);
+    let x = gen::dense_vector(a.cols(), seed);
+    let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).expect("power-of-two block");
+    let b = gen::perturb_structure(&a, 0.6, 0.5, seed ^ 1);
+    let small = gen::uniform(96, 96, 0.04, seed ^ 2);
+    let small_b = gen::uniform(96, 96, 0.04, seed ^ 3).to_csc();
+    let a_csc = gen::rmat(200, 1200, seed ^ 4).to_csc();
+    let frontier = SparseVector::from_pairs((0..16).map(|i| (i * 11 % 200, 1.0 + i as f64)));
+    let keys = uniform_keys(4_000, 256, seed ^ 5);
+    let side = 48;
+    let image: Vec<f64> = gen::dense_vector(side * side, seed ^ 6)
+        .into_iter()
+        .map(f64::abs)
+        .collect();
+    let filter = stencil::gaussian4();
+
+    vec![
+        row("spmv/via_csb", &ctx, &spmv::via_csb(&csb, &x, &ctx)),
+        row("spma/via_cam", &ctx, &spma::via_cam(&a, &b, &ctx)),
+        row("spmm/via_cam", &ctx, &spmm::via_cam(&small, &small_b, &ctx)),
+        row(
+            "spmspv/via_cam",
+            &ctx,
+            &spmspv::via_cam(&a_csc, &frontier, &ctx),
+        ),
+        row("histogram/via", &ctx, &histogram::via(&keys, 256, &ctx)),
+        row(
+            "stencil/via",
+            &ctx,
+            &stencil::via(&image, side, side, &filter, &ctx),
+        ),
+    ]
 }
 
 /// Table II: model area/leakage next to the published synthesis numbers.
@@ -833,6 +1037,66 @@ mod tests {
         assert_eq!(memo.compiles(), points);
         assert_eq!(memo.replays(), distinct, "one replay per distinct stream");
         assert_eq!(memo.cycle_hits(), points + (points - distinct));
+    }
+
+    #[test]
+    fn fig9_bound_audit_is_sound_and_never_prunes_winners() {
+        let scale = ExperimentScale {
+            matrices: 2,
+            min_rows: 64,
+            max_rows: 96,
+            density_range: (0.005, 0.02),
+            seed: 17,
+            threads: 2,
+        };
+        let memo = SweepMemo::new();
+        let first = fig9_dse_with_memo(&scale, &memo);
+        let cache = AnalysisCache::default();
+        let rows = fig9_bound_audit(&scale, &memo, &cache);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.points > 0, "{}: nothing audited", row.kernel);
+            assert_eq!(row.violations, 0, "{}: unsound bound", row.kernel);
+            assert!(
+                row.bound_cycles <= row.simulated_cycles,
+                "{}: aggregate bound must hold",
+                row.kernel
+            );
+            // Each kernel×matrix group keeps its winner, so at least one
+            // point per group (2 matrices here) is never prunable.
+            assert!(
+                row.prunable + 2 <= row.points,
+                "{}: pruned a winner ({} of {})",
+                row.kernel,
+                row.prunable,
+                row.points
+            );
+            let t = row.tightness();
+            assert!(t > 0.0 && t <= 1.0, "{}: tightness {t}", row.kernel);
+        }
+        // The audit is read-only on the memo: a repetition after it is
+        // still pure cycle-memo hits with bit-identical results.
+        let compiles = memo.compiles();
+        let second = fig9_dse_with_memo(&scale, &memo);
+        assert_eq!(second, first, "audit must not perturb the sweep");
+        assert_eq!(memo.compiles(), compiles, "audit must not compile");
+        assert_eq!(memo.replays(), 0, "audit must not replay");
+    }
+
+    #[test]
+    fn kernel_tightness_covers_six_kernels_with_sound_bounds() {
+        let rows = kernel_bound_tightness(0x71);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.bound_cycles > 0, "{}: vacuous bound", row.kernel);
+            assert!(
+                row.bound_cycles <= row.simulated_cycles,
+                "{}: bound {} > simulated {}",
+                row.kernel,
+                row.bound_cycles,
+                row.simulated_cycles
+            );
+        }
     }
 
     #[test]

@@ -29,8 +29,9 @@ pub use campaign::{
     Mode, QuarantineRow, ResultRow,
 };
 pub use experiments::{
-    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_dse,
-    fig9_dse_with_memo, point_key, stall_sweep, table2_area, CategoryRow, CompiledRun, DseRow,
-    HistogramRow, SpmvFormatRow, StallRow, StencilRow, SweepMemo,
+    fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_bound_audit,
+    fig9_dse, fig9_dse_with_memo, kernel_bound_tightness, point_key, stall_sweep, table2_area,
+    BoundAuditRow, CategoryRow, CompiledRun, DseRow, HistogramRow, SpmvFormatRow, StallRow,
+    StencilRow, SweepMemo, TightnessRow,
 };
 pub use suite::{default_threads, parallel_map, ExperimentScale, Suite};

@@ -107,6 +107,27 @@ impl SimContext {
     pub fn vl(&self) -> usize {
         self.core.vl as usize
     }
+
+    /// The [`via_sim::AnalyzeConfig`] matching the engine this context
+    /// built for `run`: baseline runs analyze against the baseline core,
+    /// VIA runs (detected by their SSPM events) against the
+    /// custom-unit core with this context's CAM index-table capacity —
+    /// so the static cycle bound and the CAM occupancy verdict line up
+    /// with the machine that actually simulated the stream.
+    pub fn analyze_config<T>(&self, run: &KernelRun<T>) -> via_sim::AnalyzeConfig {
+        let is_via = run.sspm_events.is_some();
+        let core = if is_via {
+            self.core.clone().with_custom_unit()
+        } else {
+            self.core.clone()
+        };
+        let cfg = via_sim::AnalyzeConfig::from_machine(&core, &self.mem);
+        if is_via {
+            cfg.with_cam_entries(self.via.cam_entries() as u64)
+        } else {
+            cfg
+        }
+    }
 }
 
 /// The outcome of one simulated kernel run: the functional output plus the

@@ -1,0 +1,169 @@
+//! Static analysis over every shipped kernel: the cycle lower bound must
+//! hold against the simulated run, every finding must survive its
+//! brute-force oracle (zero false positives against the replay trace), and
+//! the emitted streams must be free of dead register writes and unordered
+//! must-alias conflicts. Dead stores are pinned per kernel: most kernels
+//! have none, while the accumulator-flush kernels (`spmm::via_cam`,
+//! `spmspv::spa_dense`) are *expected* to carry oracle-confirmed ones —
+//! that expectation doubles as a true-positive test on real code.
+
+use via_formats::{gen, Csb};
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil};
+use via_kernels::{KernelRun, SimContext};
+use via_rng::StdRng;
+use via_sim::analyze;
+use via_sim::CoreConfig;
+
+/// Analyzes a recorded kernel run and asserts every *soundness* property:
+/// the static bound never exceeds the simulated cycles, every finding
+/// (with the exemplar cap lifted, so **all** of them) survives its
+/// brute-force oracle, no dead register writes, and no unordered
+/// must-alias conflicts. Returns the report so callers can pin the
+/// kernel-specific expectations (e.g. known dead-store patterns).
+fn assert_analyzes_sound<T>(
+    name: &str,
+    ctx: &SimContext,
+    run: &KernelRun<T>,
+) -> via_sim::AnalysisReport {
+    let stream = run.compiled.as_ref().expect("recording context compiles");
+    let is_via = run.sspm_events.is_some();
+    let mut cfg = ctx.analyze_config(run);
+    cfg.max_exemplars = usize::MAX; // validate every finding, not a sample
+    let report = analyze::analyze(stream, &cfg);
+
+    assert!(
+        report.bound.lower_cycles <= run.stats.cycles,
+        "{name}: static bound {} exceeds simulated {} (terms: {:?})",
+        report.bound.lower_cycles,
+        run.stats.cycles,
+        report.bound
+    );
+    assert!(report.bound.lower_cycles > 0, "{name}: vacuous bound");
+    analyze::validate(stream, &report).unwrap_or_else(|e| panic!("{name}: refuted finding: {e}"));
+
+    assert_eq!(report.dead_writes, 0, "{name}: dead register writes");
+    assert_eq!(report.alias_conflicts, 0, "{name}: must-alias conflicts");
+    assert!(
+        report.whole_stream().accesses > 0,
+        "{name}: no memory traffic"
+    );
+    if is_via {
+        assert!(
+            report.cam.proven_no_overflow.is_some(),
+            "{name}: VIA run must carry a CAM verdict"
+        );
+    }
+    report
+}
+
+/// Like [`assert_analyzes_sound`], additionally requiring zero dead
+/// stores — the expectation for kernels without a store-overwrite
+/// accumulation pattern.
+fn assert_analyzes_clean<T>(name: &str, ctx: &SimContext, run: KernelRun<T>) {
+    let report = assert_analyzes_sound(name, ctx, &run);
+    assert_eq!(report.dead_stores, 0, "{name}: dead stores");
+}
+
+#[test]
+fn spmv_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let a = gen::uniform(96, 96, 0.04, 11);
+    let x: Vec<f64> = (0..a.cols())
+        .map(|i| ((i % 13) as f64) * 0.25 - 1.5)
+        .collect();
+    assert_analyzes_clean("spmv::csr_vec", &ctx, spmv::csr_vec(&a, &x, &ctx));
+    let csb = Csb::from_csr(&a, ctx.via.csb_block_size()).unwrap();
+    assert_analyzes_clean("spmv::via_csb", &ctx, spmv::via_csb(&csb, &x, &ctx));
+}
+
+#[test]
+fn spma_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let a = gen::uniform(96, 96, 0.04, 11);
+    let b = gen::uniform(96, 96, 0.04, 12);
+    assert_analyzes_clean("spma::merge_csr", &ctx, spma::merge_csr(&a, &b, &ctx));
+    assert_analyzes_clean("spma::via_cam", &ctx, spma::via_cam(&a, &b, &ctx));
+}
+
+#[test]
+fn spmm_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let a = gen::uniform(48, 48, 0.06, 21);
+    let b = gen::uniform(48, 48, 0.06, 22).to_csc();
+    assert_analyzes_clean(
+        "spmm::inner_product",
+        &ctx,
+        spmm::inner_product(&a, &b, &ctx),
+    );
+    // via_cam keeps its accumulation in the SSPM and stores each output
+    // tile as it goes; rows overwritten by a later flush are genuine
+    // (oracle-confirmed) dead stores, so the analyzer *must* find some.
+    let run = spmm::via_cam(&a, &b, &ctx);
+    let report = assert_analyzes_sound("spmm::via_cam", &ctx, &run);
+    assert!(
+        report.dead_stores > 0,
+        "spmm::via_cam: expected true-positive dead stores"
+    );
+}
+
+#[test]
+fn spmspv_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let a = gen::uniform(96, 96, 0.05, 31).to_csc();
+    let x = spmspv::SparseVector::from_pairs((0..12).map(|i| (i * 7 % 96, 1.0 + i as f64)));
+    // spa_dense zero-initializes its dense accumulator with stores that
+    // are fully overwritten before any load reads them back — genuine
+    // (oracle-confirmed) dead stores the analyzer is expected to surface.
+    let run = spmspv::spa_dense(&a, &x, &ctx);
+    let report = assert_analyzes_sound("spmspv::spa_dense", &ctx, &run);
+    assert!(
+        report.dead_stores > 0,
+        "spmspv::spa_dense: expected true-positive dead stores"
+    );
+    assert_analyzes_clean("spmspv::via_cam", &ctx, spmspv::via_cam(&a, &x, &ctx));
+}
+
+#[test]
+fn histogram_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let keys: Vec<u32> = (0..1000).map(|_| rng.random_range(0u32..256)).collect();
+    assert_analyzes_clean(
+        "histogram::vector_cd",
+        &ctx,
+        histogram::vector_cd(&keys, 256, &ctx),
+    );
+    assert_analyzes_clean("histogram::via", &ctx, histogram::via(&keys, 256, &ctx));
+}
+
+#[test]
+fn stencil_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let side = 20;
+    let image: Vec<f64> = (0..side * side).map(|i| ((i % 17) as f64) * 0.5).collect();
+    let filter = stencil::gaussian4();
+    assert_analyzes_clean(
+        "stencil::vector",
+        &ctx,
+        stencil::vector(&image, side, side, &filter, &ctx),
+    );
+    assert_analyzes_clean(
+        "stencil::via",
+        &ctx,
+        stencil::via(&image, side, side, &filter, &ctx),
+    );
+}
+
+/// The wide-vector configuration exercises a different machine shape
+/// (vl = 8); the bound must hold there too.
+#[test]
+fn wide_vector_bound_holds() {
+    let ctx = SimContext {
+        core: CoreConfig::default().wide_vectors(),
+        ..SimContext::default()
+    }
+    .with_recording();
+    let a = gen::uniform(64, 64, 0.05, 7);
+    let x: Vec<f64> = (0..a.cols()).map(|i| i as f64 * 0.5).collect();
+    assert_analyzes_clean("spmv::csr_vec[wide]", &ctx, spmv::csr_vec(&a, &x, &ctx));
+}

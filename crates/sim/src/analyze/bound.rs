@@ -1,0 +1,460 @@
+//! The static cycle **lower bound**: a relaxed deterministic replica of the
+//! engine's `push_core`, plus standalone resource- and traffic-occupancy
+//! terms. Every term is provably `<=` the simulated cycle count for the
+//! same `(stream, config)` pair, so `max` over all of them is too.
+//!
+//! # Why a *replica* instead of a critical-path formula
+//!
+//! The engine is an interval-style analytical model: fetch width, ROB
+//! admission, fences, branch redirects, the in-order commit automaton and
+//! the commit-serialized custom-op gate all interact. Re-deriving a closed
+//! form that stays sound against that machine is fragile; instead the bound
+//! *runs the same automata* with every non-monotone component relaxed to
+//! its cheapest possible outcome:
+//!
+//! * **functional units** (scalar/vector ALUs, load/store ports) are
+//!   infinite — the engine's gap-filling [`Calendar`](crate::calendar)
+//!   bookings are *not* monotone under earlier ready times (an earlier
+//!   request can be pushed to a later gap), so any finite-unit model could
+//!   overshoot. Their contention is recovered by the standalone occupancy
+//!   terms below, which need no timing at all.
+//! * **memory** always hits in L1: a load/store completes at
+//!   `ready + l1.latency`, a gather/scatter at
+//!   `ready + l1.latency + gather_overhead` — the cheapest completion the
+//!   hierarchy can produce.
+//! * everything whose relaxed inputs provably yield relaxed outputs is
+//!   replicated **exactly**: the fetch/ROB/fence frontier, the branch
+//!   predictor (its state depends only on the `(taken, site)` sequence,
+//!   never on timing, so the mispredict set is identical), the in-order
+//!   width-limited commit automaton, and the custom (FIVU) pool's min-free
+//!   model (monotone by sorted-multiset domination).
+//!
+//! # Standalone occupancy terms
+//!
+//! With `C` units and `n` booked slots whose minimum effective latency is
+//! `lat`, every booking starts at some `s` with `s + lat <= cycles`, and at
+//! most `C` bookings share a start cycle, so
+//! `cycles >= ceil(n / C) + lat - 1`. The custom-unit term truncates each
+//! reservation to `min(occupancy, latency)` so the busy span stays inside
+//! `[0, cycles]` even when occupancy exceeds latency.
+//!
+//! The DRAM term counts cache lines whose **first** touch is a demand read
+//! (load or gather): with prefetching off and uniform line sizes, such a
+//! touch is a compulsory miss that books `transfer_cycles(line_bytes)` on
+//! the single DRAM channel, and the booking ends before the read completes
+//! (the gate requires `transfer <= dram_latency`). Lines first touched by a
+//! *write* are excluded — stores complete at store-buffer latency, so their
+//! DRAM bookings are not bounded by any completion time.
+
+use std::collections::HashSet;
+
+use crate::config::CoreConfig;
+use crate::prog::{AluKind, Inst, Op, Reg, VecOpKind};
+
+use super::AnalyzeConfig;
+
+/// The static cycle lower bound and its individual terms (each itself a
+/// valid lower bound; `lower_cycles` is their maximum).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticBound {
+    /// The final bound: `max` of every term below.
+    pub lower_cycles: u64,
+    /// The relaxed-replica machine's final `last_commit.max(complete_max)`.
+    pub replica_cycles: u64,
+    /// Scalar-ALU occupancy (scalar ops + branches over `scalar_alus`).
+    pub scalar_term: u64,
+    /// Vector-ALU occupancy.
+    pub vector_term: u64,
+    /// Load-port occupancy (load line pieces + gather elements).
+    pub load_term: u64,
+    /// Store-port occupancy (store line pieces + scatter elements).
+    pub store_term: u64,
+    /// Custom (FIVU) unit occupancy, truncated to completion-bounded spans.
+    pub custom_term: u64,
+    /// DRAM compulsory read-traffic transfer cycles (0 when the config
+    /// gate does not hold — see the module docs).
+    pub dram_term: u64,
+}
+
+impl StaticBound {
+    /// `lower_cycles / simulated`, in `[0, 1]` whenever the bound holds;
+    /// 1.0 for an empty stream. Higher is tighter.
+    pub fn tightness(&self, simulated_cycles: u64) -> f64 {
+        if simulated_cycles == 0 {
+            return 1.0;
+        }
+        self.lower_cycles as f64 / simulated_cycles as f64
+    }
+}
+
+/// Rolling minimum of the effective latencies seen on one unit pool,
+/// feeding the `ceil(n/C) + lat - 1` occupancy term.
+#[derive(Debug, Clone, Copy)]
+struct PoolCount {
+    slots: u64,
+    min_lat: u64,
+}
+
+impl PoolCount {
+    fn new() -> Self {
+        PoolCount {
+            slots: 0,
+            min_lat: u64::MAX,
+        }
+    }
+
+    fn add(&mut self, slots: u64, lat: u64) {
+        self.slots += slots;
+        self.min_lat = self.min_lat.min(lat);
+    }
+
+    fn term(&self, units: u32) -> u64 {
+        if self.slots == 0 {
+            return 0;
+        }
+        let units = units.max(1) as u64;
+        (self.slots.div_ceil(units) - 1) + self.min_lat
+    }
+}
+
+/// The relaxed engine replica (see the module docs): same automata as
+/// `Engine::push_core`, with infinite calendars and all-L1-hit memory.
+struct Replica {
+    core: CoreConfig,
+    l1_latency: u64,
+    ready: Vec<u64>,
+    fetch_cycle: u64,
+    fetch_in_cycle: u32,
+    commit_cycle: u64,
+    commit_in_cycle: u32,
+    last_commit: u64,
+    rob_window: Vec<u64>,
+    rob_head: usize,
+    rob_filled: usize,
+    all_complete_max: u64,
+    noncustom_complete_max: u64,
+    fence_until: u64,
+    custom_units: Vec<u64>,
+    predictor: Vec<u8>,
+}
+
+impl Replica {
+    fn new(cfg: &AnalyzeConfig) -> Self {
+        let core = cfg.core.clone();
+        Replica {
+            l1_latency: cfg.mem.l1.latency as u64,
+            ready: Vec::new(),
+            fetch_cycle: 0,
+            fetch_in_cycle: 0,
+            commit_cycle: 0,
+            commit_in_cycle: 0,
+            last_commit: 0,
+            rob_window: vec![0; core.rob_size.max(1)],
+            rob_head: 0,
+            rob_filled: 0,
+            all_complete_max: 0,
+            noncustom_complete_max: 0,
+            fence_until: 0,
+            // A custom op on a zero-unit core cannot be simulated at all
+            // (the engine panics); model one unit so the analysis of such a
+            // stream stays total. The bound is only claimed for runnable
+            // (stream, config) pairs.
+            custom_units: vec![0; (core.custom_units as usize).max(1)],
+            predictor: Vec::new(),
+            core,
+        }
+    }
+
+    fn reg_ready(&self, r: Reg) -> u64 {
+        self.ready.get(r as usize).copied().unwrap_or(0)
+    }
+
+    fn set_ready(&mut self, r: Reg, t: u64) {
+        let idx = r as usize;
+        if idx >= self.ready.len() {
+            self.ready.resize(idx + 1, 0);
+        }
+        self.ready[idx] = t;
+    }
+
+    /// Mirrors `Engine::acquire_custom` exactly (the min-free model is
+    /// monotone: sorted-multiset domination of the pool is preserved when
+    /// both sides replace their minimum with a dominated start + occupancy).
+    fn acquire_custom(&mut self, t: u64, occupancy: u64) -> u64 {
+        let (idx, &free) = self
+            .custom_units
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("replica custom pool is never empty");
+        let start = t.max(free);
+        self.custom_units[idx] = start + occupancy;
+        start
+    }
+
+    fn push(&mut self, inst: &Inst) {
+        // Fetch: width and ROB admission, exactly as the engine.
+        let rob_ready = if self.rob_filled == self.core.rob_size {
+            self.rob_window[self.rob_head]
+        } else {
+            0
+        };
+        let earliest_fetch = rob_ready.max(self.fence_until);
+        if self.fetch_cycle < earliest_fetch {
+            self.fetch_cycle = earliest_fetch;
+            self.fetch_in_cycle = 0;
+        }
+        if self.fetch_in_cycle >= self.core.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetch_in_cycle = 0;
+        }
+        self.fetch_in_cycle += 1;
+        let fetch_t = self.fetch_cycle;
+
+        let mut dep_t = 0u64;
+        for &r in inst.srcs.as_slice() {
+            dep_t = dep_t.max(self.reg_ready(r));
+        }
+        let ready_t = fetch_t.max(dep_t);
+
+        // Execute, relaxed: no unit waits, all-hit memory.
+        let complete = match &inst.op {
+            Op::Scalar { kind } => {
+                let lat = match kind {
+                    AluKind::Int => self.core.scalar_latency,
+                    AluKind::FpAdd | AluKind::FpMul => self.core.vec_alu_latency,
+                    AluKind::FpFma => self.core.vec_fma_latency,
+                } as u64;
+                ready_t + lat
+            }
+            Op::Vec { kind } => {
+                let lat = match kind {
+                    VecOpKind::Add | VecOpKind::Mul => self.core.vec_alu_latency,
+                    VecOpKind::Fma => self.core.vec_fma_latency,
+                    VecOpKind::Reduce => self.core.vec_reduce_latency,
+                    VecOpKind::Permute | VecOpKind::Blend => self.core.vec_permute_latency,
+                    VecOpKind::Compare => self.core.vec_alu_latency,
+                    VecOpKind::ConflictDetect => self.core.vec_conflict_latency,
+                } as u64;
+                ready_t + lat
+            }
+            Op::Load { .. } | Op::Store { .. } => ready_t + self.l1_latency,
+            Op::Gather { addrs, .. } | Op::Scatter { addrs, .. } => {
+                let mem = if addrs.is_empty() { 0 } else { self.l1_latency };
+                ready_t + mem + self.core.gather_overhead as u64
+            }
+            Op::Custom {
+                occupancy,
+                latency,
+                at_commit,
+            } => {
+                let gate = if *at_commit {
+                    ready_t.max(self.noncustom_complete_max)
+                } else {
+                    ready_t
+                };
+                let occ = (*occupancy).max(1) as u64;
+                let start = self.acquire_custom(gate, occ);
+                start + (*latency).max(1) as u64
+            }
+            Op::Branch { taken, site } => {
+                // Identical predictor: its state depends only on the
+                // (taken, site) sequence, so the mispredict set matches the
+                // engine's bit for bit.
+                let idx = *site as usize;
+                if idx >= self.predictor.len() {
+                    self.predictor.resize(idx + 1, 2);
+                }
+                let counter = &mut self.predictor[idx];
+                let predicted = *counter >= 2;
+                if *taken {
+                    *counter = (*counter + 1).min(3);
+                } else {
+                    *counter = counter.saturating_sub(1);
+                }
+                let resolve = ready_t + self.core.scalar_latency as u64;
+                if predicted != *taken {
+                    self.fence_until = self
+                        .fence_until
+                        .max(resolve + self.core.mispredict_penalty as u64);
+                }
+                resolve
+            }
+            Op::Delay { cycles } => ready_t + *cycles as u64,
+            Op::Fence => {
+                self.fence_until = self.all_complete_max.max(fetch_t);
+                fetch_t.max(self.all_complete_max)
+            }
+        };
+
+        if let Some(dst) = inst.dst {
+            self.set_ready(dst, complete);
+        }
+        self.all_complete_max = self.all_complete_max.max(complete);
+        if !matches!(inst.op, Op::Custom { .. }) {
+            self.noncustom_complete_max = self.noncustom_complete_max.max(complete);
+        }
+
+        // Commit: in order, width-limited, exactly as the engine.
+        let mut commit_t = complete.max(self.last_commit);
+        if commit_t > self.commit_cycle {
+            self.commit_cycle = commit_t;
+            self.commit_in_cycle = 0;
+        }
+        if self.commit_in_cycle >= self.core.commit_width {
+            self.commit_cycle += 1;
+            self.commit_in_cycle = 0;
+            commit_t = self.commit_cycle;
+        }
+        self.commit_in_cycle += 1;
+        commit_t = commit_t.max(self.commit_cycle);
+        self.last_commit = commit_t;
+        self.rob_window[self.rob_head] = commit_t;
+        self.rob_head += 1;
+        if self.rob_head == self.core.rob_size {
+            self.rob_head = 0;
+        }
+        if self.rob_filled < self.core.rob_size {
+            self.rob_filled += 1;
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        self.last_commit.max(self.all_complete_max)
+    }
+}
+
+/// Number of cache lines a unit-stride access spans (the engine's
+/// `access_span` piece walk).
+fn line_pieces(addr: u64, bytes: u32, line: u64) -> u64 {
+    let first = addr & !(line - 1);
+    let last = (addr + bytes.max(1) as u64 - 1) & !(line - 1);
+    (last - first) / line + 1
+}
+
+/// Computes the static cycle lower bound for a stream under a machine
+/// configuration. See the module docs for the soundness argument of each
+/// term.
+pub fn static_bound(insts: &[Inst], cfg: &AnalyzeConfig) -> StaticBound {
+    let mut replica = Replica::new(cfg);
+    let mut scalar = PoolCount::new();
+    let mut vector = PoolCount::new();
+    let mut load = PoolCount::new();
+    let mut store = PoolCount::new();
+    let mut custom_busy = 0u64;
+    let line = cfg.mem.l1.line_bytes as u64;
+    let l1_lat = cfg.mem.l1.latency as u64;
+    let mut seen_lines: HashSet<u64> = HashSet::new();
+    let mut demand_read_lines = 0u64;
+    let mut first_touch = |line_id: u64, is_read: bool, count: &mut u64| {
+        if seen_lines.insert(line_id) && is_read {
+            *count += 1;
+        }
+    };
+
+    for inst in insts {
+        match &inst.op {
+            Op::Scalar { kind } => {
+                let lat = match kind {
+                    AluKind::Int => cfg.core.scalar_latency,
+                    AluKind::FpAdd | AluKind::FpMul => cfg.core.vec_alu_latency,
+                    AluKind::FpFma => cfg.core.vec_fma_latency,
+                } as u64;
+                scalar.add(1, lat);
+            }
+            Op::Branch { .. } => scalar.add(1, cfg.core.scalar_latency as u64),
+            Op::Vec { kind } => {
+                let lat = match kind {
+                    VecOpKind::Add | VecOpKind::Mul => cfg.core.vec_alu_latency,
+                    VecOpKind::Fma => cfg.core.vec_fma_latency,
+                    VecOpKind::Reduce => cfg.core.vec_reduce_latency,
+                    VecOpKind::Permute | VecOpKind::Blend => cfg.core.vec_permute_latency,
+                    VecOpKind::Compare => cfg.core.vec_alu_latency,
+                    VecOpKind::ConflictDetect => cfg.core.vec_conflict_latency,
+                } as u64;
+                vector.add(1, lat);
+            }
+            Op::Load { addr, bytes } => {
+                let pieces = line_pieces(*addr, *bytes, line);
+                load.add(pieces, l1_lat);
+                for p in 0..pieces {
+                    first_touch(
+                        (*addr >> line.trailing_zeros()) + p,
+                        true,
+                        &mut demand_read_lines,
+                    );
+                }
+            }
+            Op::Store { addr, bytes } => {
+                let pieces = line_pieces(*addr, *bytes, line);
+                store.add(pieces, l1_lat);
+                for p in 0..pieces {
+                    first_touch(
+                        (*addr >> line.trailing_zeros()) + p,
+                        false,
+                        &mut demand_read_lines,
+                    );
+                }
+            }
+            Op::Gather { addrs, .. } => {
+                load.add(addrs.len() as u64, l1_lat);
+                for &a in addrs.as_slice() {
+                    first_touch(a / line, true, &mut demand_read_lines);
+                }
+            }
+            Op::Scatter { addrs, .. } => {
+                store.add(addrs.len() as u64, l1_lat);
+                for &a in addrs.as_slice() {
+                    first_touch(a / line, false, &mut demand_read_lines);
+                }
+            }
+            Op::Custom {
+                occupancy, latency, ..
+            } => {
+                custom_busy += ((*occupancy).max(1) as u64).min((*latency).max(1) as u64);
+            }
+            Op::Delay { .. } | Op::Fence => {}
+        }
+        replica.push(inst);
+    }
+
+    let transfer = {
+        let bytes = cfg.mem.l3.line_bytes as f64;
+        ((bytes / cfg.mem.dram_bytes_per_cycle).ceil() as u64).max(1)
+    };
+    let dram_gate = cfg.mem.prefetch_degree == 0
+        && cfg.mem.l1.line_bytes == cfg.mem.l2.line_bytes
+        && cfg.mem.l2.line_bytes == cfg.mem.l3.line_bytes
+        && transfer <= cfg.mem.dram_latency as u64;
+    let dram_term = if dram_gate {
+        demand_read_lines * transfer
+    } else {
+        0
+    };
+
+    let custom_term = if custom_busy == 0 {
+        0
+    } else {
+        custom_busy.div_ceil(cfg.core.custom_units.max(1) as u64)
+    };
+
+    let mut bound = StaticBound {
+        replica_cycles: replica.cycles(),
+        scalar_term: scalar.term(cfg.core.scalar_alus),
+        vector_term: vector.term(cfg.core.vector_alus),
+        load_term: load.term(cfg.core.load_ports),
+        store_term: store.term(cfg.core.store_ports),
+        custom_term,
+        dram_term,
+        lower_cycles: 0,
+    };
+    bound.lower_cycles = bound
+        .replica_cycles
+        .max(bound.scalar_term)
+        .max(bound.vector_term)
+        .max(bound.load_term)
+        .max(bound.store_term)
+        .max(bound.custom_term)
+        .max(bound.dram_term);
+    bound
+}

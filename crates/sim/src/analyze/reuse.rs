@@ -1,0 +1,218 @@
+//! Per-region SSPM reuse-distance and working-set estimation.
+//!
+//! The pass replays the stream's memory accesses at cache-line granularity
+//! and computes, for every access, the **exact LRU stack distance**: the
+//! number of *distinct* lines touched since the previous access to the
+//! same line (`cold` for first touches). The distance distribution answers
+//! the question VIA's scratchpad exists for — how much of a region's
+//! traffic would hit a fully-associative LRU store of a given capacity —
+//! without simulating: an access hits a capacity of `C` lines iff its
+//! stack distance is `< C` ([`RegionReuse::hits_within`]).
+//!
+//! Distances are bucketed logarithmically (`bucket = floor(log2(d + 1))`,
+//! 33 buckets covering every `u64` distance) and attributed to the
+//! innermost active kernel region from the stream's positional
+//! [`StreamEvent`]s, aggregated by region name across iterations; a
+//! synthetic [`WHOLE_STREAM`] region always covers everything.
+//!
+//! The stack distance is computed with the classic Bentley–Sleator
+//! tree-over-time trick: a Fenwick tree marks each line's most recent
+//! access position, so "distinct lines since my last access" is a prefix
+//! sum — `O(log n)` per access, exact, no sampling.
+
+use std::collections::HashMap;
+
+use crate::compile::StreamEvent;
+use crate::prog::{Inst, Op};
+
+/// Name of the synthetic region covering the whole stream.
+pub const WHOLE_STREAM: &str = "<stream>";
+
+/// Number of `floor(log2(d + 1))` histogram buckets (covers all of `u64`).
+pub const REUSE_BUCKETS: usize = 33;
+
+/// Reuse profile of one kernel region (aggregated over every dynamic
+/// instance of the region name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReuse {
+    /// Region name from `Engine::region`, or [`WHOLE_STREAM`].
+    pub name: String,
+    /// Line-granular accesses attributed to the region.
+    pub accesses: u64,
+    /// First-touch (compulsory) accesses among them.
+    pub cold: u64,
+    /// Distinct lines touched — the region's working set, in lines.
+    pub distinct_lines: u64,
+    /// Gather/scatter *elements* issued inside the region (the traffic an
+    /// SSPM-resident operand would absorb).
+    pub indexed_elems: u64,
+    /// `hist[b]` = accesses whose stack distance `d` has
+    /// `floor(log2(d + 1)) == b`. Cold accesses are *not* in the histogram.
+    pub hist: [u64; REUSE_BUCKETS],
+}
+
+impl RegionReuse {
+    fn new(name: &str) -> Self {
+        RegionReuse {
+            name: name.to_string(),
+            accesses: 0,
+            cold: 0,
+            distinct_lines: 0,
+            indexed_elems: 0,
+            hist: [0; REUSE_BUCKETS],
+        }
+    }
+
+    /// Accesses that would hit a fully-associative LRU store holding
+    /// `capacity_lines` lines. Conservative across bucket boundaries: only
+    /// buckets whose *entire* distance range fits are counted.
+    pub fn hits_within(&self, capacity_lines: u64) -> u64 {
+        let mut hits = 0;
+        for (b, &n) in self.hist.iter().enumerate() {
+            // Bucket b holds distances in [2^b - 1, 2^(b+1) - 2].
+            let max_d = (1u128 << (b + 1)) - 2;
+            if max_d < capacity_lines as u128 {
+                hits += n;
+            }
+        }
+        hits
+    }
+}
+
+/// Fenwick tree counting marked time slots, for prefix "distinct lines
+/// accessed since" queries.
+struct Bit {
+    tree: Vec<u32>,
+}
+
+impl Bit {
+    fn new(n: usize) -> Self {
+        Bit {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of marks in positions `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        i += 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+fn bucket(d: u64) -> usize {
+    (64 - (d + 1).leading_zeros() - 1) as usize
+}
+
+fn for_each_line(inst: &Inst, line: u64, mut f: impl FnMut(u64, bool)) {
+    match &inst.op {
+        Op::Load { addr, bytes } | Op::Store { addr, bytes } => {
+            let first = addr / line;
+            let last = (addr + (*bytes).max(1) as u64 - 1) / line;
+            for l in first..=last {
+                f(l, false);
+            }
+        }
+        Op::Gather { addrs, .. } | Op::Scatter { addrs, .. } => {
+            for &a in addrs.as_slice() {
+                f(a / line, true);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Runs the reuse pass. `line_bytes` sets the access granularity (use the
+/// machine's L1 line size). Returns one profile per region name, the
+/// synthetic [`WHOLE_STREAM`] entry first, the rest in order of first
+/// appearance.
+pub fn region_reuse(
+    insts: &[Inst],
+    events: &[(usize, StreamEvent)],
+    line_bytes: u64,
+) -> Vec<RegionReuse> {
+    let line = line_bytes.max(1);
+    // Pre-pass: size the time axis.
+    let mut total_accesses = 0usize;
+    for inst in insts {
+        for_each_line(inst, line, |_, _| total_accesses += 1);
+    }
+
+    let mut regions: Vec<RegionReuse> = vec![RegionReuse::new(WHOLE_STREAM)];
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    // Distinct-line sets per region (indexed like `regions`).
+    let mut lines_of: Vec<HashMap<u64, ()>> = vec![HashMap::new()];
+    let mut stack: Vec<usize> = Vec::new();
+
+    let mut bit = Bit::new(total_accesses);
+    let mut last_time: HashMap<u64, usize> = HashMap::new();
+    let mut now = 0usize;
+    let mut ev = events.iter().peekable();
+
+    for (i, inst) in insts.iter().enumerate() {
+        while let Some(&&(pos, ref e)) = ev.peek() {
+            if pos > i {
+                break;
+            }
+            match e {
+                StreamEvent::RegionBegin(name) => {
+                    let idx = *by_name.entry(name).or_insert_with(|| {
+                        regions.push(RegionReuse::new(name));
+                        lines_of.push(HashMap::new());
+                        regions.len() - 1
+                    });
+                    stack.push(idx);
+                }
+                StreamEvent::RegionEnd => {
+                    stack.pop();
+                }
+                StreamEvent::Marker(_) => {}
+            }
+            ev.next();
+        }
+        let innermost = stack.last().copied();
+        let indexed = matches!(inst.op, Op::Gather { .. } | Op::Scatter { .. });
+        for_each_line(inst, line, |l, is_elem| {
+            let dist = match last_time.get(&l).copied() {
+                Some(prev) => {
+                    let d = bit.prefix(now) - bit.prefix(prev);
+                    bit.add(prev, -1);
+                    Some(d)
+                }
+                None => None,
+            };
+            bit.add(now, 1);
+            last_time.insert(l, now);
+            now += 1;
+            for idx in [Some(0), innermost].into_iter().flatten() {
+                let r = &mut regions[idx];
+                r.accesses += 1;
+                if is_elem && indexed {
+                    r.indexed_elems += 1;
+                }
+                match dist {
+                    Some(d) => r.hist[bucket(d)] += 1,
+                    None => r.cold += 1,
+                }
+                lines_of[idx].entry(l).or_insert(());
+            }
+        });
+    }
+
+    for (r, lines) in regions.iter_mut().zip(&lines_of) {
+        r.distinct_lines = lines.len() as u64;
+    }
+    regions
+}

@@ -20,7 +20,10 @@
 //!   non-custom instruction has completed, while still pipelining among
 //!   themselves through the custom unit.
 
+use std::sync::Arc;
+
 use crate::alloc::AddressSpace;
+use crate::analyze::{self, AnalysisReport, AnalyzeConfig};
 use crate::calendar::Calendar;
 use crate::compile::{CompiledStream, StreamEvent};
 use crate::config::{CoreConfig, MemConfig};
@@ -123,6 +126,10 @@ pub struct Engine {
     /// empty) streaming verifier's report, so captured diagnostics are
     /// bit-identical between the interpreted and compiled paths.
     replayed_report: Option<verify::Report>,
+    /// The static-analysis report attached by [`Engine::analyze_compiled`]
+    /// for the stream most recently analyzed on this engine. Cleared by
+    /// [`Engine::reset`] so a reused engine cannot leak a stale report.
+    analysis: Option<Arc<AnalysisReport>>,
     stats: RunStats,
 }
 
@@ -164,6 +171,7 @@ impl Engine {
             verify_capture,
             recording: None,
             replayed_report: None,
+            analysis: None,
             core,
             stats: RunStats::default(),
         }
@@ -799,6 +807,24 @@ impl Engine {
         ))
     }
 
+    /// Runs the static analyzer over a compiled stream with this engine's
+    /// machine configuration and attaches the report to the engine (read
+    /// it back with [`Engine::analysis_report`]). The attachment is
+    /// per-run state: [`Engine::reset`] clears it, so a reused engine can
+    /// never serve a stale report for a different stream.
+    pub fn analyze_compiled(&mut self, stream: &CompiledStream) -> Arc<AnalysisReport> {
+        let cfg = AnalyzeConfig::from_machine(&self.core, self.hier.config());
+        let report = Arc::new(analyze::analyze(stream, &cfg));
+        self.analysis = Some(report.clone());
+        report
+    }
+
+    /// The report attached by the most recent [`Engine::analyze_compiled`]
+    /// on this run, if any.
+    pub fn analysis_report(&self) -> Option<&Arc<AnalysisReport>> {
+        self.analysis.as_ref()
+    }
+
     /// Replays a compiled stream through the timing model: a tight loop
     /// over the pre-decoded instructions with no verifier work (the stream
     /// was verified once at compile). Returns the last instruction's
@@ -906,6 +932,7 @@ impl Engine {
         self.pushes_since_prune = 0;
         self.timeline = None;
         self.recording = None;
+        self.analysis = None;
         // Trace state must not leak between back-to-back runs: zero the
         // accumulators, empty the ring, and unwind the region stack, while
         // keeping the enabled flags so a reused engine keeps tracing.

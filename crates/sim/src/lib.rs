@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod analyze;
 pub mod calendar;
 pub mod compile;
 pub mod config;
@@ -55,6 +56,7 @@ pub mod trace;
 pub mod verify;
 
 pub use alloc::{AddressSpace, Region};
+pub use analyze::{analyze, AnalysisCache, AnalysisReport, AnalyzeConfig, StaticBound};
 pub use compile::{config_hash, fnv1a64, stream_hash, CompiledStream, StreamCache};
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use engine::Engine;

@@ -19,6 +19,10 @@ static STREAM_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static CYCLE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CYCLE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static SKIPPED_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static ANALYZED_STREAMS: AtomicU64 = AtomicU64::new(0);
+static ANALYZED_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static ANALYSIS_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static ANALYSIS_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Credits `n` retired instructions to the process-wide counter. Called by
 /// the engine on `finish()` and `reset()`; an engine dropped mid-run is
@@ -69,6 +73,23 @@ pub fn record_skipped_instructions(n: u64) {
     SKIPPED_INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
 }
 
+/// Credits one statically analyzed stream of `n` instructions (called by
+/// [`analyze`](crate::analyze::analyze) on every non-memoized run).
+pub(crate) fn record_analyzed(n: u64) {
+    ANALYZED_STREAMS.fetch_add(1, Ordering::Relaxed);
+    ANALYZED_INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Counts an [`AnalysisCache`](crate::analyze::AnalysisCache) lookup.
+pub(crate) fn record_analysis_cache(hit: bool) {
+    let counter = if hit {
+        &ANALYSIS_CACHE_HITS
+    } else {
+        &ANALYSIS_CACHE_MISSES
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Total simulated instructions retired by all engines in this process,
 /// across all threads. Monotonic; diff two readings to bracket a sweep.
 pub fn simulated_instructions() -> u64 {
@@ -98,6 +119,14 @@ pub struct TelemetrySnapshot {
     pub cycle_cache_misses: u64,
     /// Instructions never simulated thanks to cycle-memo hits.
     pub skipped_instructions: u64,
+    /// Streams run through the static analyzer (non-memoized).
+    pub analyzed_streams: u64,
+    /// Instructions across all analyzed streams.
+    pub analyzed_instructions: u64,
+    /// Analysis-report memo hits ((stream-hash, analyze-config) → report).
+    pub analysis_cache_hits: u64,
+    /// Analysis-report memo misses.
+    pub analysis_cache_misses: u64,
 }
 
 impl TelemetrySnapshot {
@@ -113,6 +142,10 @@ impl TelemetrySnapshot {
             cycle_cache_hits: self.cycle_cache_hits - earlier.cycle_cache_hits,
             cycle_cache_misses: self.cycle_cache_misses - earlier.cycle_cache_misses,
             skipped_instructions: self.skipped_instructions - earlier.skipped_instructions,
+            analyzed_streams: self.analyzed_streams - earlier.analyzed_streams,
+            analyzed_instructions: self.analyzed_instructions - earlier.analyzed_instructions,
+            analysis_cache_hits: self.analysis_cache_hits - earlier.analysis_cache_hits,
+            analysis_cache_misses: self.analysis_cache_misses - earlier.analysis_cache_misses,
         }
     }
 
@@ -127,7 +160,8 @@ impl TelemetrySnapshot {
     pub fn render(&self) -> String {
         format!(
             "compile/replay: {} streams compiled ({} instr), {} instr replayed, \
-             {} instr memo-skipped | stream cache {}/{} hit, cycle memo {}/{} hit",
+             {} instr memo-skipped | stream cache {}/{} hit, cycle memo {}/{} hit \
+             | analyzed {} streams ({} instr), analysis memo {}/{} hit",
             self.compiled_streams,
             self.compiled_instructions,
             self.replayed_instructions,
@@ -136,6 +170,10 @@ impl TelemetrySnapshot {
             self.stream_cache_hits + self.stream_cache_misses,
             self.cycle_cache_hits,
             self.cycle_cache_hits + self.cycle_cache_misses,
+            self.analyzed_streams,
+            self.analyzed_instructions,
+            self.analysis_cache_hits,
+            self.analysis_cache_hits + self.analysis_cache_misses,
         )
     }
 }
@@ -152,6 +190,10 @@ pub fn snapshot() -> TelemetrySnapshot {
         cycle_cache_hits: CYCLE_CACHE_HITS.load(Ordering::Relaxed),
         cycle_cache_misses: CYCLE_CACHE_MISSES.load(Ordering::Relaxed),
         skipped_instructions: SKIPPED_INSTRUCTIONS.load(Ordering::Relaxed),
+        analyzed_streams: ANALYZED_STREAMS.load(Ordering::Relaxed),
+        analyzed_instructions: ANALYZED_INSTRUCTIONS.load(Ordering::Relaxed),
+        analysis_cache_hits: ANALYSIS_CACHE_HITS.load(Ordering::Relaxed),
+        analysis_cache_misses: ANALYSIS_CACHE_MISSES.load(Ordering::Relaxed),
     }
 }
 

@@ -37,9 +37,16 @@
 //! | VIA010 | error | direct write into CAM-owned SSPM entries |
 //! | VIA011 | error | index-table read while no indices are tracked |
 //! | VIA012 | warning | CAM insertions may exceed the index-table capacity |
+//! | VIA101 | analysis | register write dead: redefined before any read |
+//! | VIA102 | analysis | stored bytes fully overwritten before any read |
+//! | VIA103 | analysis | gather must-aliases an earlier unordered scatter |
+//! | VIA104 | analysis | proven CAM index-table occupancy above capacity |
 //!
 //! "Violations" throughout the repo means **errors**; warnings are reported
-//! but never fail a gate.
+//! but never fail a gate. The `VIA1xx` block is reserved for the whole-stream
+//! dataflow passes in [`mod@crate::analyze`]: *analysis* findings are proven
+//! facts about a finished stream (inefficiencies, sharpened occupancy
+//! bounds), not structural defects, and never fail a gate either.
 
 use crate::config::CoreConfig;
 use crate::prog::{Inst, Op, Reg};
@@ -53,6 +60,10 @@ pub enum Severity {
     Warning,
     /// The stream would be silently mis-simulated (a *violation*).
     Error,
+    /// A proven whole-stream fact from the [`mod@crate::analyze`] passes
+    /// (dead work, sharpened occupancy bounds); informational, never a
+    /// violation.
+    Analysis,
 }
 
 /// Stable machine-readable diagnostic codes (`VIA001`..`VIA012`).
@@ -88,6 +99,19 @@ pub enum DiagCode {
     SspmIndexReadEmpty,
     /// VIA012: CAM insertions that may overflow the index table.
     SspmCamOverflowRisk,
+    /// VIA101: a register write that is provably dead — the register is
+    /// redefined later with no intervening read.
+    DeadRegisterWrite,
+    /// VIA102: a store whose bytes are all overwritten before any load,
+    /// gather, or scatter-read observes them.
+    DeadStore,
+    /// VIA103: a gather that byte-exactly overlaps an earlier scatter in
+    /// the whole stream with no ordering evidence (sharpens the windowed
+    /// dynamic VIA008 check).
+    MustAliasConflict,
+    /// VIA104: a proven upper bound on CAM index-table occupancy that
+    /// exceeds the configured capacity (sharpens VIA011/VIA012).
+    CamOccupancyBound,
 }
 
 impl DiagCode {
@@ -106,8 +130,39 @@ impl DiagCode {
             DiagCode::SspmDirectWriteUnderCam => "VIA010",
             DiagCode::SspmIndexReadEmpty => "VIA011",
             DiagCode::SspmCamOverflowRisk => "VIA012",
+            DiagCode::DeadRegisterWrite => "VIA101",
+            DiagCode::DeadStore => "VIA102",
+            DiagCode::MustAliasConflict => "VIA103",
+            DiagCode::CamOccupancyBound => "VIA104",
         }
     }
+
+    /// Alias for [`DiagCode::code`]; the README diagnostic table is kept in
+    /// sync against this name.
+    pub fn as_str(self) -> &'static str {
+        self.code()
+    }
+
+    /// Every diagnostic code, in `VIAxxx` order (used by the README table
+    /// sync test and exhaustive negative-test coverage checks).
+    pub const ALL: [DiagCode; 16] = [
+        DiagCode::UndefinedRegister,
+        DiagCode::RegisterOutOfRange,
+        DiagCode::SelfDependency,
+        DiagCode::AddrListMismatch,
+        DiagCode::DuplicateSources,
+        DiagCode::CustomWithoutUnit,
+        DiagCode::DegenerateOperand,
+        DiagCode::UnorderedGatherAfterScatter,
+        DiagCode::SspmModeConflict,
+        DiagCode::SspmDirectWriteUnderCam,
+        DiagCode::SspmIndexReadEmpty,
+        DiagCode::SspmCamOverflowRisk,
+        DiagCode::DeadRegisterWrite,
+        DiagCode::DeadStore,
+        DiagCode::MustAliasConflict,
+        DiagCode::CamOccupancyBound,
+    ];
 
     /// The severity class of this code.
     pub fn severity(self) -> Severity {
@@ -115,6 +170,10 @@ impl DiagCode {
             DiagCode::DuplicateSources
             | DiagCode::DegenerateOperand
             | DiagCode::SspmCamOverflowRisk => Severity::Warning,
+            DiagCode::DeadRegisterWrite
+            | DiagCode::DeadStore
+            | DiagCode::MustAliasConflict
+            | DiagCode::CamOccupancyBound => Severity::Analysis,
             _ => Severity::Error,
         }
     }
@@ -134,6 +193,10 @@ impl DiagCode {
             DiagCode::SspmDirectWriteUnderCam => "direct write into CAM-owned SSPM entries",
             DiagCode::SspmIndexReadEmpty => "index-table read while no indices are tracked",
             DiagCode::SspmCamOverflowRisk => "CAM insertions may overflow the index table",
+            DiagCode::DeadRegisterWrite => "register write is dead (redefined before any read)",
+            DiagCode::DeadStore => "stored bytes are fully overwritten before any read",
+            DiagCode::MustAliasConflict => "gather must-aliases an earlier unordered scatter",
+            DiagCode::CamOccupancyBound => "proven CAM occupancy bound exceeds the index table",
         }
     }
 }
@@ -182,6 +245,7 @@ impl Diag {
         let level = match self.severity() {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Analysis => "analysis",
         };
         format!(
             "{level}[{}]: {}\n  --> inst #{} ({})\n  = note: {}",
@@ -220,7 +284,19 @@ impl Report {
 
     /// Number of warning-severity diagnostics.
     pub fn warning_count(&self) -> usize {
-        self.diags.len() - self.error_count()
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// Number of analysis-severity diagnostics (whole-stream facts from
+    /// [`mod@crate::analyze`]; never violations).
+    pub fn analysis_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Analysis)
+            .count()
     }
 
     /// Whether the stream has no errors (warnings allowed).
@@ -241,11 +317,16 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "verified {} instructions: {} errors, {} warnings\n",
+            "verified {} instructions: {} errors, {} warnings",
             self.instructions,
             self.error_count(),
             self.warning_count()
         ));
+        let analysis = self.analysis_count();
+        if analysis > 0 {
+            out.push_str(&format!(", {analysis} analysis findings"));
+        }
+        out.push('\n');
         out
     }
 }

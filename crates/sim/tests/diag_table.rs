@@ -1,0 +1,61 @@
+//! Keeps the README diagnostic-code table in lock-step with the code:
+//! every `DiagCode` must appear in the table with its exact severity and
+//! summary, and the table must not document codes that no longer exist.
+
+use via_sim::verify::{DiagCode, Severity};
+
+fn severity_word(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Analysis => "analysis",
+    }
+}
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    std::fs::read_to_string(path).expect("README.md at the workspace root")
+}
+
+#[test]
+fn readme_table_documents_every_code_verbatim() {
+    let readme = readme();
+    for code in DiagCode::ALL {
+        let row = format!(
+            "| {} | {} | {} |",
+            code.as_str(),
+            severity_word(code.severity()),
+            code.summary()
+        );
+        assert!(
+            readme.contains(&row),
+            "README diagnostic table is missing or stale for {}: expected \
+             the exact row `{row}`",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn readme_table_has_no_unknown_codes() {
+    let known: Vec<&str> = DiagCode::ALL.iter().map(|c| c.as_str()).collect();
+    for line in readme().lines() {
+        let Some(rest) = line.strip_prefix("| VIA") else {
+            continue;
+        };
+        let code = format!("VIA{}", rest.split(' ').next().unwrap_or_default());
+        assert!(
+            known.contains(&code.as_str()),
+            "README documents {code}, which DiagCode::ALL does not contain"
+        );
+    }
+}
+
+#[test]
+fn all_is_exhaustive_and_sorted() {
+    let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.as_str()).collect();
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(codes, sorted, "DiagCode::ALL must be sorted and unique");
+}
