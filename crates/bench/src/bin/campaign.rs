@@ -1,5 +1,6 @@
-//! `via-campaign`: resumable, fault-isolated sweep campaigns over a matrix
-//! corpus (toward the paper's 1,024-matrix evaluation, §V-B).
+//! `via-campaign`: resumable, fault-isolated, distributable sweep
+//! campaigns over a matrix corpus (toward the paper's 1,024-matrix
+//! evaluation, §V-B).
 //!
 //! ```sh
 //! # Fresh 1,024-matrix synthetic sweep of the VIA-CSB SpMV kernel:
@@ -10,19 +11,31 @@
 //! cargo run --release -p via-bench --bin campaign -- \
 //!     --dir campaign_out --synthetic 1024 --resume
 //!
-//! # Re-attempt only the quarantined jobs:
+//! # Shard 0 of a 3-process distributed run (see `merge` below):
 //! cargo run --release -p via-bench --bin campaign -- \
-//!     --dir campaign_out --synthetic 1024 --retry-quarantined
+//!     --dir shard0 --synthetic 1024 --shard 0/3
 //!
-//! # Regenerate the Fig-10/11-style report from the store alone:
+//! # Fold shard stores into one canonical store (byte-identical to a
+//! # canonicalized solo run):
 //! cargo run --release -p via-bench --bin campaign -- \
-//!     --dir campaign_out --report-only
+//!     merge merged shard0 shard1 shard2
+//!
+//! # Live report over any subset of shard stores:
+//! cargo run --release -p via-bench --bin campaign -- report shard0 shard2
+//!
+//! # Long-running job server + a smoke client that exercises the dedup
+//! # layers:
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     serve --dir serve_store --listen 127.0.0.1:0 --port-file addr.txt
+//! cargo run --release -p via-bench --bin campaign -- \
+//!     client --addr "$(cat addr.txt)" --count 4 --repeat 3 --shutdown
 //! ```
 
 use std::path::PathBuf;
 use via_bench::campaign::{
-    aggregate_report, load_quarantine, quarantine_table, run_campaign, CampaignConfig, Corpus,
-    KernelKind, Mode,
+    aggregate_report, aggregate_report_dirs, load_quarantine, merge_stores, quarantine_table,
+    run_campaign, run_client, serve, CampaignConfig, ClientConfig, Corpus, KernelKind, Mode,
+    ServeConfig, ShardSpec,
 };
 use via_bench::report::banner;
 use via_formats::gen::StratifiedConfig;
@@ -35,21 +48,27 @@ struct Cli {
     threads: Option<usize>,
     budget_ms: u64,
     max_jobs: Option<usize>,
+    shard: ShardSpec,
     report_only: bool,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign --dir <store> [corpus] [options]\n\
+        "usage: campaign [run] --dir <store> [corpus] [options]\n\
+         \x20      campaign merge <out-store> <in-store>...\n\
+         \x20      campaign report <store>...\n\
+         \x20      campaign serve --dir <store> [--listen <addr>] [serve options]\n\
+         \x20      campaign client --addr <host:port> [client options]\n\
          \n\
          corpus (pick one; default --synthetic 64):\n\
          \x20 --synthetic <N>        N-matrix stratified synthetic corpus (paper uses 1024)\n\
          \x20 --corpus <manifest>    text file listing local .mtx paths (# comments ok)\n\
          \n\
-         options:\n\
+         run options:\n\
          \x20 --resume               skip work already in results.jsonl, run the rest\n\
          \x20 --retry-quarantined    re-attempt only the quarantined jobs\n\
+         \x20 --shard <i/n>          own only the 1/n slice of jobs hashed to index i\n\
          \x20 --kernels <a,b,..>     kernel pairs to sweep (default spmv_csb; `all` for all):\n\
          \x20                        spmv_csr spmv_spc5 spmv_sell spmv_csb spma spmm\n\
          \x20 --threads <N>          worker threads (default: all cores)\n\
@@ -58,12 +77,37 @@ fn usage() -> ! {
          \x20 --seed <S>             synthetic corpus master seed\n\
          \x20 --min-rows/--max-rows  synthetic matrix size range (default 256..8192)\n\
          \x20 --report-only          print the aggregate report from the store and exit\n\
-         \x20 --quiet                suppress per-job progress lines"
+         \x20 --quiet                suppress per-job progress lines\n\
+         \n\
+         serve options:\n\
+         \x20 --listen <addr>        bind address (default 127.0.0.1:0, ephemeral port)\n\
+         \x20 --port-file <path>     write the bound address here (for scripts)\n\
+         \x20 --threads <N>          simulation workers (default 2)\n\
+         \x20 --budget-ms <N>        per-job wall-clock budget (default 120000)\n\
+         \n\
+         client options:\n\
+         \x20 --addr <host:port>     server address (required)\n\
+         \x20 --kernel <name>        kernel to request (default spmv_csb)\n\
+         \x20 --family <name>        synthetic family (default banded)\n\
+         \x20 --count <N>            distinct matrices (default 4)\n\
+         \x20 --repeat <N>           requests per matrix (default 3)\n\
+         \x20 --rows <N>             base matrix size (default 96)\n\
+         \x20 --expect-dedup <N>     exit 1 unless >= N requests were deduplicated\n\
+         \x20 --shutdown             drain and stop the server after the batch"
     );
     std::process::exit(2);
 }
 
-fn parse_cli(args: &[String]) -> Cli {
+fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+        .clone()
+}
+
+fn parse_run_cli(args: &[String]) -> Cli {
     let mut dir: Option<PathBuf> = None;
     let mut synthetic: Option<usize> = None;
     let mut manifest: Option<PathBuf> = None;
@@ -72,34 +116,34 @@ fn parse_cli(args: &[String]) -> Cli {
     let mut threads = None;
     let mut budget_ms = 120_000u64;
     let mut max_jobs = None;
+    let mut shard = ShardSpec::SOLO;
     let mut report_only = false;
     let mut quiet = false;
     let mut strat = StratifiedConfig::default();
 
     let mut it = args.iter();
-    let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> String {
-        it.next()
-            .unwrap_or_else(|| {
-                eprintln!("{flag} needs a value");
-                usage()
-            })
-            .clone()
-    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--dir" => dir = Some(PathBuf::from(value(&mut it, "--dir"))),
+            "--dir" => dir = Some(PathBuf::from(need(&mut it, "--dir"))),
             "--synthetic" => {
                 synthetic = Some(
-                    value(&mut it, "--synthetic")
+                    need(&mut it, "--synthetic")
                         .parse()
                         .unwrap_or_else(|_| usage()),
                 )
             }
-            "--corpus" => manifest = Some(PathBuf::from(value(&mut it, "--corpus"))),
+            "--corpus" => manifest = Some(PathBuf::from(need(&mut it, "--corpus"))),
             "--resume" => mode = Mode::Resume,
             "--retry-quarantined" => mode = Mode::RetryQuarantined,
+            "--shard" => {
+                let spec = need(&mut it, "--shard");
+                shard = ShardSpec::parse(&spec).unwrap_or_else(|| {
+                    eprintln!("--shard wants i/n with i < n (e.g. 0/3), got {spec:?}");
+                    usage()
+                });
+            }
             "--kernels" => {
-                let spec = value(&mut it, "--kernels");
+                let spec = need(&mut it, "--kernels");
                 kernels = if spec == "all" {
                     KernelKind::ALL.to_vec()
                 } else {
@@ -115,31 +159,31 @@ fn parse_cli(args: &[String]) -> Cli {
             }
             "--threads" => {
                 threads = Some(
-                    value(&mut it, "--threads")
+                    need(&mut it, "--threads")
                         .parse()
                         .unwrap_or_else(|_| usage()),
                 )
             }
             "--budget-ms" => {
-                budget_ms = value(&mut it, "--budget-ms")
+                budget_ms = need(&mut it, "--budget-ms")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
             "--max-jobs" => {
                 max_jobs = Some(
-                    value(&mut it, "--max-jobs")
+                    need(&mut it, "--max-jobs")
                         .parse()
                         .unwrap_or_else(|_| usage()),
                 )
             }
-            "--seed" => strat.seed = value(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--seed" => strat.seed = need(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
             "--min-rows" => {
-                strat.min_rows = value(&mut it, "--min-rows")
+                strat.min_rows = need(&mut it, "--min-rows")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
             "--max-rows" => {
-                strat.max_rows = value(&mut it, "--max-rows")
+                strat.max_rows = need(&mut it, "--max-rows")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
@@ -178,14 +222,14 @@ fn parse_cli(args: &[String]) -> Cli {
         threads,
         budget_ms,
         max_jobs,
+        shard,
         report_only,
         quiet,
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = parse_cli(&args);
+fn cmd_run(args: &[String]) {
+    let cli = parse_run_cli(args);
     print!(
         "{}",
         banner(
@@ -210,16 +254,18 @@ fn main() {
     cfg.kernels = cli.kernels;
     cfg.budget_ms = cli.budget_ms;
     cfg.max_jobs = cli.max_jobs;
+    cfg.shard = cli.shard;
     cfg.progress = !cli.quiet;
     if let Some(t) = cli.threads {
         cfg.threads = t;
     }
     eprintln!(
-        "store {} | {} kernels | {} threads | budget {} ms | mode {:?}",
+        "store {} | {} kernels | {} threads | budget {} ms | shard {} | mode {:?}",
         cli.dir.display(),
         cfg.kernels.len(),
         cfg.threads,
         cfg.budget_ms,
+        cfg.shard,
         cli.mode,
     );
 
@@ -233,10 +279,11 @@ fn main() {
     };
     println!(
         "run: {} completed ({} from the cycle memo), {} skipped (already done), \
-         {} quarantined{}",
+         {} foreign (other shards), {} quarantined{}",
         outcome.completed,
         outcome.cycle_cache_hits,
         outcome.skipped,
+        outcome.foreign,
         outcome.quarantined,
         if outcome.aborted {
             " — stopped early at --max-jobs"
@@ -268,9 +315,211 @@ fn main() {
             Err(e) => eprintln!("report failed: {e}"),
         }
     }
-    if outcome.completed == 0 && outcome.skipped == 0 {
-        // Nothing ran and nothing was already done: the corpus produced no
-        // usable work (all quarantined or empty) — signal failure.
+    if outcome.completed == 0 && outcome.skipped == 0 && outcome.foreign == 0 {
+        // Nothing ran, nothing was already done, and nothing belonged to
+        // another shard: the corpus produced no usable work (all
+        // quarantined or empty) — signal failure.
         std::process::exit(1);
+    }
+}
+
+fn cmd_merge(args: &[String]) {
+    if args.len() < 2 || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("merge wants: campaign merge <out-store> <in-store>...");
+        usage();
+    }
+    let out = PathBuf::from(&args[0]);
+    let inputs: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+    match merge_stores(&out, &inputs) {
+        Ok(s) => {
+            println!(
+                "merged {} stores into {}: {} results, {} cycle-memo rows, {} quarantined \
+                 | {} duplicate rows dropped, {} conflicts",
+                s.inputs,
+                out.display(),
+                s.results,
+                s.cycles,
+                s.quarantined,
+                s.duplicates,
+                s.conflicts,
+            );
+            if s.conflicts > 0 {
+                eprintln!(
+                    "warning: {} conflicting rows (same job, different bytes) — the inputs \
+                     were not produced by one deterministic sweep",
+                    s.conflicts
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_report(args: &[String]) {
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("report wants: campaign report <store>...");
+        usage();
+    }
+    let dirs: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+    match aggregate_report_dirs(&dirs) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut dir: Option<PathBuf> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut port_file = None;
+    let mut threads = 2usize;
+    let mut budget_ms = 120_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(need(&mut it, "--dir"))),
+            "--listen" => listen = need(&mut it, "--listen"),
+            "--port-file" => port_file = Some(PathBuf::from(need(&mut it, "--port-file"))),
+            "--threads" => {
+                threads = need(&mut it, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--budget-ms" => {
+                budget_ms = need(&mut it, "--budget-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown serve argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("serve needs --dir");
+        usage()
+    };
+    let mut cfg = ServeConfig::new(dir);
+    cfg.listen = listen;
+    cfg.port_file = port_file;
+    cfg.threads = threads;
+    cfg.budget_ms = budget_ms;
+    let handle = match serve::start(&cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "campaign serve listening on {} | store {} | {} workers",
+        handle.addr(),
+        cfg.dir.display(),
+        cfg.threads,
+    );
+    handle.join();
+    let stats = via_sim::telemetry::snapshot();
+    println!(
+        "serve drained: {} requests ({} memo, {} coalesced)",
+        stats.serve_requests, stats.serve_memo_hits, stats.serve_coalesced,
+    );
+}
+
+fn cmd_client(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut cfg = ClientConfig::new(String::new());
+    let mut expect_dedup: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(need(&mut it, "--addr")),
+            "--kernel" => {
+                let name = need(&mut it, "--kernel");
+                cfg.kernel = KernelKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown kernel {name:?}");
+                    usage()
+                });
+            }
+            "--family" => cfg.family = need(&mut it, "--family"),
+            "--count" => cfg.count = need(&mut it, "--count").parse().unwrap_or_else(|_| usage()),
+            "--repeat" => {
+                cfg.repeat = need(&mut it, "--repeat")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--rows" => cfg.rows = need(&mut it, "--rows").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = need(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--expect-dedup" => {
+                expect_dedup = Some(
+                    need(&mut it, "--expect-dedup")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--shutdown" => cfg.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown client argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("client needs --addr");
+        usage()
+    };
+    cfg.addr = addr;
+    let outcome = match run_client(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("client session failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "client: {} simulated, {} memo, {} coalesced, {} errors \
+         | server totals: {} requests, {} simulated, {} deduplicated, {} session rows",
+        outcome.simulated,
+        outcome.memo,
+        outcome.coalesced,
+        outcome.errors,
+        outcome.stats.requests,
+        outcome.stats.simulated,
+        outcome.stats.deduplicated(),
+        outcome.stats.session_rows,
+    );
+    if outcome.errors > 0 {
+        eprintln!("client saw {} errored requests", outcome.errors);
+        std::process::exit(1);
+    }
+    if let Some(want) = expect_dedup {
+        let got = outcome.deduplicated().max(outcome.stats.deduplicated());
+        if got < want {
+            eprintln!("expected >= {want} deduplicated requests, saw {got}");
+            std::process::exit(1);
+        }
+        println!("dedup check: {got} >= {want} requests answered without re-simulation");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        // Legacy flag-only form (`campaign --dir ...`) is the run command.
+        Some(flag) if flag.starts_with("--") => cmd_run(&args),
+        _ => usage(),
     }
 }

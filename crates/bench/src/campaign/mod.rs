@@ -1,4 +1,5 @@
-//! `via-campaign`: resumable, fault-isolated sweep orchestration.
+//! `via-campaign`: resumable, fault-isolated, **shardable** sweep
+//! orchestration.
 //!
 //! The paper's headline evaluation sweeps **1,024 SuiteSparse matrices**
 //! (§V-B). A sweep of that size is a *campaign*, not a function call: it
@@ -10,12 +11,18 @@
 //!   self-describing JSON row to `results.jsonl`, carrying a content hash
 //!   over the row body. Torn rows from a killed writer are detected and
 //!   dropped on reload, so the log is crash-safe without any write barrier
-//!   beyond line-buffered appends.
+//!   beyond line-buffered appends (see [`store`]).
 //! * **Resume manifest** — the log doubles as the manifest: rows are keyed
 //!   by `(matrix fingerprint, kernel, config)`. [`Mode::Resume`] skips any
 //!   job whose key is already present, so a killed campaign re-run with
 //!   `--resume` is byte-equivalent (after canonical sort) to an
-//!   uninterrupted run and never re-executes completed work.
+//!   uninterrupted run and never re-executes completed work. The store's
+//!   `manifest.json` additionally records the shard spec; a resume under a
+//!   *different* spec is refused instead of silently mixing partitions.
+//! * **Deterministic sharding** — `--shard i/n` partitions the corpus by
+//!   content hash of each job's identity (see [`shard`]); N independent
+//!   processes produce stores whose canonical merge ([`merge_stores`]) is
+//!   byte-identical to a solo run's canonicalized store.
 //! * **Fault isolation** — each job runs on its own thread under
 //!   `catch_unwind` with a wall-clock budget. Panics, timeouts, malformed
 //!   inputs, and verification mismatches land in `quarantine.jsonl` with a
@@ -28,6 +35,10 @@
 //!   timing configuration rebuilds its result row from the memo and skips
 //!   the simulator entirely — level two of the compile/replay pipeline's
 //!   memoization (level one is the in-process [`via_sim::StreamCache`]).
+//! * **Service mode** — [`serve`] wraps the same store and memo layers in
+//!   a long-running batching job server over a local socket: the
+//!   "millions of users" front door that answers duplicate simulation
+//!   requests from the memo without touching the engine.
 //! * **Work-stealing queue** — workers claim job indices from a shared
 //!   atomic counter (the same contention-free scheme as
 //!   [`parallel_map`](crate::suite::parallel_map)) with per-worker progress
@@ -40,204 +51,50 @@
 //!   bounded by the thread count.
 //!
 //! [`aggregate_report`] regenerates Figure-10/11-style geomean tables from
-//! the JSONL store alone — no simulation state needed.
+//! the JSONL store alone; [`aggregate_report_dirs`] renders the same view
+//! **incrementally over any subset of shard stores** (see [`live`]), so a
+//! partial fleet run always has a consistent report.
+
+pub mod live;
+pub mod serve;
+pub mod shard;
+pub mod store;
+
+pub use live::{aggregate_report_dirs, ReportBuilder};
+pub use serve::{
+    run_client, ClientConfig, ClientOutcome, Request, Response, ServeConfig, ServeStats,
+    ServerHandle, SimTarget,
+};
+pub use shard::{
+    canonical_sort, canonical_sort_cycles, canonical_sort_quarantine, merge_stores, shard_key,
+    MergeSummary, ShardSpec,
+};
+pub use store::{
+    cycles_path, load_cycles, load_meta, load_quarantine, load_results, manifest_path,
+    quarantine_path, results_path, write_meta, CycleRow, QuarantineRow, ResultRow, StoreMeta,
+};
 
 use crate::report::{render_table, speedup};
 use crate::suite::default_threads;
 use std::collections::HashSet;
-use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
+use store::{rewrite_jsonl, Appender};
 use via_core::ViaConfig;
 use via_formats::gen::{self, MatrixSpec, StratifiedConfig};
-use via_formats::stats::{geomean, split_categories};
 use via_formats::{Csb, Csr, FormatError, SellCSigma, Spc5};
 use via_kernels::{spma, spmm, spmv, SimContext};
 
-// ---------------------------------------------------------------------------
-// Hashing + JSON primitives (the workspace is dependency-free by design:
-// JSON is hand-rolled here the same way the Chrome-trace exporter does it).
-// ---------------------------------------------------------------------------
-
 /// FNV-1a over a byte stream: the stable 64-bit content hash used for
-/// matrix fingerprints and per-row integrity hashes. Delegates to the
-/// simulator's [`via_sim::fnv1a64`] so the store's fingerprints and the
-/// compile/replay pipeline's stream/config hashes share one definition.
+/// matrix fingerprints, per-row integrity hashes, and shard keys.
+/// Delegates to the simulator's [`via_sim::fnv1a64`] so the store's
+/// fingerprints and the compile/replay pipeline's stream/config hashes
+/// share one definition.
 pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
     via_sim::fnv1a64(bytes)
-}
-
-/// Serializes a string as a JSON string literal (quotes, escapes).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// One scalar field of a flat JSONL row.
-#[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
-    /// A (decoded) string value.
-    Str(String),
-    /// A number kept as its raw token (re-parsed as needed).
-    Num(String),
-    /// An array of strings (the quarantine error chain).
-    List(Vec<String>),
-}
-
-/// Parses one flat JSON object (`{"k":v,...}` with string / number /
-/// string-array values). Returns `None` on any syntax error — the loader
-/// treats that as a torn line.
-fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonVal)>> {
-    let mut chars = line.trim().chars().peekable();
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
-            chars.next();
-        }
-    }
-    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut out = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(out),
-                '\\' => match chars.next()? {
-                    '"' => out.push('"'),
-                    '\\' => out.push('\\'),
-                    'n' => out.push('\n'),
-                    'r' => out.push('\r'),
-                    't' => out.push('\t'),
-                    'u' => {
-                        let code: String = (0..4).map(|_| chars.next().unwrap_or('!')).collect();
-                        let v = u32::from_str_radix(&code, 16).ok()?;
-                        out.push(char::from_u32(v)?);
-                    }
-                    _ => return None,
-                },
-                c => out.push(c),
-            }
-        }
-    }
-    fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-        let mut out = String::new();
-        while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
-        {
-            out.push(chars.next()?);
-        }
-        if out.is_empty() {
-            None
-        } else {
-            Some(out)
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next()? != '{' {
-        return None;
-    }
-    let mut fields = Vec::new();
-    loop {
-        skip_ws(&mut chars);
-        match chars.peek()? {
-            '}' => {
-                chars.next();
-                break;
-            }
-            ',' => {
-                chars.next();
-                continue;
-            }
-            _ => {}
-        }
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()? != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let val = match chars.peek()? {
-            '"' => JsonVal::Str(parse_string(&mut chars)?),
-            '[' => {
-                chars.next();
-                let mut items = Vec::new();
-                loop {
-                    skip_ws(&mut chars);
-                    match chars.peek()? {
-                        ']' => {
-                            chars.next();
-                            break;
-                        }
-                        ',' => {
-                            chars.next();
-                        }
-                        _ => items.push(parse_string(&mut chars)?),
-                    }
-                }
-                JsonVal::List(items)
-            }
-            _ => JsonVal::Num(parse_number(&mut chars)?),
-        };
-        fields.push((key, val));
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return None; // trailing garbage
-    }
-    Some(fields)
-}
-
-fn field<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-fn str_field(fields: &[(String, JsonVal)], key: &str) -> Option<String> {
-    match field(fields, key)? {
-        JsonVal::Str(s) => Some(s.clone()),
-        _ => None,
-    }
-}
-
-fn num_field<T: std::str::FromStr>(fields: &[(String, JsonVal)], key: &str) -> Option<T> {
-    match field(fields, key)? {
-        JsonVal::Num(raw) => raw.parse().ok(),
-        _ => None,
-    }
-}
-
-/// Validates the `,"hash":"…"}` suffix of a row against the FNV-1a of the
-/// row body before it. Torn / hand-edited rows fail this check.
-fn line_integrity_ok(line: &str) -> bool {
-    const MARK: &str = ",\"hash\":\"";
-    match line.rfind(MARK) {
-        Some(pos) => {
-            let body = &line[..pos];
-            let rest = &line[pos + MARK.len()..];
-            let expect = format!("{:016x}\"}}", fnv1a64(body.bytes()));
-            rest == expect
-        }
-        None => false,
-    }
-}
-
-fn seal_row(body: String) -> String {
-    let h = fnv1a64(body.bytes());
-    format!("{body},\"hash\":\"{h:016x}\"}}")
 }
 
 // ---------------------------------------------------------------------------
@@ -403,208 +260,6 @@ impl Corpus {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Rows
-// ---------------------------------------------------------------------------
-
-/// One completed job in `results.jsonl`. Fully deterministic (no
-/// timestamps), so a resumed campaign's merged log is byte-identical,
-/// after canonical sort, to an uninterrupted run's.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ResultRow {
-    /// Matrix name (spec name or file path).
-    pub matrix: String,
-    /// Matrix content fingerprint.
-    pub fingerprint: u64,
-    /// Kernel machine name.
-    pub kernel: String,
-    /// VIA configuration name (e.g. `16_2p`).
-    pub config: String,
-    /// Matrix rows.
-    pub rows: usize,
-    /// Matrix columns.
-    pub cols: usize,
-    /// Structural non-zeros.
-    pub nnz: usize,
-    /// The figure's bucketing statistic: CSB block density for SpMV
-    /// kernels (Fig. 10), nnz for SpMA (Fig. 11), nnz/row for SpMM.
-    pub key: f64,
-    /// Baseline kernel cycles.
-    pub base_cycles: u64,
-    /// VIA kernel cycles.
-    pub via_cycles: u64,
-}
-
-impl ResultRow {
-    /// The manifest key identifying this unit of completed work.
-    pub fn manifest_key(&self) -> (u64, String, String) {
-        (self.fingerprint, self.kernel.clone(), self.config.clone())
-    }
-
-    /// Baseline-over-VIA speedup.
-    pub fn speedup(&self) -> f64 {
-        self.base_cycles as f64 / self.via_cycles.max(1) as f64
-    }
-
-    /// Serializes the row as one JSONL line (content-hashed, no newline).
-    pub fn to_jsonl(&self) -> String {
-        let body = format!(
-            "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{}",
-            json_string(&self.matrix),
-            self.fingerprint,
-            json_string(&self.kernel),
-            json_string(&self.config),
-            self.rows,
-            self.cols,
-            self.nnz,
-            self.key,
-            self.base_cycles,
-            self.via_cycles,
-        );
-        seal_row(body)
-    }
-
-    /// Parses one JSONL line, validating the integrity hash. `None` for
-    /// torn or foreign lines.
-    pub fn from_jsonl(line: &str) -> Option<ResultRow> {
-        if !line_integrity_ok(line) {
-            return None;
-        }
-        let fields = parse_flat_object(line)?;
-        Some(ResultRow {
-            matrix: str_field(&fields, "matrix")?,
-            fingerprint: u64::from_str_radix(&str_field(&fields, "fingerprint")?, 16).ok()?,
-            kernel: str_field(&fields, "kernel")?,
-            config: str_field(&fields, "config")?,
-            rows: num_field(&fields, "rows")?,
-            cols: num_field(&fields, "cols")?,
-            nnz: num_field(&fields, "nnz")?,
-            key: num_field(&fields, "key")?,
-            base_cycles: num_field(&fields, "base_cycles")?,
-            via_cycles: num_field(&fields, "via_cycles")?,
-        })
-    }
-}
-
-/// One entry of the persistent cycle memo in `cycles.jsonl`: the timing
-/// outcome of a simulated `(matrix, kernel, config)` job, keyed by the
-/// compiled streams' content hashes and the core/memory timing-config
-/// hash. A later campaign over the same inputs under the same timing
-/// config rebuilds the [`ResultRow`] from this memo and **skips the
-/// simulator entirely** — the second level of the compile/replay
-/// pipeline's memoization (level one, the in-process
-/// [`via_sim::StreamCache`], saves re-compiles within a run; this level
-/// saves replays across runs).
-#[derive(Debug, Clone, PartialEq)]
-pub struct CycleRow {
-    /// Matrix name (spec name or file path).
-    pub matrix: String,
-    /// Matrix content fingerprint.
-    pub fingerprint: u64,
-    /// Kernel machine name.
-    pub kernel: String,
-    /// VIA configuration name.
-    pub config: String,
-    /// [`via_sim::config_hash`] of the core/memory timing configuration
-    /// both engines were built from. A memo entry is only valid while
-    /// this matches — a timing-model change invalidates the whole memo.
-    pub config_hash: u64,
-    /// [`via_sim::CompiledStream::stream_hash`] of the baseline kernel's
-    /// recorded stream.
-    pub base_stream: u64,
-    /// Stream hash of the VIA kernel's recorded stream.
-    pub via_stream: u64,
-    /// Matrix rows.
-    pub rows: usize,
-    /// Matrix columns.
-    pub cols: usize,
-    /// Structural non-zeros.
-    pub nnz: usize,
-    /// The figure's bucketing statistic (see [`ResultRow::key`]).
-    pub key: f64,
-    /// Baseline kernel cycles.
-    pub base_cycles: u64,
-    /// VIA kernel cycles.
-    pub via_cycles: u64,
-    /// Instructions the baseline run simulated (what a memo hit skips).
-    pub base_instructions: u64,
-    /// Instructions the VIA run simulated.
-    pub via_instructions: u64,
-}
-
-impl CycleRow {
-    /// The memo key: same identity as [`ResultRow::manifest_key`].
-    pub fn memo_key(&self) -> (u64, String, String) {
-        (self.fingerprint, self.kernel.clone(), self.config.clone())
-    }
-
-    /// Rebuilds the result row this memo entry stands in for.
-    pub fn to_result_row(&self) -> ResultRow {
-        ResultRow {
-            matrix: self.matrix.clone(),
-            fingerprint: self.fingerprint,
-            kernel: self.kernel.clone(),
-            config: self.config.clone(),
-            rows: self.rows,
-            cols: self.cols,
-            nnz: self.nnz,
-            key: self.key,
-            base_cycles: self.base_cycles,
-            via_cycles: self.via_cycles,
-        }
-    }
-
-    /// Serializes the row as one JSONL line (content-hashed, no newline).
-    pub fn to_jsonl(&self) -> String {
-        let body = format!(
-            "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"config_hash\":\"{:016x}\",\"base_stream\":\"{:016x}\",\"via_stream\":\"{:016x}\",\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{},\"base_instructions\":{},\"via_instructions\":{}",
-            json_string(&self.matrix),
-            self.fingerprint,
-            json_string(&self.kernel),
-            json_string(&self.config),
-            self.config_hash,
-            self.base_stream,
-            self.via_stream,
-            self.rows,
-            self.cols,
-            self.nnz,
-            self.key,
-            self.base_cycles,
-            self.via_cycles,
-            self.base_instructions,
-            self.via_instructions,
-        );
-        seal_row(body)
-    }
-
-    /// Parses one JSONL line, validating the integrity hash.
-    pub fn from_jsonl(line: &str) -> Option<CycleRow> {
-        if !line_integrity_ok(line) {
-            return None;
-        }
-        let fields = parse_flat_object(line)?;
-        let hex =
-            |key: &str| -> Option<u64> { u64::from_str_radix(&str_field(&fields, key)?, 16).ok() };
-        Some(CycleRow {
-            matrix: str_field(&fields, "matrix")?,
-            fingerprint: hex("fingerprint")?,
-            kernel: str_field(&fields, "kernel")?,
-            config: str_field(&fields, "config")?,
-            config_hash: hex("config_hash")?,
-            base_stream: hex("base_stream")?,
-            via_stream: hex("via_stream")?,
-            rows: num_field(&fields, "rows")?,
-            cols: num_field(&fields, "cols")?,
-            nnz: num_field(&fields, "nnz")?,
-            key: num_field(&fields, "key")?,
-            base_cycles: num_field(&fields, "base_cycles")?,
-            via_cycles: num_field(&fields, "via_cycles")?,
-            base_instructions: num_field(&fields, "base_instructions")?,
-            via_instructions: num_field(&fields, "via_instructions")?,
-        })
-    }
-}
-
 /// Why a job was quarantined.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailureKind {
@@ -660,167 +315,6 @@ impl JobFailure {
             kind: FailureKind::Format(err.kind()),
             chain,
         }
-    }
-}
-
-/// One quarantined job in `quarantine.jsonl`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QuarantineRow {
-    /// Matrix name (spec name or file path).
-    pub matrix: String,
-    /// Kernel machine name.
-    pub kernel: String,
-    /// VIA configuration name.
-    pub config: String,
-    /// Failure category (stable machine name).
-    pub kind: String,
-    /// Error chain, outermost first.
-    pub chain: Vec<String>,
-}
-
-impl QuarantineRow {
-    /// Serializes the row as one JSONL line (content-hashed, no newline).
-    pub fn to_jsonl(&self) -> String {
-        let chain = self
-            .chain
-            .iter()
-            .map(|s| json_string(s))
-            .collect::<Vec<_>>()
-            .join(",");
-        let body = format!(
-            "{{\"schema\":1,\"matrix\":{},\"kernel\":{},\"config\":{},\"kind\":{},\"error\":[{}]",
-            json_string(&self.matrix),
-            json_string(&self.kernel),
-            json_string(&self.config),
-            json_string(&self.kind),
-            chain,
-        );
-        seal_row(body)
-    }
-
-    /// Parses one JSONL line, validating the integrity hash.
-    pub fn from_jsonl(line: &str) -> Option<QuarantineRow> {
-        if !line_integrity_ok(line) {
-            return None;
-        }
-        let fields = parse_flat_object(line)?;
-        let chain = match field(&fields, "error")? {
-            JsonVal::List(items) => items.clone(),
-            _ => return None,
-        };
-        Some(QuarantineRow {
-            matrix: str_field(&fields, "matrix")?,
-            kernel: str_field(&fields, "kernel")?,
-            config: str_field(&fields, "config")?,
-            kind: str_field(&fields, "kind")?,
-            chain,
-        })
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Durable store
-// ---------------------------------------------------------------------------
-
-/// Path of the result log inside a campaign directory.
-pub fn results_path(dir: &Path) -> PathBuf {
-    dir.join("results.jsonl")
-}
-
-/// Path of the quarantine log inside a campaign directory.
-pub fn quarantine_path(dir: &Path) -> PathBuf {
-    dir.join("quarantine.jsonl")
-}
-
-/// Path of the persistent cycle memo inside a campaign directory.
-pub fn cycles_path(dir: &Path) -> PathBuf {
-    dir.join("cycles.jsonl")
-}
-
-/// Loads every intact result row from a campaign directory (torn lines are
-/// dropped; missing file ⇒ empty).
-///
-/// # Errors
-///
-/// Returns I/O errors other than `NotFound`.
-pub fn load_results(dir: &Path) -> std::io::Result<Vec<ResultRow>> {
-    load_rows(&results_path(dir), ResultRow::from_jsonl)
-}
-
-/// Loads every intact quarantine row from a campaign directory.
-///
-/// # Errors
-///
-/// Returns I/O errors other than `NotFound`.
-pub fn load_quarantine(dir: &Path) -> std::io::Result<Vec<QuarantineRow>> {
-    load_rows(&quarantine_path(dir), QuarantineRow::from_jsonl)
-}
-
-/// Loads every intact cycle-memo row from a campaign directory.
-///
-/// # Errors
-///
-/// Returns I/O errors other than `NotFound`.
-pub fn load_cycles(dir: &Path) -> std::io::Result<Vec<CycleRow>> {
-    load_rows(&cycles_path(dir), CycleRow::from_jsonl)
-}
-
-fn load_rows<T>(path: &Path, parse: impl Fn(&str) -> Option<T>) -> std::io::Result<Vec<T>> {
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    let mut rows = Vec::new();
-    for line in std::io::BufReader::new(file).lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        if let Some(row) = parse(&line) {
-            rows.push(row);
-        }
-        // else: torn/corrupt line (killed writer) — dropped; the job it
-        // described is simply not in the manifest and will re-run.
-    }
-    Ok(rows)
-}
-
-/// Atomically rewrites a JSONL file with the given lines (tmp + rename),
-/// compacting away torn lines after a crash.
-fn rewrite_jsonl(path: &Path, lines: impl IntoIterator<Item = String>) -> std::io::Result<()> {
-    let tmp = path.with_extension("jsonl.tmp");
-    {
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-        for line in lines {
-            writeln!(f, "{line}")?;
-        }
-        f.flush()?;
-    }
-    std::fs::rename(&tmp, path)
-}
-
-/// A line-atomic appender shared by all workers.
-struct Appender {
-    file: Mutex<std::fs::File>,
-}
-
-impl Appender {
-    fn open(path: &Path) -> std::io::Result<Appender> {
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        Ok(Appender {
-            file: Mutex::new(file),
-        })
-    }
-
-    fn append(&self, line: &str) -> std::io::Result<()> {
-        let mut file = self.file.lock().expect("appender poisoned");
-        file.write_all(line.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.flush()
     }
 }
 
@@ -907,9 +401,9 @@ fn run_meta<T>(run: &via_kernels::KernelRun<T>) -> (u64, u64, u64) {
 /// Executes one job end to end: materialize the matrix, run the
 /// baseline/VIA kernel pair under stream recording (the compile phase),
 /// verify functional agreement, build the result row and its cycle-memo
-/// row. Pure function of its inputs — the determinism the resume test
-/// pins.
-fn execute_job(
+/// row. Pure function of its inputs — the determinism the resume, shard,
+/// and serve contracts all lean on.
+pub(crate) fn execute_job(
     source: JobSource,
     kernel: KernelKind,
     via: ViaConfig,
@@ -1081,13 +575,18 @@ pub struct CampaignConfig {
     /// (simulates a mid-sweep kill for the resume tests; `None` = run to
     /// the end).
     pub max_jobs: Option<usize>,
+    /// The slice of the corpus this process owns (default
+    /// [`ShardSpec::SOLO`]: everything). Jobs whose [`shard_key`] this
+    /// shard does not own are counted as
+    /// [`CampaignOutcome::foreign`] and never executed.
+    pub shard: ShardSpec,
     /// Print one line per finished job.
     pub progress: bool,
 }
 
 impl CampaignConfig {
     /// A config with defaults (VIA `16_2p`, all cores, 120 s budget,
-    /// VIA-CSB SpMV kernel) writing to `dir`.
+    /// VIA-CSB SpMV kernel, solo shard) writing to `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         CampaignConfig {
             dir: dir.into(),
@@ -1096,6 +595,7 @@ impl CampaignConfig {
             threads: default_threads(),
             budget_ms: 120_000,
             max_jobs: None,
+            shard: ShardSpec::SOLO,
             progress: false,
         }
     }
@@ -1108,6 +608,8 @@ pub struct CampaignOutcome {
     pub completed: usize,
     /// Jobs skipped because the manifest already had them.
     pub skipped: usize,
+    /// Jobs belonging to other shards (never executed, never logged).
+    pub foreign: usize,
     /// Jobs quarantined this run.
     pub quarantined: usize,
     /// Whether the run stopped early because [`CampaignConfig::max_jobs`]
@@ -1128,6 +630,17 @@ pub struct CampaignOutcome {
 pub enum CampaignError {
     /// [`Mode::Fresh`] on a directory that already holds results.
     WouldClobber(PathBuf),
+    /// The store's `manifest.json` records a different shard spec than
+    /// the one this run was launched with — resuming would silently mix
+    /// rows from incompatible corpus partitions.
+    ShardMismatch {
+        /// The store directory that refused the run.
+        dir: PathBuf,
+        /// The shard spec recorded in the store manifest.
+        stored: ShardSpec,
+        /// The shard spec this run was launched with.
+        requested: ShardSpec,
+    },
     /// Underlying I/O failure on the durable store.
     Io(std::io::Error),
 }
@@ -1140,6 +653,17 @@ impl std::fmt::Display for CampaignError {
                 "campaign directory {} already holds results; pass --resume to continue it \
                  or point --dir at a fresh directory",
                 p.display()
+            ),
+            CampaignError::ShardMismatch {
+                dir,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "store {} was produced as shard {stored} but this run asked for shard \
+                 {requested}; mixing shard partitions in one store would corrupt the merge \
+                 contract — resume with --shard {stored} or use a fresh directory",
+                dir.display()
             ),
             CampaignError::Io(e) => write!(f, "campaign store i/o error: {e}"),
         }
@@ -1165,12 +689,13 @@ impl From<std::io::Error> for CampaignError {
 ///
 /// See the module docs for the durability contract. Returns the run's
 /// telemetry; the durable outputs are `results.jsonl` / `quarantine.jsonl`
-/// in `cfg.dir`.
+/// / `cycles.jsonl` / `manifest.json` in `cfg.dir`.
 ///
 /// # Errors
 ///
 /// [`CampaignError::WouldClobber`] for [`Mode::Fresh`] on a non-empty
-/// store, [`CampaignError::Io`] for store I/O failures.
+/// store, [`CampaignError::ShardMismatch`] when the store manifest records
+/// a different shard spec, [`CampaignError::Io`] for store I/O failures.
 pub fn run_campaign(
     cfg: &CampaignConfig,
     corpus: &Corpus,
@@ -1181,6 +706,27 @@ pub fn run_campaign(
     if mode == Mode::Fresh && !existing.is_empty() {
         return Err(CampaignError::WouldClobber(cfg.dir.clone()));
     }
+    // Shard-spec guard: a store records the spec it was produced under;
+    // continuing it under a different spec is refused (the rows of two
+    // different partitions would be indistinguishable after the fact).
+    // Legacy stores without a manifest are grandfathered in, and an empty
+    // store (no result rows yet) may be re-purposed freely.
+    if let Some(meta) = load_meta(&cfg.dir)? {
+        if meta.shard != cfg.shard && !existing.is_empty() {
+            return Err(CampaignError::ShardMismatch {
+                dir: cfg.dir.clone(),
+                stored: meta.shard,
+                requested: cfg.shard,
+            });
+        }
+    }
+    write_meta(
+        &cfg.dir,
+        &StoreMeta {
+            shard: cfg.shard,
+            config: cfg.via.name(),
+        },
+    )?;
     let old_quarantine = load_quarantine(&cfg.dir)?;
     let old_cycles = load_cycles(&cfg.dir)?;
 
@@ -1258,6 +804,7 @@ pub fn run_campaign(
     let stop = AtomicBool::new(false);
     let completed = AtomicUsize::new(0);
     let skipped = AtomicUsize::new(0);
+    let foreign = AtomicUsize::new(0);
     let quarantined = AtomicUsize::new(0);
     let cycle_hits = AtomicUsize::new(0);
     let simulated_cycles = AtomicU64::new(0);
@@ -1285,6 +832,7 @@ pub fn run_campaign(
             let stop = &stop;
             let completed = &completed;
             let skipped = &skipped;
+            let foreign = &foreign;
             let quarantined = &quarantined;
             let cycle_hits = &cycle_hits;
             let simulated_cycles = &simulated_cycles;
@@ -1292,6 +840,7 @@ pub fn run_campaign(
             let record_io_err = &record_io_err;
             let config_name = config_name.clone();
             let via = cfg.via;
+            let shard = cfg.shard;
             let skip_quarantined = mode != Mode::RetryQuarantined;
             let (progress, max_jobs) = (cfg.progress, cfg.max_jobs);
             scope.spawn(move || loop {
@@ -1339,6 +888,14 @@ pub fn run_campaign(
                         continue;
                     }
                 };
+                // Shard partition: a job whose content key this shard does
+                // not own is someone else's work — never executed, never
+                // logged here. Pure function of the job identity, so the
+                // partition is stable across worker counts and kills.
+                if !shard.owns(shard_key(fingerprint, kernel.name(), &config_name)) {
+                    foreign.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 if manifest.contains(&(fingerprint, kernel.name().to_string(), config_name.clone()))
                 {
                     skipped.fetch_add(1, Ordering::Relaxed);
@@ -1439,6 +996,7 @@ pub fn run_campaign(
     Ok(CampaignOutcome {
         completed: completed.into_inner(),
         skipped: skipped.into_inner(),
+        foreign: foreign.into_inner(),
         quarantined: quarantined.into_inner(),
         aborted: stop.into_inner() && cfg.max_jobs.is_some(),
         per_worker: per_worker.into_iter().map(|a| a.into_inner()).collect(),
@@ -1451,57 +1009,15 @@ pub fn run_campaign(
 // Aggregate report
 // ---------------------------------------------------------------------------
 
-/// Regenerates Figure-10/11-style geomean tables from the JSONL store
-/// alone: per kernel, speedups bucketed into four categories of the
-/// kernel's bucketing statistic (CSB block density for SpMV, nnz for SpMA,
-/// nnz/row for SpMM), plus the overall geomean.
+/// Regenerates Figure-10/11-style geomean tables from one JSONL store
+/// (see [`live::ReportBuilder`]; [`aggregate_report_dirs`] is the
+/// multi-shard live view).
 ///
 /// # Errors
 ///
 /// Returns I/O errors from reading the store.
 pub fn aggregate_report(dir: &Path) -> std::io::Result<String> {
-    let rows = load_results(dir)?;
-    let quarantine = load_quarantine(dir)?;
-    let mut out = String::new();
-    if rows.is_empty() {
-        out.push_str("no results in store\n");
-    }
-    let mut kernels: Vec<String> = rows.iter().map(|r| r.kernel.clone()).collect();
-    kernels.sort();
-    kernels.dedup();
-    for kernel in &kernels {
-        let kr: Vec<&ResultRow> = rows.iter().filter(|r| &r.kernel == kernel).collect();
-        let header: Vec<String> = ["category (median key)", "matrices", "geomean speedup"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let mut table = Vec::new();
-        if kr.len() >= 4 {
-            let cats = split_categories(&kr, 4, |r| r.key);
-            for c in &cats {
-                let sp: Vec<f64> = c.indices.iter().map(|&i| kr[i].speedup()).collect();
-                table.push(vec![
-                    format!("{:.2}", c.median_key),
-                    c.indices.len().to_string(),
-                    speedup(geomean(&sp)),
-                ]);
-            }
-        }
-        let all: Vec<f64> = kr.iter().map(|r| r.speedup()).collect();
-        table.push(vec![
-            "overall".to_string(),
-            kr.len().to_string(),
-            speedup(geomean(&all)),
-        ]);
-        out.push_str(&format!("kernel {kernel} ({} matrices)\n", kr.len()));
-        out.push_str(&render_table(&header, &table));
-    }
-    out.push_str(&format!(
-        "store: {} result rows, {} quarantined\n",
-        rows.len(),
-        quarantine.len()
-    ));
-    Ok(out)
+    aggregate_report_dirs(std::slice::from_ref(&dir.to_path_buf()))
 }
 
 /// Renders the quarantine log as a summary table (used by the `campaign`
@@ -1525,109 +1041,9 @@ pub fn quarantine_table(rows: &[QuarantineRow]) -> String {
     render_table(&header, &table)
 }
 
-/// Canonically sorts serialized result rows (by fingerprint, kernel,
-/// config, then full line) — the order-independent view the resume
-/// determinism contract is stated over.
-pub fn canonical_sort(rows: &mut [ResultRow]) {
-    rows.sort_by(|a, b| {
-        (a.fingerprint, &a.kernel, &a.config, &a.matrix).cmp(&(
-            b.fingerprint,
-            &b.kernel,
-            &b.config,
-            &b.matrix,
-        ))
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn sample_row() -> ResultRow {
-        ResultRow {
-            matrix: "s0001_banded_r128 \"quoted\\path\"".into(),
-            fingerprint: 0xDEAD_BEEF_0123_4567,
-            kernel: "spmv_csb".into(),
-            config: "16_2p".into(),
-            rows: 128,
-            cols: 128,
-            nnz: 512,
-            key: 7.25,
-            base_cycles: 10_000,
-            via_cycles: 2_500,
-        }
-    }
-
-    #[test]
-    fn result_row_round_trips() {
-        let row = sample_row();
-        let line = row.to_jsonl();
-        assert!(line_integrity_ok(&line));
-        let back = ResultRow::from_jsonl(&line).expect("parse");
-        assert_eq!(back, row);
-        assert!((back.speedup() - 4.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn torn_lines_are_rejected() {
-        let line = sample_row().to_jsonl();
-        for cut in [1, line.len() / 2, line.len() - 1] {
-            assert!(
-                ResultRow::from_jsonl(&line[..cut]).is_none(),
-                "truncated at {cut} should not parse"
-            );
-        }
-        let mut tampered = line.clone();
-        tampered = tampered.replace("\"rows\":128", "\"rows\":129");
-        assert!(
-            ResultRow::from_jsonl(&tampered).is_none(),
-            "hash must catch edits"
-        );
-    }
-
-    #[test]
-    fn cycle_row_round_trips() {
-        let row = CycleRow {
-            matrix: "s0001_banded_r128".into(),
-            fingerprint: 0xDEAD_BEEF_0123_4567,
-            kernel: "spmv_csb".into(),
-            config: "16_2p".into(),
-            config_hash: 0x0123_4567_89AB_CDEF,
-            base_stream: 0xFEDC_BA98_7654_3210,
-            via_stream: 0x0F1E_2D3C_4B5A_6978,
-            rows: 128,
-            cols: 128,
-            nnz: 512,
-            key: 7.25,
-            base_cycles: 10_000,
-            via_cycles: 2_500,
-            base_instructions: 4_000,
-            via_instructions: 1_200,
-        };
-        let line = row.to_jsonl();
-        assert!(line_integrity_ok(&line));
-        let back = CycleRow::from_jsonl(&line).expect("parse");
-        assert_eq!(back, row);
-        assert_eq!(back.memo_key(), back.to_result_row().manifest_key());
-        assert_eq!(back.to_result_row().base_cycles, 10_000);
-    }
-
-    #[test]
-    fn quarantine_row_round_trips() {
-        let row = QuarantineRow {
-            matrix: "bad.mtx".into(),
-            kernel: "spma".into(),
-            config: "16_2p".into(),
-            kind: "parse".into(),
-            chain: vec![
-                "parse error at line 3, column 5: bad value".into(),
-                "io".into(),
-            ],
-        };
-        let line = row.to_jsonl();
-        let back = QuarantineRow::from_jsonl(&line).expect("parse");
-        assert_eq!(back, row);
-    }
 
     #[test]
     fn budget_isolates_panics() {
@@ -1670,20 +1086,6 @@ mod tests {
         let corpus = Corpus::Files(vec![PathBuf::from("a.mtx"), PathBuf::from("a.mtx")]);
         let jobs = corpus.jobs(&[KernelKind::SpmvCsb, KernelKind::Spma]);
         assert_eq!(jobs.len(), 2);
-    }
-
-    #[test]
-    fn flat_object_parser_handles_escapes_and_arrays() {
-        let fields =
-            parse_flat_object(r#"{"a":"x\"y\\z","b":-1.5e3,"c":["p","q\n"]}"#).expect("parse");
-        assert_eq!(str_field(&fields, "a").unwrap(), "x\"y\\z");
-        assert_eq!(num_field::<f64>(&fields, "b").unwrap(), -1500.0);
-        assert_eq!(
-            field(&fields, "c"),
-            Some(&JsonVal::List(vec!["p".into(), "q\n".into()]))
-        );
-        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
-        assert!(parse_flat_object("{\"a\":").is_none());
     }
 
     #[test]

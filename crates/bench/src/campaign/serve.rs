@@ -1,0 +1,1242 @@
+//! `campaign serve`: a long-running batching job server over a local
+//! socket — the fleet's front door for simulation traffic.
+//!
+//! The ROADMAP's north star is serving heavy simulation traffic, and most
+//! of that traffic is *redundant*: the same `(matrix, kernel, config)`
+//! requested by many clients. The server therefore answers each request
+//! from the cheapest layer that can:
+//!
+//! 1. **session results** — the in-memory map of every row this store
+//!    already holds (seeded from `results.jsonl` at startup);
+//! 2. **persistent cycle memo** — `cycles.jsonl` entries valid under the
+//!    current timing config rebuild the row without simulating (the same
+//!    level-two memo the batch campaign uses);
+//! 3. **in-flight coalescing** — a request identical to one currently
+//!    simulating parks as a waiter on that job and shares its answer
+//!    (one simulation, many responses);
+//! 4. **the engine** — everything else is queued to a worker pool running
+//!    the campaign's job executor under its panic/budget isolation.
+//!
+//! Completed jobs append to the same sealed JSONL store a batch campaign
+//! writes, so a serve directory *is* a campaign store: resumable,
+//! mergeable ([`merge_stores`](super::merge_stores)), reportable — and the
+//! live [`ReportBuilder`] answers `{"op":"report"}` from memory.
+//!
+//! ## Wire protocol
+//!
+//! Length-prefixed JSON over TCP on a loopback address: each frame is a
+//! 4-byte big-endian payload length followed by one flat JSON object.
+//! Every request carries a client-chosen `id` and receives **exactly one**
+//! response with that `id`, streamed back as it completes (responses are
+//! not ordered across requests — a batch of sims completes out of order).
+//! `{"op":"shutdown"}` drains the queue (new sims are refused with
+//! `"draining"`, in-flight jobs finish and answer their waiters), acks,
+//! and stops the server.
+
+use super::live::ReportBuilder;
+use super::store::{
+    cycles_path, json_string, load_cycles, load_results, num_field, parse_flat_object,
+    results_path, rewrite_jsonl, str_field, write_meta, Appender, CycleRow, ResultRow, StoreMeta,
+};
+use super::{execute_job, run_with_budget, JobSource, KernelKind, ShardSpec};
+use std::collections::HashMap;
+use std::io::{Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+use via_core::ViaConfig;
+use via_formats::gen::{Family, MatrixSpec};
+use via_kernels::SimContext;
+
+/// Frames larger than this are a protocol violation, not a big job.
+const MAX_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame (4-byte big-endian length + payload).
+///
+/// # Errors
+///
+/// Returns underlying socket I/O errors.
+pub fn write_frame(stream: &mut impl IoWrite, payload: &str) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer hung up).
+///
+/// # Errors
+///
+/// Returns socket I/O errors, oversized frames, and invalid UTF-8.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// What a sim request asks to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimTarget {
+    /// A deterministic synthetic matrix (family name as in
+    /// [`Family`]'s display form: `uniform`, `banded`, `blocked`,
+    /// `powerlaw`, `diagonal`).
+    Synthetic {
+        /// Structural family name.
+        family: String,
+        /// Matrix dimension (square).
+        rows: usize,
+        /// Target non-zero density.
+        density: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A Matrix Market file on the server's filesystem.
+    File(PathBuf),
+}
+
+impl SimTarget {
+    /// Resolves the target into a campaign [`JobSource`]. Synthetic specs
+    /// get a deterministic name derived from their parameters, so equal
+    /// requests map to equal fingerprints — the identity all four dedup
+    /// layers key on.
+    fn to_source(&self) -> Result<JobSource, String> {
+        match self {
+            SimTarget::Synthetic {
+                family,
+                rows,
+                density,
+                seed,
+            } => {
+                let fam = Family::ALL
+                    .iter()
+                    .copied()
+                    .find(|f| f.to_string() == *family)
+                    .ok_or_else(|| format!("unknown matrix family {family:?}"))?;
+                if *rows == 0 || !(*density > 0.0 && *density <= 1.0) {
+                    return Err(format!(
+                        "invalid synthetic spec: rows={rows} density={density}"
+                    ));
+                }
+                Ok(JobSource::Synthetic(MatrixSpec {
+                    name: format!("serve_{fam}_r{rows}_d{density:?}_s{seed}"),
+                    family: fam,
+                    seed: *seed,
+                    rows: *rows,
+                    density: *density,
+                }))
+            }
+            SimTarget::File(path) => Ok(JobSource::File(path.clone())),
+        }
+    }
+}
+
+/// One client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Simulate one matrix × kernel job (or answer it from a memo layer).
+    Sim {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Kernel pair to run.
+        kernel: KernelKind,
+        /// The matrix to run it on.
+        target: SimTarget,
+    },
+    /// Read the server's dedup/throughput counters.
+    Stats {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Render the live aggregate report.
+    Report {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Drain in-flight work, ack, and stop the server.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Serializes the request as one JSON frame payload.
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Sim { id, kernel, target } => match target {
+                SimTarget::Synthetic {
+                    family,
+                    rows,
+                    density,
+                    seed,
+                } => format!(
+                    "{{\"op\":\"sim\",\"id\":{id},\"kernel\":{},\"family\":{},\"rows\":{rows},\"density\":{density:?},\"seed\":{seed}}}",
+                    json_string(kernel.name()),
+                    json_string(family),
+                ),
+                SimTarget::File(path) => format!(
+                    "{{\"op\":\"sim\",\"id\":{id},\"kernel\":{},\"file\":{}}}",
+                    json_string(kernel.name()),
+                    json_string(&path.display().to_string()),
+                ),
+            },
+            Request::Stats { id } => format!("{{\"op\":\"stats\",\"id\":{id}}}"),
+            Request::Report { id } => format!("{{\"op\":\"report\",\"id\":{id}}}"),
+            Request::Shutdown { id } => format!("{{\"op\":\"shutdown\",\"id\":{id}}}"),
+        }
+    }
+
+    /// Parses a request frame. `Err` carries a human-readable reason that
+    /// the server echoes back as an error response.
+    pub fn from_json(payload: &str) -> Result<Request, String> {
+        let fields = parse_flat_object(payload).ok_or("malformed JSON frame")?;
+        let op = str_field(&fields, "op").ok_or("missing \"op\"")?;
+        let id: u64 = num_field(&fields, "id").ok_or("missing numeric \"id\"")?;
+        match op.as_str() {
+            "sim" => {
+                let kernel_name = str_field(&fields, "kernel").ok_or("sim needs \"kernel\"")?;
+                let kernel = KernelKind::parse(&kernel_name)
+                    .ok_or_else(|| format!("unknown kernel {kernel_name:?}"))?;
+                let target = if let Some(file) = str_field(&fields, "file") {
+                    SimTarget::File(PathBuf::from(file))
+                } else {
+                    SimTarget::Synthetic {
+                        family: str_field(&fields, "family")
+                            .ok_or("sim needs \"family\" or \"file\"")?,
+                        rows: num_field(&fields, "rows").ok_or("sim needs \"rows\"")?,
+                        density: num_field(&fields, "density").ok_or("sim needs \"density\"")?,
+                        seed: num_field(&fields, "seed").ok_or("sim needs \"seed\"")?,
+                    }
+                };
+                Ok(Request::Sim { id, kernel, target })
+            }
+            "stats" => Ok(Request::Stats { id }),
+            "report" => Ok(Request::Report { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The server's dedup/throughput counters, as reported by `{"op":"stats"}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Sim requests accepted (all layers).
+    pub requests: u64,
+    /// Jobs that actually ran the engine.
+    pub simulated: u64,
+    /// Requests answered from session results or the persistent memo.
+    pub memo_hits: u64,
+    /// Requests coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Jobs that failed (quarantine-grade errors, reported to clients).
+    pub errors: u64,
+    /// Distinct result rows the session store holds.
+    pub session_rows: u64,
+}
+
+impl ServeStats {
+    /// Requests answered without a fresh simulation.
+    pub fn deduplicated(&self) -> u64 {
+        self.memo_hits + self.coalesced
+    }
+}
+
+/// One server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed (or memo-answered) sim request.
+    Sim {
+        /// Echo of the request id.
+        id: u64,
+        /// Which layer answered: `simulated`, `memo`, or `coalesced`.
+        source: String,
+        /// Matrix name.
+        matrix: String,
+        /// Baseline kernel cycles.
+        base_cycles: u64,
+        /// VIA kernel cycles.
+        via_cycles: u64,
+        /// Baseline-over-VIA speedup.
+        speedup: f64,
+    },
+    /// A failed request (bad frame, unknown input, quarantine-grade job
+    /// failure, or `draining`).
+    Error {
+        /// Echo of the request id (0 for unparseable frames).
+        id: u64,
+        /// Stable failure kind (`draining`, `io`, `panic`, `timeout`, …).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Counter snapshot.
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// The counters.
+        stats: ServeStats,
+    },
+    /// Rendered live aggregate report.
+    Report {
+        /// Echo of the request id.
+        id: u64,
+        /// The report text.
+        text: String,
+    },
+    /// Shutdown acknowledged; the queue is drained.
+    Shutdown {
+        /// Echo of the request id.
+        id: u64,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Sim { id, .. }
+            | Response::Error { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Report { id, .. }
+            | Response::Shutdown { id } => *id,
+        }
+    }
+
+    /// Serializes the response as one JSON frame payload.
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Sim {
+                id,
+                source,
+                matrix,
+                base_cycles,
+                via_cycles,
+                speedup,
+            } => format!(
+                "{{\"op\":\"sim\",\"id\":{id},\"status\":\"ok\",\"source\":{},\"matrix\":{},\"base_cycles\":{base_cycles},\"via_cycles\":{via_cycles},\"speedup\":{speedup:?}}}",
+                json_string(source),
+                json_string(matrix),
+            ),
+            Response::Error { id, kind, message } => format!(
+                "{{\"op\":\"sim\",\"id\":{id},\"status\":\"error\",\"kind\":{},\"error\":{}}}",
+                json_string(kind),
+                json_string(message),
+            ),
+            Response::Stats { id, stats } => format!(
+                "{{\"op\":\"stats\",\"id\":{id},\"status\":\"ok\",\"requests\":{},\"simulated\":{},\"memo_hits\":{},\"coalesced\":{},\"errors\":{},\"session_rows\":{}}}",
+                stats.requests,
+                stats.simulated,
+                stats.memo_hits,
+                stats.coalesced,
+                stats.errors,
+                stats.session_rows,
+            ),
+            Response::Report { id, text } => format!(
+                "{{\"op\":\"report\",\"id\":{id},\"status\":\"ok\",\"report\":{}}}",
+                json_string(text),
+            ),
+            Response::Shutdown { id } => {
+                format!("{{\"op\":\"shutdown\",\"id\":{id},\"status\":\"ok\"}}")
+            }
+        }
+    }
+
+    /// Parses a response frame. `None` for frames that are not a valid
+    /// response object.
+    pub fn from_json(payload: &str) -> Option<Response> {
+        let fields = parse_flat_object(payload)?;
+        let op = str_field(&fields, "op")?;
+        let id: u64 = num_field(&fields, "id")?;
+        let status = str_field(&fields, "status")?;
+        if status == "error" {
+            return Some(Response::Error {
+                id,
+                kind: str_field(&fields, "kind")?,
+                message: str_field(&fields, "error")?,
+            });
+        }
+        match op.as_str() {
+            "sim" => Some(Response::Sim {
+                id,
+                source: str_field(&fields, "source")?,
+                matrix: str_field(&fields, "matrix")?,
+                base_cycles: num_field(&fields, "base_cycles")?,
+                via_cycles: num_field(&fields, "via_cycles")?,
+                speedup: num_field(&fields, "speedup")?,
+            }),
+            "stats" => Some(Response::Stats {
+                id,
+                stats: ServeStats {
+                    requests: num_field(&fields, "requests")?,
+                    simulated: num_field(&fields, "simulated")?,
+                    memo_hits: num_field(&fields, "memo_hits")?,
+                    coalesced: num_field(&fields, "coalesced")?,
+                    errors: num_field(&fields, "errors")?,
+                    session_rows: num_field(&fields, "session_rows")?,
+                },
+            }),
+            "report" => Some(Response::Report {
+                id,
+                text: str_field(&fields, "report")?,
+            }),
+            "shutdown" => Some(Response::Shutdown { id }),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Store directory (grows like a normal campaign store).
+    pub dir: PathBuf,
+    /// Listen address; `127.0.0.1:0` binds an ephemeral loopback port.
+    pub listen: String,
+    /// VIA hardware configuration jobs run under.
+    pub via: ViaConfig,
+    /// Simulation worker threads.
+    pub threads: usize,
+    /// Per-job wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+    /// If set, the bound address is written here (tmp + rename) so
+    /// scripts can discover an ephemeral port.
+    pub port_file: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Defaults: ephemeral loopback port, VIA `16_2p`, 2 workers, 120 s
+    /// budget.
+    pub fn new(dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            dir: dir.into(),
+            listen: "127.0.0.1:0".into(),
+            via: ViaConfig::default(),
+            threads: 2,
+            budget_ms: 120_000,
+            port_file: None,
+        }
+    }
+}
+
+type ManifestKey = (u64, String, String);
+type Writer = Arc<Mutex<TcpStream>>;
+
+/// Waiters parked on an in-flight job: `(request id, connection writer)`.
+struct InflightSlot {
+    waiters: Mutex<Vec<(u64, Writer)>>,
+}
+
+enum JobMsg {
+    Run {
+        key: ManifestKey,
+        source: JobSource,
+        kernel: KernelKind,
+    },
+    Stop,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    simulated: AtomicU64,
+    memo_hits: AtomicU64,
+    coalesced: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct ServerState {
+    config_name: String,
+    via: ViaConfig,
+    timing_hash: u64,
+    budget: Duration,
+    results_log: Appender,
+    cycles_log: Appender,
+    session: Mutex<HashMap<ManifestKey, ResultRow>>,
+    memo: Mutex<HashMap<ManifestKey, CycleRow>>,
+    inflight: Mutex<HashMap<ManifestKey, Arc<InflightSlot>>>,
+    report: Mutex<ReportBuilder>,
+    jobs: Mutex<mpsc::Sender<JobMsg>>,
+    counters: Counters,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    pending: Mutex<u64>,
+    drained: Condvar,
+}
+
+fn send_response(writer: &Writer, resp: &Response) {
+    let mut stream = writer.lock().expect("writer poisoned");
+    // A vanished client is its own problem; the server keeps serving.
+    let _ = write_frame(&mut *stream, &resp.to_json());
+}
+
+impl ServerState {
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            simulated: self.counters.simulated.load(Ordering::Relaxed),
+            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            session_rows: self.session.lock().expect("session poisoned").len() as u64,
+        }
+    }
+
+    /// Commits a completed row to every layer (session map, sealed logs,
+    /// memo map, live report) unless an identical key already landed.
+    fn commit_row(&self, row: &ResultRow, cycle: Option<&CycleRow>) {
+        let fresh = {
+            let mut session = self.session.lock().expect("session poisoned");
+            match session.entry(row.manifest_key()) {
+                std::collections::hash_map::Entry::Occupied(_) => false,
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(row.clone());
+                    true
+                }
+            }
+        };
+        if !fresh {
+            return;
+        }
+        let _ = self.results_log.append(&row.to_jsonl());
+        if let Some(c) = cycle {
+            let _ = self.cycles_log.append(&c.to_jsonl());
+            self.memo
+                .lock()
+                .expect("memo poisoned")
+                .insert(c.memo_key(), c.clone());
+        }
+        self.report.lock().expect("report poisoned").ingest(row);
+    }
+
+    fn answer_memo_hit(&self, writer: &Writer, id: u64, row: &ResultRow) {
+        self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+        via_sim::telemetry::record_serve_memo_hit();
+        send_response(
+            writer,
+            &Response::Sim {
+                id,
+                source: "memo".into(),
+                matrix: row.matrix.clone(),
+                base_cycles: row.base_cycles,
+                via_cycles: row.via_cycles,
+                speedup: row.speedup(),
+            },
+        );
+    }
+
+    /// Routes one sim request through the dedup layers (see module docs).
+    fn dispatch_sim(&self, writer: &Writer, id: u64, kernel: KernelKind, target: &SimTarget) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        via_sim::telemetry::record_serve_request();
+        if self.draining.load(Ordering::Relaxed) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                writer,
+                &Response::Error {
+                    id,
+                    kind: "draining".into(),
+                    message: "server is draining; no new jobs accepted".into(),
+                },
+            );
+            return;
+        }
+        let source = match target.to_source() {
+            Ok(s) => s,
+            Err(msg) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                send_response(
+                    writer,
+                    &Response::Error {
+                        id,
+                        kind: "bad_request".into(),
+                        message: msg,
+                    },
+                );
+                return;
+            }
+        };
+        let fingerprint = match source.fingerprint() {
+            Ok(fp) => fp,
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                send_response(
+                    writer,
+                    &Response::Error {
+                        id,
+                        kind: "io".into(),
+                        message: format!("cannot read input: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let key: ManifestKey = (
+            fingerprint,
+            kernel.name().to_string(),
+            self.config_name.clone(),
+        );
+        // Layer 1: session results.
+        if let Some(row) = self
+            .session
+            .lock()
+            .expect("session poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.answer_memo_hit(writer, id, &row);
+            return;
+        }
+        // Layer 2: persistent cycle memo (valid under the current timing
+        // config only).
+        let memo_row = self
+            .memo
+            .lock()
+            .expect("memo poisoned")
+            .get(&key)
+            .filter(|c| c.config_hash == self.timing_hash)
+            .cloned();
+        via_sim::telemetry::record_cycle_cache(memo_row.is_some());
+        if let Some(c) = memo_row {
+            via_sim::telemetry::record_skipped_instructions(
+                c.base_instructions + c.via_instructions,
+            );
+            let row = c.to_result_row();
+            self.commit_row(&row, None);
+            self.answer_memo_hit(writer, id, &row);
+            return;
+        }
+        // Layer 3: coalesce onto an identical in-flight job, else enqueue.
+        let enqueued = {
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            if let Some(slot) = inflight.get(&key) {
+                slot.waiters
+                    .lock()
+                    .expect("waiters poisoned")
+                    .push((id, writer.clone()));
+                false
+            } else if let Some(row) = self
+                // The job may have completed between the layer-1 check and
+                // taking the inflight lock; recheck under it (workers
+                // commit to the session before removing their slot).
+                .session
+                .lock()
+                .expect("session poisoned")
+                .get(&key)
+                .cloned()
+            {
+                drop(inflight);
+                self.answer_memo_hit(writer, id, &row);
+                return;
+            } else {
+                inflight.insert(
+                    key.clone(),
+                    Arc::new(InflightSlot {
+                        waiters: Mutex::new(vec![(id, writer.clone())]),
+                    }),
+                );
+                true
+            }
+        };
+        if enqueued {
+            *self.pending.lock().expect("pending poisoned") += 1;
+            let _ = self.jobs.lock().expect("jobs poisoned").send(JobMsg::Run {
+                key,
+                source,
+                kernel,
+            });
+        } else {
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            via_sim::telemetry::record_serve_coalesced();
+        }
+    }
+
+    /// Layer 4: one worker executing one queued job and answering every
+    /// waiter parked on it.
+    fn run_job(&self, key: ManifestKey, source: JobSource, kernel: KernelKind) {
+        let name = source.name();
+        let via = self.via;
+        let timing_hash = self.timing_hash;
+        let fingerprint = key.0;
+        let outcome = run_with_budget(self.budget, &name, move || {
+            execute_job(source, kernel, via, fingerprint, timing_hash)
+        })
+        .and_then(|inner| inner);
+        if let Ok((row, cycle)) = &outcome {
+            // Commit before removing the slot so late arrivals that miss
+            // the slot are guaranteed to hit the session layer.
+            self.commit_row(row, Some(cycle));
+            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = self
+            .inflight
+            .lock()
+            .expect("inflight poisoned")
+            .remove(&key);
+        let waiters = slot
+            .map(|s| std::mem::take(&mut *s.waiters.lock().expect("waiters poisoned")))
+            .unwrap_or_default();
+        match outcome {
+            Ok((row, _)) => {
+                for (i, (id, writer)) in waiters.iter().enumerate() {
+                    send_response(
+                        writer,
+                        &Response::Sim {
+                            id: *id,
+                            source: if i == 0 { "simulated" } else { "coalesced" }.into(),
+                            matrix: row.matrix.clone(),
+                            base_cycles: row.base_cycles,
+                            via_cycles: row.via_cycles,
+                            speedup: row.speedup(),
+                        },
+                    );
+                }
+            }
+            Err(fail) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                for (id, writer) in &waiters {
+                    send_response(
+                        writer,
+                        &Response::Error {
+                            id: *id,
+                            kind: fail.kind.name().to_string(),
+                            message: fail.chain.join("; "),
+                        },
+                    );
+                }
+            }
+        }
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Stops accepting new sims and blocks until the queue is empty.
+    fn drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        while *pending > 0 {
+            pending = self.drained.wait(pending).expect("pending poisoned");
+        }
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream, addr: SocketAddr) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer: Writer = Arc::new(Mutex::new(stream));
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            _ => return, // clean hangup or broken socket
+        };
+        match Request::from_json(&frame) {
+            Err(msg) => send_response(
+                &writer,
+                &Response::Error {
+                    id: 0,
+                    kind: "bad_request".into(),
+                    message: msg,
+                },
+            ),
+            Ok(Request::Sim { id, kernel, target }) => {
+                state.dispatch_sim(&writer, id, kernel, &target);
+            }
+            Ok(Request::Stats { id }) => send_response(
+                &writer,
+                &Response::Stats {
+                    id,
+                    stats: state.stats(),
+                },
+            ),
+            Ok(Request::Report { id }) => {
+                let text = state.report.lock().expect("report poisoned").render();
+                send_response(&writer, &Response::Report { id, text });
+            }
+            Ok(Request::Shutdown { id }) => {
+                state.drain();
+                send_response(&writer, &Response::Shutdown { id });
+                state.stopped.store(true, Ordering::Relaxed);
+                // Poke the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+        }
+    }
+}
+
+/// A running server: its bound address plus the handles needed to wait
+/// for (or observe) its shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.state.stats()
+    }
+
+    /// Blocks until a client's `{"op":"shutdown"}` drains and stops the
+    /// server, then joins every thread.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        {
+            let jobs = self.state.jobs.lock().expect("jobs poisoned");
+            for _ in 0..self.workers.len() {
+                let _ = jobs.send(JobMsg::Stop);
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds the listener, seeds the memo layers from the store, writes the
+/// port file, and starts the accept loop plus the worker pool. Returns
+/// immediately; call [`ServerHandle::join`] to wait for shutdown.
+///
+/// # Errors
+///
+/// Returns I/O errors from binding, store loading/compaction, or the port
+/// file.
+pub fn start(cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    // Compact the logs up front (drops torn tails from a killed writer)
+    // exactly like a batch campaign, then seed every memo layer.
+    let existing = load_results(&cfg.dir)?;
+    let cycles = load_cycles(&cfg.dir)?;
+    rewrite_jsonl(
+        &results_path(&cfg.dir),
+        existing.iter().map(|r| r.to_jsonl()),
+    )?;
+    rewrite_jsonl(&cycles_path(&cfg.dir), cycles.iter().map(|r| r.to_jsonl()))?;
+    write_meta(
+        &cfg.dir,
+        &StoreMeta {
+            shard: ShardSpec::SOLO,
+            config: cfg.via.name(),
+        },
+    )?;
+    let mut report = ReportBuilder::new();
+    let mut session = HashMap::new();
+    for row in existing {
+        report.ingest(&row);
+        session.insert(row.manifest_key(), row);
+    }
+    let memo: HashMap<ManifestKey, CycleRow> =
+        cycles.into_iter().map(|c| (c.memo_key(), c)).collect();
+    let timing_hash = {
+        let ctx = SimContext::default();
+        via_sim::config_hash(&ctx.core, &ctx.mem)
+    };
+
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    if let Some(port_file) = &cfg.port_file {
+        let tmp = port_file.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))?;
+        std::fs::rename(&tmp, port_file)?;
+    }
+
+    let (tx, rx) = mpsc::channel::<JobMsg>();
+    let rx = Arc::new(Mutex::new(rx));
+    let state = Arc::new(ServerState {
+        config_name: cfg.via.name(),
+        via: cfg.via,
+        timing_hash,
+        budget: Duration::from_millis(cfg.budget_ms.max(1)),
+        results_log: Appender::open(&results_path(&cfg.dir))?,
+        cycles_log: Appender::open(&cycles_path(&cfg.dir))?,
+        session: Mutex::new(session),
+        memo: Mutex::new(memo),
+        inflight: Mutex::new(HashMap::new()),
+        report: Mutex::new(report),
+        jobs: Mutex::new(tx),
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        stopped: AtomicBool::new(false),
+        pending: Mutex::new(0),
+        drained: Condvar::new(),
+    });
+
+    let workers: Vec<std::thread::JoinHandle<()>> = (0..cfg.threads.max(1))
+        .map(|w| {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("via-serve-worker-{w}"))
+                .spawn(move || loop {
+                    let msg = {
+                        let rx = rx.lock().expect("job queue poisoned");
+                        rx.recv()
+                    };
+                    match msg {
+                        Ok(JobMsg::Run {
+                            key,
+                            source,
+                            kernel,
+                        }) => state.run_job(key, source, kernel),
+                        Ok(JobMsg::Stop) | Err(_) => break,
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("via-serve-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_state.stopped.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let conn_state = Arc::clone(&accept_state);
+                std::thread::Builder::new()
+                    .name("via-serve-conn".into())
+                    .spawn(move || handle_connection(&conn_state, stream, addr))
+                    .expect("spawn connection handler");
+            }
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        accept: Some(accept),
+        workers,
+        state,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Configuration for the bundled smoke/load client (`campaign client`).
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Kernel to request.
+    pub kernel: KernelKind,
+    /// Matrix family name for the synthetic targets.
+    pub family: String,
+    /// Distinct synthetic matrices to request.
+    pub count: usize,
+    /// Times each matrix is requested (duplicates exercise the dedup
+    /// layers).
+    pub repeat: usize,
+    /// Rows of the smallest matrix (each subsequent one grows slightly).
+    pub rows: usize,
+    /// Density of the synthetic targets.
+    pub density: f64,
+    /// Base generator seed.
+    pub seed: u64,
+    /// Send `{"op":"shutdown"}` after the batch and wait for the ack.
+    pub shutdown: bool,
+}
+
+impl ClientConfig {
+    /// Defaults: 4 matrices × 3 repeats of banded VIA-CSB SpMV at 96 rows.
+    pub fn new(addr: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            addr: addr.into(),
+            kernel: KernelKind::SpmvCsb,
+            family: "banded".into(),
+            count: 4,
+            repeat: 3,
+            rows: 96,
+            density: 0.04,
+            seed: 7,
+            shutdown: false,
+        }
+    }
+}
+
+/// What a client session observed.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Sim responses answered `ok`, by dedup source.
+    pub simulated: u64,
+    /// Sims answered from a memo layer.
+    pub memo: u64,
+    /// Sims answered by coalescing onto an in-flight job.
+    pub coalesced: u64,
+    /// Sims answered with an error.
+    pub errors: u64,
+    /// The server's own counters after the batch.
+    pub stats: ServeStats,
+}
+
+impl ClientOutcome {
+    /// Requests this session saw answered without a fresh simulation.
+    pub fn deduplicated(&self) -> u64 {
+        self.memo + self.coalesced
+    }
+}
+
+/// Runs one client session: streams the whole sim batch, collects every
+/// response, then asks for the server's stats (and optionally shuts the
+/// server down).
+///
+/// # Errors
+///
+/// Returns socket/protocol I/O errors; individual job failures are
+/// counted in the outcome, not raised.
+pub fn run_client(cfg: &ClientConfig) -> std::io::Result<ClientOutcome> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    let mut next_id = 1u64;
+    let mut sims = 0usize;
+    for m in 0..cfg.count.max(1) {
+        let target = SimTarget::Synthetic {
+            family: cfg.family.clone(),
+            rows: cfg.rows + m * 8,
+            density: cfg.density,
+            seed: cfg.seed.wrapping_add(m as u64),
+        };
+        for _ in 0..cfg.repeat.max(1) {
+            let req = Request::Sim {
+                id: next_id,
+                kernel: cfg.kernel,
+                target: target.clone(),
+            };
+            next_id += 1;
+            sims += 1;
+            write_frame(&mut stream, &req.to_json())?;
+        }
+    }
+    let protocol_err = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut outcome = ClientOutcome {
+        simulated: 0,
+        memo: 0,
+        coalesced: 0,
+        errors: 0,
+        stats: ServeStats::default(),
+    };
+    for _ in 0..sims {
+        let frame = read_frame(&mut stream)?
+            .ok_or_else(|| protocol_err("server hung up mid-batch".into()))?;
+        match Response::from_json(&frame)
+            .ok_or_else(|| protocol_err(format!("unparseable response: {frame}")))?
+        {
+            Response::Sim { source, .. } => match source.as_str() {
+                "memo" => outcome.memo += 1,
+                "coalesced" => outcome.coalesced += 1,
+                _ => outcome.simulated += 1,
+            },
+            Response::Error { .. } => outcome.errors += 1,
+            other => return Err(protocol_err(format!("unexpected response: {other:?}"))),
+        }
+    }
+    write_frame(&mut stream, &Request::Stats { id: next_id }.to_json())?;
+    let frame = read_frame(&mut stream)?
+        .ok_or_else(|| protocol_err("server hung up before stats".into()))?;
+    match Response::from_json(&frame) {
+        Some(Response::Stats { stats, .. }) => outcome.stats = stats,
+        other => return Err(protocol_err(format!("expected stats, got {other:?}"))),
+    }
+    if cfg.shutdown {
+        write_frame(
+            &mut stream,
+            &Request::Shutdown { id: next_id + 1 }.to_json(),
+        )?;
+        let frame = read_frame(&mut stream)?
+            .ok_or_else(|| protocol_err("server hung up before shutdown ack".into()))?;
+        match Response::from_json(&frame) {
+            Some(Response::Shutdown { .. }) => {}
+            other => {
+                return Err(protocol_err(format!(
+                    "expected shutdown ack, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"stats\",\"id\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().as_deref(),
+            Some("{\"op\":\"stats\",\"id\":1}")
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::from(u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Sim {
+                id: 3,
+                kernel: KernelKind::SpmvCsb,
+                target: SimTarget::Synthetic {
+                    family: "banded".into(),
+                    rows: 96,
+                    density: 0.04,
+                    seed: 7,
+                },
+            },
+            Request::Sim {
+                id: 4,
+                kernel: KernelKind::Spma,
+                target: SimTarget::File(PathBuf::from("/tmp/a.mtx")),
+            },
+            Request::Stats { id: 5 },
+            Request::Report { id: 6 },
+            Request::Shutdown { id: 7 },
+        ];
+        for req in reqs {
+            assert_eq!(Request::from_json(&req.to_json()), Ok(req));
+        }
+        assert!(Request::from_json("{\"op\":\"sim\",\"id\":1}").is_err());
+        assert!(Request::from_json("{\"op\":\"nope\",\"id\":1}").is_err());
+        assert!(Request::from_json("garbage").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Sim {
+                id: 1,
+                source: "memo".into(),
+                matrix: "serve_banded_r96_d0.04_s7".into(),
+                base_cycles: 1000,
+                via_cycles: 250,
+                speedup: 4.0,
+            },
+            Response::Error {
+                id: 2,
+                kind: "timeout".into(),
+                message: "job exceeded its budget".into(),
+            },
+            Response::Stats {
+                id: 3,
+                stats: ServeStats {
+                    requests: 12,
+                    simulated: 4,
+                    memo_hits: 6,
+                    coalesced: 2,
+                    errors: 0,
+                    session_rows: 4,
+                },
+            },
+            Response::Report {
+                id: 4,
+                text: "kernel spmv_csb (4 matrices)\noverall 4.00x\n".into(),
+            },
+            Response::Shutdown { id: 5 },
+        ];
+        for resp in resps {
+            assert_eq!(Response::from_json(&resp.to_json()), Some(resp));
+        }
+        assert_eq!(Response::from_json("nope"), None);
+    }
+
+    #[test]
+    fn synthetic_targets_resolve_deterministically() {
+        let t = SimTarget::Synthetic {
+            family: "banded".into(),
+            rows: 96,
+            density: 0.04,
+            seed: 7,
+        };
+        let a = t.to_source().unwrap();
+        let b = t.to_source().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+        assert!(SimTarget::Synthetic {
+            family: "martian".into(),
+            rows: 96,
+            density: 0.04,
+            seed: 7,
+        }
+        .to_source()
+        .is_err());
+        assert!(SimTarget::Synthetic {
+            family: "banded".into(),
+            rows: 0,
+            density: 0.04,
+            seed: 7,
+        }
+        .to_source()
+        .is_err());
+    }
+
+    #[test]
+    fn serve_stats_count_dedup() {
+        let stats = ServeStats {
+            requests: 10,
+            simulated: 3,
+            memo_hits: 5,
+            coalesced: 2,
+            errors: 0,
+            session_rows: 3,
+        };
+        assert_eq!(stats.deduplicated(), 7);
+    }
+}

@@ -25,8 +25,9 @@ pub mod report;
 pub mod suite;
 
 pub use campaign::{
-    aggregate_report, run_campaign, CampaignConfig, CampaignOutcome, Corpus, CycleRow, KernelKind,
-    Mode, QuarantineRow, ResultRow,
+    aggregate_report, aggregate_report_dirs, merge_stores, run_campaign, CampaignConfig,
+    CampaignOutcome, Corpus, CycleRow, KernelKind, MergeSummary, Mode, QuarantineRow,
+    ReportBuilder, ResultRow, ShardSpec, StoreMeta,
 };
 pub use experiments::{
     fig10_spmv, fig11_spma, fig11_spmm, fig12a_histogram, fig12b_stencil, fig9_bound_audit,

@@ -3,8 +3,9 @@
 
 use std::path::PathBuf;
 use via_bench::campaign::{
-    canonical_sort, load_cycles, load_quarantine, load_results, quarantine_path, results_path,
-    run_campaign, CampaignConfig, CampaignError, Corpus, KernelKind, Mode,
+    canonical_sort, cycles_path, load_cycles, load_meta, load_quarantine, load_results,
+    merge_stores, quarantine_path, results_path, run_campaign, CampaignConfig, CampaignError,
+    Corpus, KernelKind, Mode, ShardSpec,
 };
 use via_formats::gen::StratifiedConfig;
 
@@ -326,6 +327,214 @@ fn retry_quarantined_schedules_nothing_when_quarantine_is_empty() {
         (0, 0, 0)
     );
     assert!(quarantine_path(store.path()).exists());
+}
+
+/// A one-kernel corpus for the shard tests (10 jobs — sharding doubles
+/// the number of campaign runs, so keep each cheap).
+fn shard_corpus() -> Corpus {
+    Corpus::Synthetic(StratifiedConfig {
+        count: 10,
+        min_rows: 48,
+        max_rows: 96,
+        density_range: (0.02, 0.08),
+        size_strata: 2,
+        density_strata: 2,
+        seed: 0x5AAD_0001,
+    })
+}
+
+fn shard_config(dir: &std::path::Path, shard: ShardSpec) -> CampaignConfig {
+    let mut cfg = config(dir);
+    cfg.kernels = vec![KernelKind::SpmvCsb];
+    cfg.shard = shard;
+    cfg
+}
+
+/// The exact bytes of a store file (for `cmp`-grade comparisons).
+fn file_bytes(path: &std::path::Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+#[test]
+fn sharded_runs_partition_the_corpus_exactly() {
+    let corpus = shard_corpus();
+    let total = corpus.jobs(&[KernelKind::SpmvCsb]).len();
+    let scratches: Vec<Scratch> = (0..3).map(|i| Scratch::new(&format!("part{i}"))).collect();
+    let mut all_keys = Vec::new();
+    let mut completed = 0;
+    for (i, dir) in scratches.iter().enumerate() {
+        let cfg = shard_config(dir.path(), ShardSpec::new(i as u32, 3).unwrap());
+        let outcome = run_campaign(&cfg, &corpus, Mode::Fresh).expect("shard run");
+        assert_eq!(
+            outcome.completed + outcome.foreign,
+            total,
+            "every job is either owned or foreign"
+        );
+        assert_eq!(outcome.quarantined, 0);
+        completed += outcome.completed;
+        all_keys.extend(
+            load_results(dir.path())
+                .unwrap()
+                .iter()
+                .map(|r| r.manifest_key()),
+        );
+        // The store remembers which shard produced it.
+        let meta = load_meta(dir.path()).unwrap().expect("manifest written");
+        assert_eq!(meta.shard, ShardSpec::new(i as u32, 3).unwrap());
+    }
+    // Exactly one shard owned each job: the union covers the corpus with
+    // no overlap.
+    assert_eq!(completed, total);
+    let before = all_keys.len();
+    all_keys.sort();
+    all_keys.dedup();
+    assert_eq!(all_keys.len(), before, "no job may land in two shards");
+    assert_eq!(all_keys.len(), total);
+}
+
+#[test]
+fn shard_assignment_is_stable_across_worker_counts_and_kills() {
+    let corpus = shard_corpus();
+    let spec = ShardSpec::new(1, 2).unwrap();
+
+    let serial = Scratch::new("stable_serial");
+    let mut cfg = shard_config(serial.path(), spec);
+    cfg.threads = 1;
+    run_campaign(&cfg, &corpus, Mode::Fresh).expect("serial run");
+
+    // Same shard, more workers, killed after 2 completions and resumed:
+    // the owned set must be identical.
+    let killed = Scratch::new("stable_killed");
+    let mut cfg = shard_config(killed.path(), spec);
+    cfg.threads = 3;
+    cfg.max_jobs = Some(2);
+    run_campaign(&cfg, &corpus, Mode::Fresh).expect("killed leg");
+    cfg.max_jobs = None;
+    run_campaign(&cfg, &corpus, Mode::Resume).expect("resume leg");
+
+    assert_eq!(
+        canonical_store(serial.path()),
+        canonical_store(killed.path()),
+        "shard ownership must be a pure function of job content"
+    );
+}
+
+#[test]
+fn three_shard_kill_resume_merge_is_byte_identical_to_solo() {
+    let corpus = shard_corpus();
+
+    // Reference: solo run, canonicalized through the same merge path the
+    // CI job uses (a single-store merge canonicalizes in place).
+    let solo = Scratch::new("m_solo");
+    run_campaign(
+        &shard_config(solo.path(), ShardSpec::SOLO),
+        &corpus,
+        Mode::Fresh,
+    )
+    .expect("solo");
+    let solo_canon = Scratch::new("m_solo_canon");
+    merge_stores(solo_canon.path(), &[solo.path().to_path_buf()]).expect("canonicalize solo");
+
+    // Three shards; shard 1 is killed ~30 % in and resumed.
+    let shards: Vec<Scratch> = (0..3)
+        .map(|i| Scratch::new(&format!("m_shard{i}")))
+        .collect();
+    for (i, dir) in shards.iter().enumerate() {
+        let mut cfg = shard_config(dir.path(), ShardSpec::new(i as u32, 3).unwrap());
+        if i == 1 {
+            cfg.max_jobs = Some(1);
+            let first = run_campaign(&cfg, &corpus, Mode::Fresh).expect("killed shard leg");
+            assert!(first.aborted);
+            cfg.max_jobs = None;
+            run_campaign(&cfg, &corpus, Mode::Resume).expect("resumed shard leg");
+        } else {
+            run_campaign(&cfg, &corpus, Mode::Fresh).expect("shard run");
+        }
+    }
+
+    // Merge in any input order: identical bytes, identical to solo.
+    let dirs: Vec<PathBuf> = shards.iter().map(|s| s.path().to_path_buf()).collect();
+    let orders: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let mut merged_bytes: Option<(Vec<u8>, Vec<u8>)> = None;
+    for order in orders {
+        let out = Scratch::new("m_merge");
+        let inputs: Vec<PathBuf> = order.iter().map(|&i| dirs[i].clone()).collect();
+        let summary = merge_stores(out.path(), &inputs).expect("merge");
+        assert_eq!(summary.conflicts, 0, "deterministic shards cannot conflict");
+        let bytes = (
+            file_bytes(&results_path(out.path())),
+            file_bytes(&cycles_path(out.path())),
+        );
+        match &merged_bytes {
+            None => merged_bytes = Some(bytes),
+            Some(first) => assert_eq!(
+                first, &bytes,
+                "merge order {order:?} produced different bytes"
+            ),
+        }
+    }
+    let (results, cycles) = merged_bytes.unwrap();
+    assert!(!results.is_empty());
+    assert_eq!(
+        results,
+        file_bytes(&results_path(solo_canon.path())),
+        "3-shard merge must be byte-identical to the canonicalized solo store"
+    );
+    assert_eq!(
+        cycles,
+        file_bytes(&cycles_path(solo_canon.path())),
+        "cycle memos must merge to the solo store too"
+    );
+    // The merged store is a normal solo store.
+    let meta = load_meta(solo_canon.path()).unwrap().expect("manifest");
+    assert!(meta.shard.is_solo());
+}
+
+#[test]
+fn resume_refuses_a_store_from_a_different_shard_spec() {
+    let corpus = shard_corpus();
+    let dir = Scratch::new("respec");
+    let spec = ShardSpec::new(0, 3).unwrap();
+    let outcome =
+        run_campaign(&shard_config(dir.path(), spec), &corpus, Mode::Fresh).expect("shard run");
+    assert!(
+        outcome.completed > 0,
+        "the spec only pins once rows exist — corpus seed must give shard 0/3 work"
+    );
+
+    // Resuming under any other spec must be refused...
+    for other in [ShardSpec::SOLO, ShardSpec::new(1, 3).unwrap()] {
+        match run_campaign(&shard_config(dir.path(), other), &corpus, Mode::Resume) {
+            Err(CampaignError::ShardMismatch {
+                stored, requested, ..
+            }) => {
+                assert_eq!(stored, spec);
+                assert_eq!(requested, other);
+            }
+            other => panic!("expected ShardMismatch, got {other:?}"),
+        }
+    }
+    // ...while the recorded spec itself resumes fine.
+    let again = run_campaign(&shard_config(dir.path(), spec), &corpus, Mode::Resume).expect("ok");
+    assert_eq!(again.completed, 0, "nothing left to do");
+
+    // An empty store may be re-specced: only result rows pin the spec.
+    let empty = Scratch::new("respec_empty");
+    let none = Corpus::Files(Vec::new());
+    run_campaign(&shard_config(empty.path(), spec), &none, Mode::Fresh).expect("empty run");
+    run_campaign(
+        &shard_config(empty.path(), ShardSpec::SOLO),
+        &none,
+        Mode::Resume,
+    )
+    .expect("empty store accepts a new spec");
 }
 
 #[test]

@@ -1,0 +1,183 @@
+//! Integration tests for `campaign serve`: the dedup pipeline (session →
+//! persistent memo → in-flight coalescing → engine), streaming batch
+//! responses, graceful drain, and store persistence across restarts.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use via_bench::campaign::serve::{read_frame, write_frame};
+use via_bench::campaign::{
+    load_cycles, load_results, run_client, serve, ClientConfig, KernelKind, Request, Response,
+    ServeConfig,
+};
+
+/// A self-cleaning unique scratch directory (the workspace is
+/// dependency-free, so no `tempfile`).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("via_serve_{tag}_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn serve_config(dir: &std::path::Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.threads = 2;
+    cfg.budget_ms = 60_000;
+    cfg
+}
+
+fn client_config(addr: String) -> ClientConfig {
+    let mut cfg = ClientConfig::new(addr);
+    cfg.kernel = KernelKind::SpmvCsb;
+    cfg.family = "banded".into();
+    cfg.count = 3;
+    cfg.repeat = 3;
+    cfg.rows = 64;
+    cfg.density = 0.05;
+    cfg.seed = 11;
+    cfg
+}
+
+#[test]
+fn duplicate_requests_are_deduplicated_and_drained() {
+    let dir = Scratch::new("dedup");
+    let handle = serve::start(&serve_config(dir.path())).expect("start server");
+    let addr = handle.addr().to_string();
+
+    // Batch 1: 3 distinct matrices × 3 repeats. Exactly 3 simulations may
+    // run; the other 6 answers must come from coalescing or the session
+    // memo.
+    let first = run_client(&client_config(addr.clone())).expect("first client session");
+    assert_eq!(first.errors, 0);
+    assert_eq!(first.simulated, 3, "one simulation per distinct matrix");
+    assert_eq!(
+        first.deduplicated(),
+        6,
+        "every duplicate must be answered without re-simulation"
+    );
+    assert_eq!(first.stats.simulated, 3);
+    assert_eq!(first.stats.requests, 9);
+    assert_eq!(first.stats.deduplicated(), 6);
+    assert_eq!(first.stats.session_rows, 3);
+
+    // Batch 2, same requests: the session layer answers everything.
+    let mut cfg = client_config(addr.clone());
+    cfg.shutdown = true;
+    let second = run_client(&cfg).expect("second client session");
+    assert_eq!(second.errors, 0);
+    assert_eq!(second.simulated, 0, "a warm session must not simulate");
+    assert_eq!(second.memo, 9, "all repeats answered from the memo layers");
+    assert_eq!(second.stats.simulated, 3, "server total is unchanged");
+    assert_eq!(second.stats.requests, 18);
+
+    // The shutdown in batch 2 drains and stops the server.
+    handle.join();
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "a drained server must stop listening"
+    );
+
+    // The serve store is a normal campaign store: 3 rows, 3 memos.
+    assert_eq!(load_results(dir.path()).unwrap().len(), 3);
+    assert_eq!(load_cycles(dir.path()).unwrap().len(), 3);
+}
+
+#[test]
+fn restarted_server_answers_from_the_persistent_memo() {
+    let dir = Scratch::new("restart");
+
+    // Session 1 populates the store, then shuts down.
+    let handle = serve::start(&serve_config(dir.path())).expect("first server");
+    let mut cfg = client_config(handle.addr().to_string());
+    cfg.count = 2;
+    cfg.repeat = 1;
+    cfg.shutdown = true;
+    let warmup = run_client(&cfg).expect("warmup session");
+    assert_eq!(warmup.simulated, 2);
+    handle.join();
+
+    // Session 2 on the same store: both answers come from the reloaded
+    // memo without a single simulation.
+    let handle = serve::start(&serve_config(dir.path())).expect("second server");
+    let mut cfg = client_config(handle.addr().to_string());
+    cfg.count = 2;
+    cfg.repeat = 1;
+    cfg.shutdown = true;
+    let warm = run_client(&cfg).expect("warm session");
+    assert_eq!(warm.simulated, 0, "restart must not re-simulate");
+    assert_eq!(warm.memo, 2);
+    assert_eq!(warm.stats.simulated, 0);
+    handle.join();
+
+    // No duplicate rows accumulated across the two sessions.
+    assert_eq!(load_results(dir.path()).unwrap().len(), 2);
+}
+
+#[test]
+fn report_and_error_paths_speak_the_protocol() {
+    let dir = Scratch::new("proto");
+    let mut cfg = serve_config(dir.path());
+    cfg.port_file = Some(dir.path().join("addr.txt"));
+    let handle = serve::start(&cfg).expect("start server");
+
+    // The port file announces the bound address.
+    let advertised = std::fs::read_to_string(dir.path().join("addr.txt")).expect("port file");
+    assert_eq!(advertised.trim(), handle.addr().to_string());
+
+    let warm = run_client(&client_config(handle.addr().to_string())).expect("warm up");
+    assert_eq!(warm.errors, 0);
+
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+
+    // A live report over the session's rows.
+    write_frame(&mut stream, &Request::Report { id: 40 }.to_json()).unwrap();
+    match Response::from_json(&read_frame(&mut stream).unwrap().unwrap()) {
+        Some(Response::Report { id, text }) => {
+            assert_eq!(id, 40);
+            assert!(
+                text.contains("kernel spmv_csb (3 matrices)"),
+                "report: {text}"
+            );
+        }
+        other => panic!("expected report, got {other:?}"),
+    }
+
+    // Unknown kernels and malformed frames get structured errors, not a
+    // dropped connection.
+    write_frame(
+        &mut stream,
+        "{\"op\":\"sim\",\"id\":41,\"kernel\":\"nope\",\"family\":\"banded\",\"rows\":64,\"density\":0.05,\"seed\":1}",
+    )
+    .unwrap();
+    match Response::from_json(&read_frame(&mut stream).unwrap().unwrap()) {
+        Some(Response::Error { id, kind, .. }) => {
+            assert_eq!(id, 0, "unparseable requests cannot echo an id reliably");
+            assert_eq!(kind, "bad_request");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Shutdown over the raw protocol.
+    write_frame(&mut stream, &Request::Shutdown { id: 42 }.to_json()).unwrap();
+    match Response::from_json(&read_frame(&mut stream).unwrap().unwrap()) {
+        Some(Response::Shutdown { id }) => assert_eq!(id, 42),
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    handle.join();
+}
