@@ -38,6 +38,8 @@ use via_bench::campaign::{
     ServeConfig, ShardSpec,
 };
 use via_bench::report::banner;
+use via_bench::tune::{tune, tuned_path, write_tuned, TuneConfig};
+use via_bench::SweepMemo;
 use via_formats::gen::StratifiedConfig;
 
 struct Cli {
@@ -56,6 +58,7 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [run] --dir <store> [corpus] [options]\n\
+         \x20      campaign tune --dir <store> [tune options]\n\
          \x20      campaign merge <out-store> <in-store>...\n\
          \x20      campaign report <store>...\n\
          \x20      campaign serve --dir <store> [--listen <addr>] [serve options]\n\
@@ -78,6 +81,13 @@ fn usage() -> ! {
          \x20 --min-rows/--max-rows  synthetic matrix size range (default 256..8192)\n\
          \x20 --report-only          print the aggregate report from the store and exit\n\
          \x20 --quiet                suppress per-job progress lines\n\
+         \n\
+         tune options (per-matrix auto-tuner over via-gen variant spaces):\n\
+         \x20 --quick | --full       corpus scale (default --quick: 8 small matrices)\n\
+         \x20 --kernels <a,b,..>     tunable kernels (default all): spmv spmm sptrsv symgs\n\
+         \x20 --no-audit             skip re-simulating pruned variants (audit is on by default)\n\
+         \x20 --expect-non-default <N>  exit 1 unless >= N matrices prefer a non-default variant\n\
+         \x20 --matrices/--min-rows/--max-rows/--seed/--threads  corpus overrides\n\
          \n\
          serve options:\n\
          \x20 --listen <addr>        bind address (default 127.0.0.1:0, ephemeral port)\n\
@@ -510,9 +520,89 @@ fn cmd_client(args: &[String]) {
     }
 }
 
+fn cmd_tune(args: &[String]) {
+    let mut cfg = TuneConfig::quick();
+    let mut dir: Option<PathBuf> = None;
+    let mut expect_non_default = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(need(&mut it, "--dir"))),
+            "--quick" => cfg.scale = via_bench::ExperimentScale::quick(),
+            "--full" => cfg.scale = via_bench::ExperimentScale::default(),
+            "--no-audit" => cfg.audit = false,
+            "--kernels" => {
+                let list = need(&mut it, "--kernels");
+                cfg.kernels = list
+                    .split(',')
+                    .map(|s| {
+                        via_gen::Kernel::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown tunable kernel {s:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--expect-non-default" => {
+                expect_non_default = need(&mut it, "--expect-non-default")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            // Corpus-scale flags (--matrices/--min-rows/--max-rows/
+            // --seed/--threads) are picked up below.
+            _ => {}
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("tune needs --dir");
+        usage()
+    };
+    cfg.scale = cfg.scale.from_args(args);
+    eprintln!(
+        "tune: {} matrices x {} kernels | {} threads | audit {}",
+        cfg.scale.matrices,
+        cfg.kernels.len(),
+        cfg.scale.threads,
+        if cfg.audit { "on" } else { "off" },
+    );
+    let start = std::time::Instant::now();
+    let memo = SweepMemo::new();
+    let outcome = tune(&cfg, &memo);
+    if let Err(e) = write_tuned(&dir, &outcome.rows) {
+        eprintln!("writing {} failed: {e}", tuned_path(&dir).display());
+        std::process::exit(1);
+    }
+    print!("{}", outcome.render());
+    println!(
+        "memo: {} compiles, {} replays, {} cycle hits | wrote {} rows to {} in {:.1}s",
+        memo.compiles(),
+        memo.replays(),
+        memo.cycle_hits(),
+        outcome.rows.len(),
+        tuned_path(&dir).display(),
+        start.elapsed().as_secs_f64(),
+    );
+    if !outcome.is_sound() {
+        eprintln!(
+            "tune: UNSOUND — {} bound violations, {} unsound prunes",
+            outcome.bound_violations, outcome.unsound_prunes,
+        );
+        std::process::exit(1);
+    }
+    if outcome.non_default_winners() < expect_non_default {
+        eprintln!(
+            "tune: expected >= {expect_non_default} non-default winners, found {}",
+            outcome.non_default_winners(),
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("tune") => cmd_tune(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),

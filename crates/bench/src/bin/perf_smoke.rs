@@ -7,6 +7,13 @@
 //!    (allocation-free instruction streams, flat predictor, cache fast
 //!    path, lock-free sweep) and reports wall-clock against the recorded
 //!    pre-overhaul baselines.
+//! Plus a third measurement with its own artifact (`BENCH_autotune.json`):
+//! the quick-tune pass — the per-matrix auto-tuner over the quick corpus,
+//! reporting the default-vs-tuned cycle geomean per kernel, the static
+//! bound's prune rate, and the tune wall time. A second tune through the
+//! same memo must reproduce the winners bit-identically, and the overall
+//! geomean must clear the 1.10x acceptance floor.
+//!
 //! 2. **Compiled sweep** — runs the Figure-9 DSE sweep `SWEEP_REPS` times
 //!    through one [`SweepMemo`]: repetition 1 compiles every point
 //!    (records + verifies the streams), repetition 2 replays the cached
@@ -24,7 +31,8 @@
 
 use std::time::Instant;
 use via_bench::{
-    default_threads, fig10_spmv, fig12a_histogram, fig9_dse_with_memo, ExperimentScale, SweepMemo,
+    default_threads, fig10_spmv, fig12a_histogram, fig9_dse_with_memo, tune, ExperimentScale,
+    SweepMemo, TuneConfig,
 };
 
 /// Pre-overhaul wall-clock per iteration (ms), measured with
@@ -205,5 +213,71 @@ fn main() {
     eprintln!(
         "  simulated {:.1}M instructions at {mips:.2} MIPS (legacy workloads) -> {out_path}",
         instructions as f64 / 1e6
+    );
+
+    // --- Quick-tune pass -----------------------------------------------
+    let tune_out = args
+        .iter()
+        .position(|a| a == "--autotune-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_autotune.json".to_string());
+    let cfg = TuneConfig::quick();
+    let tune_memo = SweepMemo::new();
+    let t = Instant::now();
+    let tuned = tune(&cfg, &tune_memo);
+    let tune_s = t.elapsed().as_secs_f64();
+    assert!(tuned.is_sound(), "quick-tune soundness: {}", tuned.render());
+    // Bit-identical replays: re-tuning through the warm memo answers from
+    // cached streams and the cycle memo, yet picks the same winners.
+    let t = Instant::now();
+    let retuned = tune(&cfg, &tune_memo);
+    let retune_s = t.elapsed().as_secs_f64();
+    assert_eq!(retuned.rows, tuned.rows, "re-tune must be bit-identical");
+    let geomean = tuned.geomean_speedup();
+    assert!(
+        geomean >= 1.10,
+        "tuned-over-default geomean {geomean:.3}x under the 1.10x floor:\n{}",
+        tuned.render()
+    );
+
+    let mut kernel_entries = String::new();
+    for (i, (kernel, speedup)) in tuned.kernel_speedups().iter().enumerate() {
+        if i > 0 {
+            kernel_entries.push_str(",\n");
+        }
+        kernel_entries.push_str(&format!(
+            "    {{\"kernel\": \"{kernel}\", \"geomean_speedup\": {speedup:.4}}}"
+        ));
+        eprintln!("  tune {kernel:<8} {speedup:.2}x geomean tuned-over-default");
+    }
+    let tune_json = format!(
+        "{{\n  \"corpus\": {{\"matrices\": {}, \"seed\": {}}},\n  \
+         \"rows\": {},\n  \"kernels\": [\n{kernel_entries}\n  ],\n  \
+         \"geomean_speedup\": {geomean:.4},\n  \
+         \"non_default_winners\": {},\n  \
+         \"candidates\": {},\n  \"pruned\": {},\n  \
+         \"prune_rate\": {:.4},\n  \"replayed\": {},\n  \
+         \"stall_tiebreaks\": {},\n  \"bound_violations\": {},\n  \
+         \"unsound_prunes\": {},\n  \
+         \"tune_seconds\": {tune_s:.3},\n  \"retune_seconds\": {retune_s:.3},\n  \
+         \"threads\": {}\n}}\n",
+        cfg.scale.matrices,
+        cfg.scale.seed,
+        tuned.rows.len(),
+        tuned.non_default_winners(),
+        tuned.candidates,
+        tuned.pruned,
+        tuned.prune_rate(),
+        tuned.replayed,
+        tuned.stall_tiebreaks,
+        tuned.bound_violations,
+        tuned.unsound_prunes,
+        cfg.scale.threads,
+    );
+    std::fs::write(&tune_out, &tune_json).expect("write autotune json");
+    eprintln!(
+        "  quick-tune: {geomean:.2}x geomean over {} rows in {tune_s:.1}s \
+         (re-tune {retune_s:.1}s from the memo) -> {tune_out}",
+        tuned.rows.len()
     );
 }

@@ -142,6 +142,51 @@ fn main() {
     println!("\nstatic cycle lower bound (per-kernel tightness):");
     print!("{}", render_table(&t_header, &t_rows));
 
+    // Auto-tuned winners, when a tuned.jsonl store is supplied: how much
+    // per-matrix scheduling headroom the tuner found on top of the
+    // hand-written kernels the claims above were measured with.
+    if let Some(dir) = args
+        .iter()
+        .position(|a| a == "--tuned")
+        .and_then(|i| args.get(i + 1))
+    {
+        let rows = via_bench::load_tuned(std::path::Path::new(dir)).expect("readable tuned store");
+        if rows.is_empty() {
+            println!("\nno tuned winners in {dir} (run `campaign tune --dir {dir}` first)");
+        } else {
+            let tuned = via_bench::TuneOutcome {
+                rows,
+                ..Default::default()
+            };
+            let k_header: Vec<String> =
+                ["kernel", "tuned speedup (geomean)", "non-default winners"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            let k_rows: Vec<Vec<String>> = tuned
+                .kernel_speedups()
+                .into_iter()
+                .map(|(kernel, speedup)| {
+                    let (wins, total) = tuned
+                        .rows
+                        .iter()
+                        .filter(|r| r.kernel == kernel)
+                        .fold((0usize, 0usize), |(w, t), r| {
+                            (w + r.non_default_winner() as usize, t + 1)
+                        });
+                    vec![kernel, format!("{speedup:.2}x"), format!("{wins}/{total}")]
+                })
+                .collect();
+            println!(
+                "\nauto-tuned winners ({}, {} rows, {:.2}x overall geomean):",
+                dir,
+                tuned.rows.len(),
+                tuned.geomean_speedup()
+            );
+            print!("{}", render_table(&k_header, &k_rows));
+        }
+    }
+
     println!(
         "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
          (of {})",

@@ -26,8 +26,11 @@
 use via_bench::{ExperimentScale, Suite};
 use via_core::ViaConfig;
 use via_formats::{gen, Csb, SellCSigma, Spc5};
+use via_gen::{GenInputs, Kernel, KernelVariant};
 use via_kernels::spmspv::SparseVector;
-use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil, KernelRun, SimContext};
+use via_kernels::{
+    histogram, spma, spmm, spmspv, spmv, sptrsv, stencil, symgs, KernelRun, Schedule, SimContext,
+};
 use via_rng::StdRng;
 use via_sim::verify::{self, Diag, Severity};
 use via_sim::{analyze, AnalysisCache};
@@ -339,6 +342,67 @@ fn main() {
                     let x = frontier(n, n / 12, seed ^ 1);
                     an.run("spmspv::spa_dense", &spmspv::spa_dense(&a, &x, ctx));
                     an.run("spmspv::via_cam", &spmspv::via_cam(&a, &x, ctx));
+                }
+            },
+        );
+        check(
+            &format!("sptrsv/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                for m in &suite.matrices {
+                    let l = gen::make_lower_triangular(&m.csr);
+                    let b = gen::dense_vector(l.rows(), m.seed ^ 4);
+                    an.run("sptrsv::scalar", &sptrsv::scalar(&l, &b, ctx));
+                    an.run("sptrsv::via_sspm", &sptrsv::via_sspm(&l, &b, ctx));
+                    an.run(
+                        "sptrsv::via_levels",
+                        &sptrsv::via_sspm_with(&l, &b, ctx, Schedule::Levels, 8),
+                    );
+                }
+            },
+        );
+        check(
+            &format!("symgs/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                for m in &suite.matrices {
+                    let a = gen::make_diagonally_dominant(&m.csr);
+                    let b = gen::dense_vector(a.rows(), m.seed ^ 5);
+                    let x0 = gen::dense_vector(a.rows(), m.seed ^ 6);
+                    an.run("symgs::scalar", &symgs::scalar(&a, &b, &x0, ctx));
+                    an.run("symgs::via_sspm", &symgs::via_sspm(&a, &b, &x0, ctx));
+                    an.run(
+                        "symgs::via_levels",
+                        &symgs::via_sspm_with(&a, &b, &x0, ctx, Schedule::Levels, 8),
+                    );
+                }
+            },
+        );
+        check(
+            &format!("gen/{cfg_name}"),
+            &mut outcomes,
+            &cache,
+            ctx,
+            |an| {
+                // Generated-variant sample: the full via-gen knob space of
+                // every kernel on the two smallest corpus matrices (SpMM
+                // variants only where its quadratic cost stays bounded).
+                let mut sample: Vec<_> = suite.matrices.iter().collect();
+                sample.sort_by_key(|m| (m.csr.rows(), m.name.clone()));
+                for m in sample.into_iter().take(2) {
+                    let inputs = GenInputs::from_matrix(&m.name, &m.csr, m.seed);
+                    for kernel in Kernel::ALL {
+                        if kernel == Kernel::Spmm && m.csr.rows() > 384 {
+                            continue;
+                        }
+                        for v in KernelVariant::space(kernel) {
+                            an.run(&v.name(), &v.emit(&inputs, ctx));
+                        }
+                    }
                 }
             },
         );

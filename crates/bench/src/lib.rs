@@ -23,6 +23,7 @@ pub mod microbench;
 pub mod paper;
 pub mod report;
 pub mod suite;
+pub mod tune;
 
 pub use campaign::{
     aggregate_report, aggregate_report_dirs, merge_stores, run_campaign, CampaignConfig,
@@ -36,3 +37,4 @@ pub use experiments::{
     StencilRow, SweepMemo, TightnessRow,
 };
 pub use suite::{default_threads, parallel_map, ExperimentScale, Suite};
+pub use tune::{load_tuned, tune, tuned_path, write_tuned, TuneConfig, TuneOutcome, TunedRow};

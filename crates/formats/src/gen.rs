@@ -561,6 +561,57 @@ pub fn perturb_structure(a: &Csr, keep: f64, add_fraction: f64, seed: u64) -> Cs
     Csr::from_coo(&coo.into_canonical())
 }
 
+/// Random lower-triangular matrix for SpTRSV: approximately `density` of
+/// the strict lower triangle is populated and every diagonal entry is set
+/// to `1 + Σ|row off-diagonals|`, making the solve well-conditioned.
+///
+/// # Panics
+///
+/// Panics if `density` is not in `(0, 1]`.
+pub fn lower_triangular(rows: usize, density: f64, seed: u64) -> Csr {
+    make_lower_triangular(&uniform(rows, rows, density, seed))
+}
+
+/// Projects `a` onto a solvable lower-triangular factor: keeps the strict
+/// lower triangle and replaces the diagonal with `1 + Σ|row off-diagonals|`
+/// (diagonal dominance). Deterministic in `a`, so any corpus matrix can
+/// serve as an SpTRSV input without a dedicated triangular family.
+pub fn make_lower_triangular(a: &Csr) -> Csr {
+    let n = a.rows().max(a.cols());
+    let mut coo = Coo::new(n, n);
+    let mut diag = vec![1.0; n];
+    for (r, c, v) in a.iter() {
+        if c < r {
+            coo.push(r, c, v);
+            diag[r] += v.abs();
+        }
+    }
+    for (r, &d) in diag.iter().enumerate() {
+        coo.push(r, r, d);
+    }
+    Csr::from_coo(&coo.into_canonical())
+}
+
+/// Projects `a` onto a diagonally dominant square matrix for SymGS: keeps
+/// every off-diagonal entry and replaces the diagonal with
+/// `1 + Σ|row off-diagonals|`, so symmetric Gauss–Seidel sweeps are
+/// well-defined (non-zero diagonal) and convergent. Deterministic in `a`.
+pub fn make_diagonally_dominant(a: &Csr) -> Csr {
+    let n = a.rows().max(a.cols());
+    let mut coo = Coo::new(n, n);
+    let mut diag = vec![1.0; n];
+    for (r, c, v) in a.iter() {
+        if c != r {
+            coo.push(r, c, v);
+            diag[r] += v.abs();
+        }
+    }
+    for (r, &d) in diag.iter().enumerate() {
+        coo.push(r, r, d);
+    }
+    Csr::from_coo(&coo.into_canonical())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +653,39 @@ mod tests {
             "blocked family should cluster: {}",
             csb.mean_block_density()
         );
+    }
+
+    #[test]
+    fn lower_triangular_is_solvable() {
+        let l = lower_triangular(96, 0.05, 9);
+        assert_eq!(l.rows(), 96);
+        for (r, c, _) in l.iter() {
+            assert!(c <= r, "entry ({r}, {c}) above the diagonal");
+        }
+        let b = dense_vector(96, 10);
+        let x = crate::reference::sptrsv(&l, &b);
+        // Residual check: L x == b.
+        let back = crate::reference::spmv(&l, &x);
+        assert!(crate::vec_approx_eq(&back, &b, 1e-9));
+    }
+
+    #[test]
+    fn make_diagonally_dominant_supports_symgs() {
+        let a = make_diagonally_dominant(&uniform(64, 64, 0.06, 13));
+        let truth = dense_vector(64, 14);
+        let b = crate::reference::spmv(&a, &truth);
+        let mut x = vec![0.0; 64];
+        for _ in 0..80 {
+            crate::reference::symgs(&a, &b, &mut x);
+        }
+        assert!(crate::vec_approx_eq(&x, &truth, 1e-8));
+    }
+
+    #[test]
+    fn triangular_projections_are_deterministic() {
+        let a = uniform(64, 64, 0.06, 21);
+        assert_eq!(make_lower_triangular(&a), make_lower_triangular(&a));
+        assert_eq!(make_diagonally_dominant(&a), make_diagonally_dominant(&a));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Level scheduling for dependency-carried sparse kernels.
+//!
+//! Forward substitution (SpTRSV) and forward Gauss–Seidel sweeps carry a
+//! loop dependency through the strict lower triangle: row `i` may not be
+//! processed until every row `j < i` with `A[i][j] != 0` is done. Level
+//! scheduling (Saltz, 1990) topologically sorts that DAG into *levels* —
+//! `level[i] = 1 + max(level[j])` over the row's strict-lower non-zeros —
+//! so all rows inside a level are mutually independent and can be issued
+//! back-to-back without serializing on one another.
+//!
+//! The schedule depends only on the sparsity structure, so it is computed
+//! once per matrix and shared by every kernel variant. Rows within a level
+//! are kept in ascending order, which makes level-scheduled kernels
+//! deterministic and their streams reproducible.
+
+use crate::Csr;
+
+/// A level schedule over the strict lower triangle of a square matrix.
+///
+/// Row `r` appears in exactly one level; every strict-lower dependency of a
+/// row lives in a strictly earlier level. For a lower-triangular solve this
+/// means levels execute in order while rows inside a level are independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    /// Rows of each level, ascending within a level.
+    levels: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl LevelSchedule {
+    /// Computes the schedule from the strict lower triangle of `a`
+    /// (entries above the diagonal are ignored, so the same schedule
+    /// serves both a triangular factor and a full matrix's forward sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn from_lower(a: &Csr) -> Self {
+        assert_eq!(a.rows(), a.cols(), "level scheduling needs a square matrix");
+        let n = a.rows();
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            let mut lvl = 0u32;
+            for &c in cols {
+                let c = c as usize;
+                if c < i {
+                    lvl = lvl.max(level_of[c] + 1);
+                }
+            }
+            level_of[i] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        let mut levels = vec![Vec::new(); max_level as usize + 1];
+        for (i, &lvl) in level_of.iter().enumerate() {
+            levels[lvl as usize].push(i as u32);
+        }
+        LevelSchedule { levels, rows: n }
+    }
+
+    /// Computes the schedule from the strict *upper* triangle of `a` —
+    /// the dependency structure of a backward sweep (backward
+    /// substitution, backward Gauss–Seidel), where row `i` waits on every
+    /// row `j > i` with `A[i][j] != 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn from_upper(a: &Csr) -> Self {
+        assert_eq!(a.rows(), a.cols(), "level scheduling needs a square matrix");
+        let n = a.rows();
+        let mut level_of = vec![0u32; n];
+        let mut max_level = 0u32;
+        for i in (0..n).rev() {
+            let (cols, _) = a.row(i);
+            let mut lvl = 0u32;
+            for &c in cols {
+                let c = c as usize;
+                if c > i {
+                    lvl = lvl.max(level_of[c] + 1);
+                }
+            }
+            level_of[i] = lvl;
+            max_level = max_level.max(lvl);
+        }
+        let mut levels = vec![Vec::new(); max_level as usize + 1];
+        for (i, &lvl) in level_of.iter().enumerate() {
+            levels[lvl as usize].push(i as u32);
+        }
+        LevelSchedule { levels, rows: n }
+    }
+
+    /// The levels in execution order; rows ascend within each level.
+    pub fn levels(&self) -> &[Vec<u32>] {
+        &self.levels
+    }
+
+    /// Number of levels (the critical-path length of the dependency DAG).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of rows scheduled (the matrix dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Average rows per level — the exploitable parallelism. 1.0 means the
+    /// matrix is a pure dependency chain; `rows` means fully parallel.
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.levels.is_empty() {
+            return 0.0;
+        }
+        self.rows as f64 / self.levels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    #[test]
+    fn diagonal_matrix_is_one_level() {
+        let a = Csr::from_coo(
+            &Coo::from_triplets(3, 3, [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]).unwrap(),
+        );
+        let s = LevelSchedule::from_lower(&a);
+        assert_eq!(s.num_levels(), 1);
+        assert_eq!(s.levels()[0], vec![0, 1, 2]);
+        assert_eq!(s.avg_parallelism(), 3.0);
+    }
+
+    #[test]
+    fn chain_matrix_is_fully_serial() {
+        // Bidiagonal: row i depends on row i-1.
+        let a = Csr::from_coo(
+            &Coo::from_triplets(
+                4,
+                4,
+                [
+                    (0, 0, 1.0),
+                    (1, 0, 1.0),
+                    (1, 1, 1.0),
+                    (2, 1, 1.0),
+                    (2, 2, 1.0),
+                    (3, 2, 1.0),
+                    (3, 3, 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let s = LevelSchedule::from_lower(&a);
+        assert_eq!(s.num_levels(), 4);
+        assert!(s.levels().iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn upper_entries_do_not_affect_the_schedule() {
+        let lower = Csr::from_coo(
+            &Coo::from_triplets(3, 3, [(0, 0, 1.0), (1, 1, 1.0), (2, 0, 1.0), (2, 2, 1.0)])
+                .unwrap(),
+        );
+        let full = Csr::from_coo(
+            &Coo::from_triplets(
+                3,
+                3,
+                [
+                    (0, 0, 1.0),
+                    (0, 2, 5.0),
+                    (1, 1, 1.0),
+                    (1, 2, 5.0),
+                    (2, 0, 1.0),
+                    (2, 2, 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        assert_eq!(
+            LevelSchedule::from_lower(&lower),
+            LevelSchedule::from_lower(&full)
+        );
+    }
+
+    #[test]
+    fn upper_schedule_mirrors_the_lower_one() {
+        // Bidiagonal *upper* chain: row i depends on row i+1.
+        let a = Csr::from_coo(
+            &Coo::from_triplets(
+                3,
+                3,
+                [
+                    (0, 0, 1.0),
+                    (0, 1, 1.0),
+                    (1, 1, 1.0),
+                    (1, 2, 1.0),
+                    (2, 2, 1.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let s = LevelSchedule::from_upper(&a);
+        assert_eq!(s.num_levels(), 3);
+        assert_eq!(s.levels()[0], vec![2]);
+        assert_eq!(s.levels()[2], vec![0]);
+        // The lower schedule of the same matrix sees no lower entries.
+        assert_eq!(LevelSchedule::from_lower(&a).num_levels(), 1);
+    }
+
+    #[test]
+    fn every_upper_dependency_lands_in_an_earlier_level() {
+        let a = crate::gen::uniform(64, 64, 0.08, 9);
+        let s = LevelSchedule::from_upper(&a);
+        let mut level_of = vec![0usize; 64];
+        for (lvl, rows) in s.levels().iter().enumerate() {
+            for &r in rows {
+                level_of[r as usize] = lvl;
+            }
+        }
+        let total: usize = s.levels().iter().map(Vec::len).sum();
+        assert_eq!(total, 64, "every row scheduled exactly once");
+        for i in 0..64 {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                if (c as usize) > i {
+                    assert!(level_of[c as usize] < level_of[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_dependency_lands_in_an_earlier_level() {
+        let a = crate::gen::uniform(64, 64, 0.08, 7);
+        let s = LevelSchedule::from_lower(&a);
+        let mut level_of = vec![0usize; 64];
+        for (lvl, rows) in s.levels().iter().enumerate() {
+            for &r in rows {
+                level_of[r as usize] = lvl;
+            }
+        }
+        let total: usize = s.levels().iter().map(Vec::len).sum();
+        assert_eq!(total, 64, "every row scheduled exactly once");
+        for i in 0..64 {
+            let (cols, _) = a.row(i);
+            for &c in cols {
+                if (c as usize) < i {
+                    assert!(level_of[c as usize] < level_of[i]);
+                }
+            }
+        }
+    }
+}

@@ -40,6 +40,7 @@ mod csr;
 mod dense;
 mod error;
 pub mod gen;
+pub mod levels;
 pub mod mm;
 pub mod reference;
 mod sell;
@@ -52,6 +53,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::{vec_approx_eq, DenseMatrix};
 pub use error::FormatError;
+pub use levels::LevelSchedule;
 pub use sell::SellCSigma;
 pub use spc5::{Spc5, Spc5Segment};
 

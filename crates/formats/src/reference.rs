@@ -178,6 +178,72 @@ pub fn spmm_gustavson(a: &Csr, b: &Csr) -> Result<Csr, FormatError> {
     Csr::from_raw(a.rows(), b.cols(), row_ptr, col_idx, data)
 }
 
+/// Sparse lower-triangular solve `L x = b` by forward substitution — the
+/// SpTRSV golden model. `L` must be lower triangular (no entries above the
+/// diagonal) with a non-zero diagonal in every row.
+///
+/// # Panics
+///
+/// Panics if `b.len() != l.rows()`, if `l` is not square, if any row has an
+/// entry above the diagonal, or if a diagonal entry is missing or zero.
+pub fn sptrsv(l: &Csr, b: &[Value]) -> Vec<Value> {
+    assert_eq!(l.rows(), l.cols(), "L must be square");
+    assert_eq!(b.len(), l.rows(), "b length must equal matrix rows");
+    let mut x = vec![0.0; l.rows()];
+    for i in 0..l.rows() {
+        let (cols, vals) = l.row(i);
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            let c = *c as usize;
+            match c.cmp(&i) {
+                std::cmp::Ordering::Less => acc -= v * x[c],
+                std::cmp::Ordering::Equal => diag = *v,
+                std::cmp::Ordering::Greater => {
+                    panic!("L has an entry above the diagonal at ({i}, {c})")
+                }
+            }
+        }
+        assert!(diag != 0.0, "L has a zero/missing diagonal at row {i}");
+        x[i] = acc / diag;
+    }
+    x
+}
+
+/// One symmetric Gauss–Seidel sweep (forward then backward substitution)
+/// on `A x = b`, updating `x` in place — the SymGS golden model used as a
+/// multigrid smoother. `A` must have a non-zero diagonal in every row.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree or a diagonal entry is missing or zero.
+pub fn symgs(a: &Csr, b: &[Value], x: &mut [Value]) {
+    assert_eq!(a.rows(), a.cols(), "A must be square");
+    assert_eq!(b.len(), a.rows(), "b length must equal matrix rows");
+    assert_eq!(x.len(), a.rows(), "x length must equal matrix rows");
+    let relax = |i: usize, x: &mut [Value]| {
+        let (cols, vals) = a.row(i);
+        let mut acc = b[i];
+        let mut diag = 0.0;
+        for (c, v) in cols.iter().zip(vals) {
+            let c = *c as usize;
+            if c == i {
+                diag = *v;
+            } else {
+                acc -= v * x[c];
+            }
+        }
+        assert!(diag != 0.0, "A has a zero/missing diagonal at row {i}");
+        x[i] = acc / diag;
+    };
+    for i in 0..a.rows() {
+        relax(i, x);
+    }
+    for i in (0..a.rows()).rev() {
+        relax(i, x);
+    }
+}
+
 /// Histogram of `keys` over `nbins` bins (paper §IV-F1 golden model).
 ///
 /// # Panics
@@ -300,6 +366,64 @@ mod tests {
         let (a, _) = small_pair();
         let b = Csr::zero(2, 2).to_csc();
         assert!(spmm(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sptrsv_solves_small_system() {
+        // L = [[2,0,0],[1,4,0],[0,3,5]], b = L * [1,2,3]^T.
+        let l = Csr::from_coo(
+            &Coo::from_triplets(
+                3,
+                3,
+                [
+                    (0, 0, 2.0),
+                    (1, 0, 1.0),
+                    (1, 1, 4.0),
+                    (2, 1, 3.0),
+                    (2, 2, 5.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let b = [2.0, 9.0, 21.0];
+        let x = sptrsv(&l, &b);
+        assert!(crate::vec_approx_eq(&x, &[1.0, 2.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "above the diagonal")]
+    fn sptrsv_rejects_upper_entries() {
+        let (a, _) = small_pair();
+        sptrsv(&a, &[0.0; 3]);
+    }
+
+    #[test]
+    fn symgs_converges_on_dominant_system() {
+        // Diagonally dominant A: symmetric GS sweeps must converge to the
+        // solution of A x = b.
+        let a = Csr::from_coo(
+            &Coo::from_triplets(
+                3,
+                3,
+                [
+                    (0, 0, 4.0),
+                    (0, 1, 1.0),
+                    (1, 0, 1.0),
+                    (1, 1, 5.0),
+                    (1, 2, 2.0),
+                    (2, 1, 2.0),
+                    (2, 2, 6.0),
+                ],
+            )
+            .unwrap(),
+        );
+        let truth = [1.0, -2.0, 0.5];
+        let b = spmv(&a, &truth);
+        let mut x = vec![0.0; 3];
+        for _ in 0..60 {
+            symgs(&a, &b, &mut x);
+        }
+        assert!(crate::vec_approx_eq(&x, &truth, 1e-9));
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct SimContext {
     /// [`KernelRun::compiled`] then carries the [`CompiledStream`] for
     /// later [`Engine::replay`]s. Timing-transparent (off by default).
     pub record: bool,
+    /// Skip the timing model entirely ([`Engine::enable_emit_only`]):
+    /// pushes are verified and (with [`SimContext::record`]) captured,
+    /// but complete at cycle 0 — the recorded stream is still
+    /// bit-identical to a timed run's. The auto-tuner's cheap compile
+    /// path; cycle statistics of such a run are meaningless.
+    pub emit_only: bool,
 }
 
 impl SimContext {
@@ -77,6 +83,15 @@ impl SimContext {
         self
     }
 
+    /// This context with recording on and the timing model off — the
+    /// cheapest way to obtain a kernel's [`CompiledStream`] (for static
+    /// analysis or later replay) without paying for a simulation.
+    pub fn with_emit_only(mut self) -> Self {
+        self.record = true;
+        self.emit_only = true;
+        self
+    }
+
     fn apply_trace(&self, mut e: Engine) -> Engine {
         if self.trace.stall_accounting {
             e.enable_stall_accounting();
@@ -86,6 +101,9 @@ impl SimContext {
         }
         if self.record {
             e.enable_recording();
+        }
+        if self.emit_only {
+            e.enable_emit_only();
         }
         e
     }

@@ -21,6 +21,12 @@
 //! | histogram | scalar, AVX-512CD-style vector (Algorithm 5) | SSPM accumulation (`vldxadd.d`) |
 //! | stencil | scalar, vectorized 4×4 convolution | image segment + SSPM operand reads (Algorithm 6) |
 //! | SpMSpV *(extension)* | dense-workspace SPA | CAM merge per active column — the graph-computing application the paper's conclusion names |
+//! | SpTRSV *(extension)* | scalar forward substitution (row-serial or level-scheduled) | solved `x` segment in the SSPM, products via `vldxmult.d` to the VRF |
+//! | SymGS *(extension)* | scalar symmetric Gauss–Seidel sweep (row-serial or level-scheduled) | live `x` segment in the SSPM, memory as the old-value snapshot |
+//!
+//! SpTRSV and SymGS carry loop dependencies through the output vector; both
+//! expose a [`Schedule`] knob (row-serial vs. level-scheduled wavefronts)
+//! that the `via-gen` auto-tuner sweeps per matrix.
 
 #![warn(missing_docs)]
 
@@ -31,7 +37,10 @@ pub mod spma;
 pub mod spmm;
 pub mod spmspv;
 pub mod spmv;
+pub mod sptrsv;
 pub mod stencil;
+pub mod symgs;
 
 pub use context::{KernelRun, SimContext, TraceOptions};
 pub use layout::{CsbLayout, CsrLayout, SellLayout, Spc5Layout, VecLayout};
+pub use sptrsv::Schedule;

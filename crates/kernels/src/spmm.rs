@@ -234,6 +234,20 @@ pub fn gustavson(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
+    via_cam_with(a, b, ctx, 0)
+}
+
+/// [`via_cam`] with an explicit `col_tile` knob — the generator's entry
+/// point. `col_tile` bounds how many columns of `B` are processed per
+/// output chunk (0 = the whole SSPM output region, the default): smaller
+/// tiles re-insert `A`'s row into the CAM more often but flush hotter
+/// output slots. `via_cam_with(a, b, ctx, 0)` is bit-identical to
+/// [`via_cam`].
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn via_cam_with(a: &Csr, b: &Csc, ctx: &SimContext, col_tile: usize) -> KernelRun<Csr> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let vl = ctx.vl();
     let cam_cap = ctx.via.cam_entries();
@@ -242,14 +256,23 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
     let acc_base = cam_cap;
     let out_region = entries - acc_base;
     assert!(out_region > 0, "SSPM must have room above the index table");
+    let chunk_cols = if col_tile == 0 {
+        out_region
+    } else {
+        col_tile.min(out_region)
+    };
     let mut e = ctx.via_engine();
     let mut via = ViaUnit::new(ctx.via);
     let la = CsrLayout::new(e.alloc_mut(), a);
     let lb = CscLayout::new(e.alloc_mut(), b);
-    // Output row staging area (worst case: one value per column).
-    let lc_col = e.alloc_mut().alloc_u32(b.cols().max(1));
-    let lc_val = e.alloc_mut().alloc_f64(b.cols().max(1));
+    // Output arrays, appended at a globally monotonic position exactly
+    // like the real kernel growing its CSR output — every store is
+    // eventually live (no staging-slot reuse, which the PR 7 analyzer
+    // flagged as provably dead stores).
+    let lc_col = e.alloc_mut().alloc_u32((a.rows() * b.cols()).max(1));
+    let lc_val = e.alloc_mut().alloc_f64((a.rows() * b.cols()).max(1));
 
+    let mut out_pos = 0usize;
     let mut coo = Coo::new(a.rows(), b.cols());
     for i in 0..a.rows() {
         let (ac, av) = a.row(i);
@@ -259,10 +282,10 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
             e.scalar_op(AluKind::Int, &[]);
             continue;
         }
-        // Column chunks sized to the output region.
+        // Column chunks sized to the output region (or the col_tile knob).
         let mut j_lo = 0usize;
         while j_lo < b.cols() {
-            let j_hi = (j_lo + out_region).min(b.cols());
+            let j_hi = (j_lo + chunk_cols).min(b.cols());
             via.vldx_clear(&mut e);
             // Segment A's row so it fits the CAM (step 1 in Figure 4).
             let mut seg = 0usize;
@@ -342,7 +365,6 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                 chunk_vals.push((p, reg, vals));
                 p += len;
             }
-            let mut out_in_row = 0usize;
             for (p, reg, vals) in chunk_vals {
                 for (l, &v) in vals.iter().enumerate() {
                     let j = p + l;
@@ -351,10 +373,10 @@ pub fn via_cam(a: &Csr, b: &Csc, ctx: &SimContext) -> KernelRun<Csr> {
                     e.branch(matched, SITE_EMIT, &[reg]);
                     if matched {
                         let col = e.scalar_op(AluKind::Int, &[]);
-                        e.store(lc_col.addr_of(out_in_row), 4, &[col]);
-                        e.store(lc_val.addr_of(out_in_row), 8, &[reg]);
+                        e.store(lc_col.addr_of(out_pos), 4, &[col]);
+                        e.store(lc_val.addr_of(out_pos), 8, &[reg]);
                         coo.push(i, j, v);
-                        out_in_row += 1;
+                        out_pos += 1;
                     }
                 }
             }

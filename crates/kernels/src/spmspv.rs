@@ -166,8 +166,11 @@ pub fn spa_dense(a: &Csc, x: &SparseVector, ctx: &SimContext) -> KernelRun<Spars
         let idx = e.scalar_op(AluKind::Int, &[]);
         e.store(lay.y_idx.addr_of(o), 4, &[idx]);
         e.store(lay.y_val.addr_of(o), 8, &[v]);
-        let zero = e.scalar_op(AluKind::Int, &[]);
-        e.store(flags.addr_of(i as usize), 4, &[zero]);
+        // No flag reset: this kernel runs once per stream, so clearing the
+        // occupancy flags after the last (only) use just killed the
+        // once-touched rows' set-stores unread — the VIA102 dead stores the
+        // PR 7 oracle confirmed. A multi-invocation caller would clear
+        // lazily via the touched list it already has.
     }
     e.region_end();
     KernelRun::finish_baseline(out, e)

@@ -405,7 +405,32 @@ pub fn csb_software_vec(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f
 /// SSPM capacity (the CSB block size must be tuned to half the scratchpad,
 /// paper §V-B — use [`via_core::ViaConfig::csb_block_size`]).
 pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
+    via_csb_with(m, x, ctx, 8, 1)
+}
+
+/// [`via_csb`] with explicit tuning knobs — the generator's entry point.
+///
+/// * `flush_group` — how many SSPM reads are batched ahead of their stores
+///   in the flush phase (architectural-register pressure vs. pipelining of
+///   the commit-serialized VIA reads);
+/// * `unroll` — element-stream unroll factor: the scalar induction op is
+///   emitted once per `unroll` chunks instead of every chunk.
+///
+/// `via_csb_with(m, x, ctx, 8, 1)` is bit-identical to [`via_csb`].
+///
+/// # Panics
+///
+/// Panics as [`via_csb`], or if `flush_group == 0` or `unroll == 0`.
+pub fn via_csb_with(
+    m: &Csb,
+    x: &[f64],
+    ctx: &SimContext,
+    flush_group: usize,
+    unroll: usize,
+) -> KernelRun<Vec<f64>> {
     assert_eq!(x.len(), m.cols(), "x length must equal matrix columns");
+    assert!(flush_group > 0, "flush_group must be positive");
+    assert!(unroll > 0, "unroll must be positive");
     let vl = ctx.vl();
     let mut e = ctx.via_engine();
     let mut via = ViaUnit::new(ctx.via);
@@ -458,9 +483,12 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
                 via.vldx_load_d(&mut e, &idx, &x[col_base + c..col_base + c + len], &[xreg]);
                 c += len;
             }
-            // Stream the block elements (Algorithm 4 lines 11-15).
+            // Stream the block elements (Algorithm 4 lines 11-15). With
+            // `unroll > 1` the loop body is unrolled: the scalar induction
+            // op amortizes over `unroll` chunks.
             let elem_base = m.block_ptr()[br * nbc + bc];
             let mut k = 0usize;
+            let mut chunks = 0usize;
             while k < blk.idx.len() {
                 let len = vl.min(blk.idx.len() - k);
                 let j = elem_base + k;
@@ -474,8 +502,14 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
                     offset,
                     &[idx_reg, val_reg],
                 );
-                e.scalar_op(AluKind::Int, &[]);
+                chunks += 1;
+                if chunks.is_multiple_of(unroll) {
+                    e.scalar_op(AluKind::Int, &[]);
+                }
                 k += len;
+            }
+            if !chunks.is_multiple_of(unroll) {
+                e.scalar_op(AluKind::Int, &[]);
             }
         }
         e.region_end();
@@ -486,8 +520,8 @@ pub fn via_csb(m: &Csb, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
         // each group.
         let mut r = 0usize;
         while r < rows_here {
-            let mut group: Vec<(usize, usize, via_sim::Reg)> = Vec::with_capacity(8);
-            for _ in 0..8 {
+            let mut group: Vec<(usize, usize, via_sim::Reg)> = Vec::with_capacity(flush_group);
+            for _ in 0..flush_group {
                 if r >= rows_here {
                     break;
                 }
@@ -520,6 +554,7 @@ fn accumulate_rows_via<F>(
     e: &mut Engine,
     via: &mut ViaUnit,
     yl: &VecLayout,
+    flush_group: usize,
     mut row_body: F,
 ) -> Vec<f64>
 where
@@ -572,8 +607,8 @@ where
         e.region("flush");
         let mut r = 0usize;
         while r < seg_rows {
-            let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(8);
-            for _ in 0..8 {
+            let mut group: Vec<(usize, usize, Reg)> = Vec::with_capacity(flush_group);
+            for _ in 0..flush_group {
                 if r >= seg_rows {
                     break;
                 }
@@ -601,7 +636,23 @@ where
 ///
 /// Panics if `x.len() != a.cols()`.
 pub fn via_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
+    via_csr_with(a, x, ctx, 8)
+}
+
+/// [`via_csr`] with an explicit `flush_group` knob (see [`via_csb_with`]);
+/// `via_csr_with(a, x, ctx, 8)` is bit-identical to [`via_csr`].
+///
+/// # Panics
+///
+/// Panics as [`via_csr`], or if `flush_group == 0`.
+pub fn via_csr_with(
+    a: &Csr,
+    x: &[f64],
+    ctx: &SimContext,
+    flush_group: usize,
+) -> KernelRun<Vec<f64>> {
     assert_eq!(x.len(), a.cols(), "x length must equal matrix columns");
+    assert!(flush_group > 0, "flush_group must be positive");
     let vl = ctx.vl();
     let mut e = ctx.via_engine();
     let mut via = ViaUnit::new(ctx.via);
@@ -610,7 +661,7 @@ pub fn via_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
     let yl = VecLayout::new(e.alloc_mut(), a.rows().max(1));
 
     let mut addrs: Vec<u64> = Vec::with_capacity(vl);
-    let y = accumulate_rows_via(a.rows(), ctx, &mut e, &mut via, &yl, |e, i| {
+    let y = accumulate_rows_via(a.rows(), ctx, &mut e, &mut via, &yl, flush_group, |e, i| {
         let (cols, vals) = a.row(i);
         let base = a.row_ptr()[i];
         let mut vacc = e.vec_op(VecOpKind::Add, &[]);

@@ -2,14 +2,15 @@
 //! hold against the simulated run, every finding must survive its
 //! brute-force oracle (zero false positives against the replay trace), and
 //! the emitted streams must be free of dead register writes and unordered
-//! must-alias conflicts. Dead stores are pinned per kernel: most kernels
-//! have none, while the accumulator-flush kernels (`spmm::via_cam`,
-//! `spmspv::spa_dense`) are *expected* to carry oracle-confirmed ones —
-//! that expectation doubles as a true-positive test on real code.
+//! must-alias conflicts. Dead stores are pinned to zero for *every* kernel:
+//! the two oracle-confirmed offenders from the PR 7 audit (`spmm::via_cam`
+//! overwriting staged output rows, `spmspv::spa_dense` resetting occupancy
+//! flags nothing reads again) have been fixed at the source, so a nonzero
+//! count anywhere is a regression.
 
 use via_formats::{gen, Csb};
-use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil};
-use via_kernels::{KernelRun, SimContext};
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, sptrsv, stencil, symgs};
+use via_kernels::{KernelRun, Schedule, SimContext};
 use via_rng::StdRng;
 use via_sim::analyze;
 use via_sim::CoreConfig;
@@ -95,15 +96,10 @@ fn spmm_streams_analyze_clean() {
         &ctx,
         spmm::inner_product(&a, &b, &ctx),
     );
-    // via_cam keeps its accumulation in the SSPM and stores each output
-    // tile as it goes; rows overwritten by a later flush are genuine
-    // (oracle-confirmed) dead stores, so the analyzer *must* find some.
-    let run = spmm::via_cam(&a, &b, &ctx);
-    let report = assert_analyzes_sound("spmm::via_cam", &ctx, &run);
-    assert!(
-        report.dead_stores > 0,
-        "spmm::via_cam: expected true-positive dead stores"
-    );
+    // via_cam now appends flushed tiles at a globally monotonic output
+    // cursor, so no staged row is ever overwritten: the PR 7 dead stores
+    // are gone and the stream must analyze clean.
+    assert_analyzes_clean("spmm::via_cam", &ctx, spmm::via_cam(&a, &b, &ctx));
 }
 
 #[test]
@@ -111,16 +107,50 @@ fn spmspv_streams_analyze_clean() {
     let ctx = SimContext::default().with_recording();
     let a = gen::uniform(96, 96, 0.05, 31).to_csc();
     let x = spmspv::SparseVector::from_pairs((0..12).map(|i| (i * 7 % 96, 1.0 + i as f64)));
-    // spa_dense zero-initializes its dense accumulator with stores that
-    // are fully overwritten before any load reads them back — genuine
-    // (oracle-confirmed) dead stores the analyzer is expected to surface.
-    let run = spmspv::spa_dense(&a, &x, &ctx);
-    let report = assert_analyzes_sound("spmspv::spa_dense", &ctx, &run);
-    assert!(
-        report.dead_stores > 0,
-        "spmspv::spa_dense: expected true-positive dead stores"
-    );
+    // spa_dense no longer resets its occupancy flags after the compact
+    // phase (nothing read the resets, which in turn killed the set-stores
+    // of once-touched rows), so the stream must analyze clean.
+    assert_analyzes_clean("spmspv::spa_dense", &ctx, spmspv::spa_dense(&a, &x, &ctx));
     assert_analyzes_clean("spmspv::via_cam", &ctx, spmspv::via_cam(&a, &x, &ctx));
+}
+
+#[test]
+fn sptrsv_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let l = gen::lower_triangular(96, 0.06, 11);
+    let b = gen::dense_vector(96, 12);
+    for schedule in [Schedule::RowSerial, Schedule::Levels] {
+        assert_analyzes_clean(
+            &format!("sptrsv::scalar[{}]", schedule.name()),
+            &ctx,
+            sptrsv::scalar_with(&l, &b, &ctx, schedule),
+        );
+        assert_analyzes_clean(
+            &format!("sptrsv::via_sspm[{}]", schedule.name()),
+            &ctx,
+            sptrsv::via_sspm_with(&l, &b, &ctx, schedule, 8),
+        );
+    }
+}
+
+#[test]
+fn symgs_streams_analyze_clean() {
+    let ctx = SimContext::default().with_recording();
+    let a = gen::make_diagonally_dominant(&gen::uniform(96, 96, 0.05, 11));
+    let b = gen::dense_vector(96, 12);
+    let x0 = gen::dense_vector(96, 13);
+    for schedule in [Schedule::RowSerial, Schedule::Levels] {
+        assert_analyzes_clean(
+            &format!("symgs::scalar[{}]", schedule.name()),
+            &ctx,
+            symgs::scalar_with(&a, &b, &x0, &ctx, schedule),
+        );
+        assert_analyzes_clean(
+            &format!("symgs::via_sspm[{}]", schedule.name()),
+            &ctx,
+            symgs::via_sspm_with(&a, &b, &x0, &ctx, schedule, 8),
+        );
+    }
 }
 
 #[test]

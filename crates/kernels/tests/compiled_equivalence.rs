@@ -6,8 +6,8 @@
 //! transformation; any divergence here means it changed what is simulated.
 
 use via_formats::{gen, Csb};
-use via_kernels::{histogram, spma, spmm, spmspv, spmv, stencil};
-use via_kernels::{KernelRun, SimContext, TraceOptions};
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, sptrsv, stencil, symgs};
+use via_kernels::{KernelRun, Schedule, SimContext, TraceOptions};
 use via_rng::StdRng;
 use via_sim::verify;
 use via_sim::Engine;
@@ -149,6 +149,39 @@ fn spmspv_compiled_paths_are_equivalent() {
     assert_equivalent(
         "spmspv::via_cam",
         |ctx| spmspv::via_cam(&a, &x, ctx),
+        SimContext::via_engine,
+    );
+}
+
+#[test]
+fn sptrsv_compiled_paths_are_equivalent() {
+    let l = gen::lower_triangular(96, 0.06, 11);
+    let b = gen::dense_vector(96, 12);
+    assert_equivalent(
+        "sptrsv::scalar[levels]",
+        |ctx| sptrsv::scalar_with(&l, &b, ctx, Schedule::Levels),
+        SimContext::baseline_engine,
+    );
+    assert_equivalent(
+        "sptrsv::via_sspm[levels]",
+        |ctx| sptrsv::via_sspm_with(&l, &b, ctx, Schedule::Levels, 8),
+        SimContext::via_engine,
+    );
+}
+
+#[test]
+fn symgs_compiled_paths_are_equivalent() {
+    let a = gen::make_diagonally_dominant(&gen::uniform(96, 96, 0.05, 11));
+    let b = gen::dense_vector(96, 12);
+    let x0 = gen::dense_vector(96, 13);
+    assert_equivalent(
+        "symgs::scalar[row_serial]",
+        |ctx| symgs::scalar(&a, &b, &x0, ctx),
+        SimContext::baseline_engine,
+    );
+    assert_equivalent(
+        "symgs::via_sspm[levels]",
+        |ctx| symgs::via_sspm_with(&a, &b, &x0, ctx, Schedule::Levels, 8),
         SimContext::via_engine,
     );
 }

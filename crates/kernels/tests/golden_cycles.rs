@@ -11,7 +11,7 @@
 //! in the same commit and say so; an unexplained diff here is a regression.
 
 use via_formats::{gen, Csb, Csr};
-use via_kernels::{histogram, spma, spmv, SimContext};
+use via_kernels::{histogram, spma, spmv, sptrsv, symgs, Schedule, SimContext};
 use via_rng::StdRng;
 
 fn ctx() -> SimContext {
@@ -58,6 +58,43 @@ fn spma_cycles_are_pinned() {
     assert_eq!(
         got, expected,
         "SpMA golden cycle counts moved (merge_csr, via_cam)"
+    );
+}
+
+#[test]
+fn sptrsv_cycles_are_pinned() {
+    let ctx = ctx();
+    let l = gen::lower_triangular(256, 0.04, 42);
+    let b = gen::dense_vector(256, 43);
+    let got = [
+        sptrsv::scalar(&l, &b, &ctx).cycles(),
+        sptrsv::scalar_with(&l, &b, &ctx, Schedule::Levels).cycles(),
+        sptrsv::via_sspm(&l, &b, &ctx).cycles(),
+        sptrsv::via_sspm_with(&l, &b, &ctx, Schedule::Levels, 8).cycles(),
+    ];
+    let expected = [14_128u64, 13_406, 46_639, 14_972];
+    assert_eq!(
+        got, expected,
+        "SpTRSV golden cycle counts moved (scalar row-serial, scalar levels, via row-serial, via levels)"
+    );
+}
+
+#[test]
+fn symgs_cycles_are_pinned() {
+    let ctx = ctx();
+    let a = gen::make_diagonally_dominant(&gen::uniform(256, 256, 0.02, 42));
+    let b = gen::dense_vector(256, 43);
+    let x0 = gen::dense_vector(256, 44);
+    let got = [
+        symgs::scalar(&a, &b, &x0, &ctx).cycles(),
+        symgs::scalar_with(&a, &b, &x0, &ctx, Schedule::Levels).cycles(),
+        symgs::via_sspm(&a, &b, &x0, &ctx).cycles(),
+        symgs::via_sspm_with(&a, &b, &x0, &ctx, Schedule::Levels, 8).cycles(),
+    ];
+    let expected = [29_872u64, 16_913, 69_179, 21_912];
+    assert_eq!(
+        got, expected,
+        "SymGS golden cycle counts moved (scalar row-serial, scalar levels, via row-serial, via levels)"
     );
 }
 

@@ -130,6 +130,13 @@ pub struct Engine {
     /// for the stream most recently analyzed on this engine. Cleared by
     /// [`Engine::reset`] so a reused engine cannot leak a stale report.
     analysis: Option<Arc<AnalysisReport>>,
+    /// Emit-only mode ([`Engine::enable_emit_only`]): pushes skip the
+    /// timing model entirely — only verification and stream recording run.
+    /// Instruction content never depends on timing (kernels read data, not
+    /// cycle counts), so an emit-only recording is bit-identical to a timed
+    /// one; the auto-tuner uses this to compile candidate streams cheaply
+    /// and prune on the static cycle bound before paying for a replay.
+    emit_only: bool,
     stats: RunStats,
 }
 
@@ -172,6 +179,7 @@ impl Engine {
             recording: None,
             replayed_report: None,
             analysis: None,
+            emit_only: false,
             core,
             stats: RunStats::default(),
         }
@@ -246,7 +254,16 @@ impl Engine {
                 }
             }
         }
-        let complete = self.push_core(&inst);
+        let complete = if self.emit_only {
+            // Emit-only: count the instruction (so `stream.len() ==
+            // stats.instructions` holds on recordings) but skip the timing
+            // model. Completion cycle 0 is fine — kernels thread register
+            // deps, never completion times, through their emission.
+            self.stats.instructions += 1;
+            0
+        } else {
+            self.push_core(&inst)
+        };
         if let Some(rec) = &mut self.recording {
             rec.insts.push(inst);
         }
@@ -790,6 +807,27 @@ impl Engine {
         self.recording.is_some()
     }
 
+    /// Puts the engine in *emit-only* mode: subsequent pushes are verified
+    /// and (if recording) captured, but the timing model is skipped and
+    /// every push reports completion cycle 0. Because kernels construct
+    /// instructions from data only — completion cycles feed nothing but
+    /// timing — the recorded stream is bit-identical to a timed run's.
+    ///
+    /// This is the auto-tuner's fast compile path: emit a candidate
+    /// variant's stream without cache/calendar work, take its static
+    /// cycle lower bound from [`analyze`], and only replay (full timing)
+    /// the candidates the bound cannot rule out. Statistics other than
+    /// the instruction count are meaningless on an emit-only run.
+    /// Cleared by [`Engine::reset`].
+    pub fn enable_emit_only(&mut self) {
+        self.emit_only = true;
+    }
+
+    /// Whether emit-only mode is on.
+    pub fn emit_only_enabled(&self) -> bool {
+        self.emit_only
+    }
+
     /// Harvests the recorded stream as a [`CompiledStream`] (turning
     /// recording off), or `None` if [`Engine::enable_recording`] was never
     /// called. Call before [`Engine::finish`]/[`Engine::reset`]. The
@@ -933,6 +971,7 @@ impl Engine {
         self.timeline = None;
         self.recording = None;
         self.analysis = None;
+        self.emit_only = false;
         // Trace state must not leak between back-to-back runs: zero the
         // accumulators, empty the ring, and unwind the region stack, while
         // keeping the enabled flags so a reused engine keeps tracing.
@@ -1447,6 +1486,45 @@ mod tests {
         assert!(!recorded.recording_enabled());
         assert_eq!(stream.len() as u64, 200 * 4 + 13);
         assert_eq!(plain.finish(), recorded.finish());
+    }
+
+    #[test]
+    fn emit_only_records_the_same_stream_as_a_timed_run() {
+        let mut timed = engine();
+        timed.enable_recording();
+        mixed_workload(&mut timed);
+        let timed_stream = timed.take_compiled().expect("recording was on");
+        let timed_stats = timed.finish();
+
+        let mut fast = engine();
+        fast.enable_recording();
+        fast.enable_emit_only();
+        assert!(fast.emit_only_enabled());
+        mixed_workload(&mut fast);
+        let fast_stream = fast.take_compiled().expect("recording was on");
+
+        // Identical instructions, events, and verify report — the stream
+        // hash covers all three inputs the replay path consumes.
+        assert_eq!(fast_stream.stream_hash(), timed_stream.stream_hash());
+        assert_eq!(fast_stream.verify(), timed_stream.verify());
+
+        // Replaying the emit-only stream reproduces the timed run exactly.
+        let mut replayer = engine();
+        replayer.replay(&fast_stream);
+        assert_eq!(replayer.finish(), timed_stats);
+    }
+
+    #[test]
+    fn reset_clears_emit_only() {
+        let mut e = engine();
+        e.enable_emit_only();
+        e.scalar_op(AluKind::Int, &[]);
+        assert_eq!(e.stats_so_far().cycles, 0);
+        e.reset();
+        assert!(!e.emit_only_enabled());
+        e.scalar_op(AluKind::Int, &[]);
+        let stats = e.finish();
+        assert!(stats.cycles > 0, "timing resumed after reset");
     }
 
     #[test]

@@ -49,6 +49,12 @@ cargo test -p via-kernels --release -q --test compiled_equivalence
 echo "==> verify_programs --quick (via-verify static sweep)"
 cargo run --release -p via-bench --bin verify_programs -- --quick
 
+echo "==> campaign tune --quick (auto-tuner smoke, prune audit on)"
+TUNE_SMOKE_DIR=$(mktemp -d)
+cargo run --release -p via-bench --bin campaign -- \
+    tune --dir "$TUNE_SMOKE_DIR" --quick --expect-non-default 1 >/dev/null
+rm -rf "$TUNE_SMOKE_DIR"
+
 if [ "${TIER1_SKIP_PERF:-0}" = "1" ]; then
     echo "==> perf_smoke skipped (TIER1_SKIP_PERF=1)"
     echo "==> campaign kill-and-resume smoke skipped (TIER1_SKIP_PERF=1)"

@@ -12,6 +12,7 @@
 //! | [`sim`] (`via-sim`) | out-of-order timing engine, caches, stall/trace/verify tooling | §V-A |
 //! | [`formats`] (`via-formats`) | CSR/CSC/CSB/Sell-C-σ/SPC5 formats, generators, Matrix Market I/O | §II |
 //! | [`kernels`] (`via-kernels`) | baseline + VIA kernels emitting instruction streams | §II–IV, §VII |
+//! | [`gen`] (`via-gen`) | kernel-variant generator behind the per-matrix auto-tuner | — |
 //! | [`energy`] (`via-energy`) | CACTI/McPAT-like area + energy models | §VI, Table II |
 //! | `via-bench` | experiment harness, figure binaries, campaign orchestrator | §V, §VII |
 //! | `via-rng` | deterministic xoshiro256** PRNG behind every generator | — |
@@ -28,5 +29,6 @@
 pub use via_core as core;
 pub use via_energy as energy;
 pub use via_formats as formats;
+pub use via_gen as gen;
 pub use via_kernels as kernels;
 pub use via_sim as sim;
