@@ -53,6 +53,7 @@ struct Cli {
     shard: ShardSpec,
     report_only: bool,
     quiet: bool,
+    backends: bool,
 }
 
 fn usage() -> ! {
@@ -79,6 +80,8 @@ fn usage() -> ! {
          \x20 --max-jobs <N>         stop after N completions this run (kill simulation)\n\
          \x20 --seed <S>             synthetic corpus master seed\n\
          \x20 --min-rows/--max-rows  synthetic matrix size range (default 256..8192)\n\
+         \x20 --backends             also run the SSR rival backend per job (adds the\n\
+         \x20                        SSR column to rows and the report's bake-off table)\n\
          \x20 --report-only          print the aggregate report from the store and exit\n\
          \x20 --quiet                suppress per-job progress lines\n\
          \n\
@@ -129,6 +132,7 @@ fn parse_run_cli(args: &[String]) -> Cli {
     let mut shard = ShardSpec::SOLO;
     let mut report_only = false;
     let mut quiet = false;
+    let mut backends = false;
     let mut strat = StratifiedConfig::default();
 
     let mut it = args.iter();
@@ -199,6 +203,7 @@ fn parse_run_cli(args: &[String]) -> Cli {
             }
             "--report-only" => report_only = true,
             "--quiet" => quiet = true,
+            "--backends" => backends = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -235,6 +240,7 @@ fn parse_run_cli(args: &[String]) -> Cli {
         shard,
         report_only,
         quiet,
+        backends,
     }
 }
 
@@ -266,6 +272,7 @@ fn cmd_run(args: &[String]) {
     cfg.max_jobs = cli.max_jobs;
     cfg.shard = cli.shard;
     cfg.progress = !cli.quiet;
+    cfg.backends = cli.backends;
     if let Some(t) = cli.threads {
         cfg.threads = t;
     }

@@ -1,0 +1,59 @@
+//! Multi-core socket scaling sweep + backend bake-off.
+//!
+//! Runs the N ∈ {1, 2, 4, 8} core-scaling grid for every backend
+//! (baseline / VIA / SSR) over the row-partitioned SpMV and SpMM kernels,
+//! prints the bake-off and scaling tables, and records the whole grid in
+//! `BENCH_multicore.json`. The run fails if the 4-core geomean speedup on
+//! the partitioned kernels drops under the 1.7x acceptance floor.
+//!
+//! ```sh
+//! cargo run --release -p via-bench --bin multicore \
+//!     [-- --matrices N --max-rows N --seed S --threads N --out path.json]
+//! ```
+
+use std::time::Instant;
+use via_bench::report::banner;
+use via_bench::{multicore_sweep, ExperimentScale};
+
+/// Acceptance floor: geomean speedup at 4 cores across the partitioned
+/// kernels and backends (nnz-balanced bands over a shared LLC).
+const FOUR_CORE_FLOOR: f64 = 1.7;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_multicore.json".to_string());
+    let scale = ExperimentScale::quick().from_args(&args);
+
+    print!(
+        "{}",
+        banner(
+            "Multi-core socket sweep",
+            "baseline / VIA / SSR backends at 1, 2, 4, 8 cores over one shared LLC",
+        )
+    );
+    eprintln!(
+        "suite: {} matrices, {}..{} rows, seed {}, {} threads",
+        scale.matrices, scale.min_rows, scale.max_rows, scale.seed, scale.threads
+    );
+
+    let t = Instant::now();
+    let out = multicore_sweep(&scale);
+    let wall_s = t.elapsed().as_secs_f64();
+    print!("{}", out.render());
+
+    let four = out.partitioned_geomean(4);
+    println!(
+        "\n4-core geomean speedup {four:.2}x (floor {FOUR_CORE_FLOOR}x), \
+         swept in {wall_s:.1}s"
+    );
+    std::fs::write(&out_path, out.to_json(&scale)).expect("write multicore json");
+    eprintln!("-> {out_path}");
+    assert!(
+        four >= FOUR_CORE_FLOOR,
+        "4-core geomean {four:.3}x under the {FOUR_CORE_FLOOR}x acceptance floor"
+    );
+}

@@ -202,8 +202,38 @@ fn main() {
         memo.replays() + memo.compiles(),
     );
 
+    // --- Multi-core socket smoke ---------------------------------------
+    // A tiny backend bake-off sweep: catches socket/SharedLlc wall-clock
+    // regressions and re-checks that the sweep is bit-reproducible (the
+    // property the BENCH_multicore.json artifact relies on).
+    let mc_scale = ExperimentScale {
+        matrices: 3,
+        min_rows: 96,
+        max_rows: 192,
+        density_range: (0.001, 0.026),
+        seed: 9,
+        threads: default_threads(),
+    };
+    let t = Instant::now();
+    let mc = via_bench::multicore_sweep(&mc_scale);
+    let mc_s = t.elapsed().as_secs_f64();
+    let rerun = via_bench::multicore_sweep(&mc_scale);
+    assert_eq!(rerun, mc, "multicore sweep must be bit-reproducible");
+    let mc_four = mc.partitioned_geomean(4);
+    eprintln!(
+        "  multicore smoke: 4-core partitioned geomean {mc_four:.2}x \
+         ({:.1} ms/sweep, reproducible)",
+        mc_s * 1e3
+    );
+    let multicore_json = format!(
+        "  \"multicore\": {{\n    \"matrices\": {},\n    \
+         \"wall_seconds\": {mc_s:.4},\n    \
+         \"geomean_speedup_4_cores\": {mc_four:.4}\n  }}",
+        mc_scale.matrices
+    );
+
     let json = format!(
-        "{{\n  \"workloads\": [\n{entries}\n  ],\n{sweep_json},\n  \
+        "{{\n  \"workloads\": [\n{entries}\n  ],\n{sweep_json},\n{multicore_json},\n  \
          \"simulated_instructions\": {instructions},\n  \
          \"wall_seconds\": {wall_s:.3},\n  \"mips\": {mips:.2},\n  \
          \"threads\": {}\n}}\n",

@@ -187,6 +187,19 @@ fn main() {
         }
     }
 
+    // Rival-backend columns, when requested: single-core baseline/VIA/SSR
+    // cycles per kernel plus the core-scaling grid (the same measurement
+    // the `multicore` binary records in BENCH_multicore.json). Runs at the
+    // quick scale — the scale flags still apply if passed explicitly.
+    if args.iter().any(|a| a == "--backends") {
+        let mc_scale = ExperimentScale::quick().from_args(&args);
+        println!(
+            "\nbackend bake-off ({} matrices, nnz-balanced row bands):",
+            mc_scale.matrices
+        );
+        print!("{}", via_bench::multicore_sweep(&mc_scale).render());
+    }
+
     println!(
         "{reproduced} reproduced, {shape} shape-only, {failed} not reproduced \
          (of {})",

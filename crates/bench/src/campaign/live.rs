@@ -23,10 +23,12 @@ use std::path::PathBuf;
 use via_formats::stats::{geomean, split_categories};
 
 /// Per-kernel accumulator: the `(bucketing key, speedup)` points seen so
-/// far.
+/// far, plus the SSR rival-backend speedups of the rows that carried them
+/// (campaigns run with `--backends`).
 #[derive(Debug, Clone, Default)]
 struct KernelAccum {
     points: Vec<(f64, f64)>,
+    ssr: Vec<f64>,
 }
 
 /// An incremental aggregate-report accumulator. Feed it [`ResultRow`]s in
@@ -52,11 +54,11 @@ impl ReportBuilder {
         if !self.seen.insert(row.manifest_key()) {
             return false;
         }
-        self.kernels
-            .entry(row.kernel.clone())
-            .or_default()
-            .points
-            .push((row.key, row.speedup()));
+        let accum = self.kernels.entry(row.kernel.clone()).or_default();
+        accum.points.push((row.key, row.speedup()));
+        if let Some(s) = row.ssr_speedup() {
+            accum.ssr.push(s);
+        }
         true
     }
 
@@ -107,6 +109,33 @@ impl ReportBuilder {
                 accum.points.len()
             ));
             out.push_str(&render_table(&header, &table));
+        }
+        // Backend bake-off footer: only kernels whose rows carried the
+        // optional SSR column (plain campaigns never print this).
+        let with_ssr: Vec<(&String, &KernelAccum)> = self
+            .kernels
+            .iter()
+            .filter(|(_, a)| !a.ssr.is_empty())
+            .collect();
+        if !with_ssr.is_empty() {
+            let header: Vec<String> = ["kernel", "matrices", "VIA geomean", "SSR geomean"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let rows: Vec<Vec<String>> = with_ssr
+                .iter()
+                .map(|(kernel, a)| {
+                    let via: Vec<f64> = a.points.iter().map(|p| p.1).collect();
+                    vec![
+                        (*kernel).clone(),
+                        a.ssr.len().to_string(),
+                        speedup(geomean(&via)),
+                        speedup(geomean(&a.ssr)),
+                    ]
+                })
+                .collect();
+            out.push_str("backend bake-off (speedup over baseline):\n");
+            out.push_str(&render_table(&header, &rows));
         }
         out.push_str(&format!(
             "store: {} result rows, {} quarantined\n",
@@ -163,6 +192,7 @@ mod tests {
             key,
             base_cycles: base,
             via_cycles: via,
+            ssr_cycles: None,
         }
     }
 
@@ -186,6 +216,24 @@ mod tests {
         let text = b.render();
         assert!(text.starts_with("no results in store"));
         assert!(text.contains("store: 0 result rows, 3 quarantined"));
+    }
+
+    #[test]
+    fn ssr_rows_add_a_bakeoff_footer() {
+        let mut b = ReportBuilder::new();
+        b.ingest(&row(1, "spmv_csr", 1.0, 100, 50));
+        assert!(
+            !b.render().contains("backend bake-off"),
+            "plain rows must not print the footer"
+        );
+        let mut with_ssr = row(2, "spmv_csr", 2.0, 100, 50);
+        with_ssr.ssr_cycles = Some(80);
+        b.ingest(&with_ssr);
+        let text = b.render();
+        assert!(text.contains("backend bake-off"), "{text}");
+        assert!(text.contains("SSR geomean"), "{text}");
+        // geomean of the single SSR point: 100/80 = 1.25x.
+        assert!(text.contains("1.25"), "{text}");
     }
 
     #[test]

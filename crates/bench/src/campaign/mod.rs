@@ -86,7 +86,7 @@ use store::{rewrite_jsonl, Appender};
 use via_core::ViaConfig;
 use via_formats::gen::{self, MatrixSpec, StratifiedConfig};
 use via_formats::{Csb, Csr, FormatError, SellCSigma, Spc5};
-use via_kernels::{spma, spmm, spmv, SimContext};
+use via_kernels::{spma, spmm, spmv, ssr, SimContext};
 
 /// FNV-1a over a byte stream: the stable 64-bit content hash used for
 /// matrix fingerprints, per-row integrity hashes, and shard keys.
@@ -403,12 +403,18 @@ fn run_meta<T>(run: &via_kernels::KernelRun<T>) -> (u64, u64, u64) {
 /// verify functional agreement, build the result row and its cycle-memo
 /// row. Pure function of its inputs — the determinism the resume, shard,
 /// and serve contracts all lean on.
+///
+/// With `backends`, the SSR rival kernel runs as a third leg where one
+/// exists (SpMV streams the CSR regardless of the baseline's format; SpMM
+/// streams Gustavson) and its cycles land in the rows' optional SSR
+/// fields; SpMA has no SSR variant and records nothing extra.
 pub(crate) fn execute_job(
     source: JobSource,
     kernel: KernelKind,
     via: ViaConfig,
     fingerprint: u64,
     config_hash: u64,
+    backends: bool,
 ) -> Result<(ResultRow, CycleRow), JobFailure> {
     const TOL: f64 = 1e-6;
     let (name, csr, seed) = match &source {
@@ -455,7 +461,7 @@ pub(crate) fn execute_job(
             })
         }
     };
-    let (key, base_meta, via_meta) = match kernel {
+    let (key, base_meta, via_meta, ssr_meta) = match kernel {
         KernelKind::SpmvCsr | KernelKind::SpmvSpc5 | KernelKind::SpmvSell | KernelKind::SpmvCsb => {
             let x = gen::dense_vector(csr.cols(), seed);
             let bs = ctx.via.csb_block_size();
@@ -484,29 +490,51 @@ pub(crate) fn execute_job(
                 _ => unreachable!(),
             };
             verify_vec(&base.output, &via_run.output)?;
-            (key, run_meta(&base), run_meta(&via_run))
+            // The SSR backend streams the CSR whatever the baseline's
+            // format — the rival architecture has no SPC5/Sell/CSB
+            // variants, so every SpMV kind gets the same third column.
+            let ssr_meta = if backends {
+                let ssr_run = ssr::spmv_csr(&csr, &x, &ctx);
+                verify_vec(&base.output, &ssr_run.output)?;
+                Some(run_meta(&ssr_run))
+            } else {
+                None
+            };
+            (key, run_meta(&base), run_meta(&via_run), ssr_meta)
         }
         KernelKind::Spma => {
             let b = gen::perturb_structure(&csr, 0.6, 0.5, seed ^ 1);
             let base = spma::merge_csr(&csr, &b, &ctx);
             let via_run = spma::via_cam(&csr, &b, &ctx);
             verify_csr(&base.output, &via_run.output)?;
-            (csr.nnz() as f64, run_meta(&base), run_meta(&via_run))
+            // No SSR SpMA model — the column stays empty for this kernel.
+            (csr.nnz() as f64, run_meta(&base), run_meta(&via_run), None)
         }
         KernelKind::Spmm => {
-            let b = gen::uniform(csr.cols(), csr.cols(), csr.density(), seed ^ 2).to_csc();
+            let b_csr = gen::uniform(csr.cols(), csr.cols(), csr.density(), seed ^ 2);
+            let b = b_csr.to_csc();
             let base = spmm::inner_product(&csr, &b, &ctx);
             let via_run = spmm::via_cam(&csr, &b, &ctx);
             verify_csr(&base.output, &via_run.output)?;
+            let ssr_meta = if backends {
+                let ssr_run = ssr::spmm_gustavson(&csr, &b_csr, &ctx);
+                verify_csr(&base.output, &ssr_run.output)?;
+                Some(run_meta(&ssr_run))
+            } else {
+                None
+            };
             (
                 csr.nnz() as f64 / csr.rows().max(1) as f64,
                 run_meta(&base),
                 run_meta(&via_run),
+                ssr_meta,
             )
         }
     };
     let (base_cycles, base_instructions, base_stream) = base_meta;
     let (via_cycles, via_instructions, via_stream) = via_meta;
+    let ssr_cycles = ssr_meta.map(|m| m.0);
+    let ssr_instructions = ssr_meta.map(|m| m.1);
     let result = ResultRow {
         matrix: name,
         fingerprint,
@@ -518,6 +546,7 @@ pub(crate) fn execute_job(
         key,
         base_cycles,
         via_cycles,
+        ssr_cycles,
     };
     let memo = CycleRow {
         matrix: result.matrix.clone(),
@@ -535,6 +564,8 @@ pub(crate) fn execute_job(
         via_cycles,
         base_instructions,
         via_instructions,
+        ssr_cycles,
+        ssr_instructions,
     };
     Ok((result, memo))
 }
@@ -582,6 +613,13 @@ pub struct CampaignConfig {
     pub shard: ShardSpec,
     /// Print one line per finished job.
     pub progress: bool,
+    /// Run the SSR rival-backend leg per job and record its cycles in the
+    /// rows' optional SSR fields (`campaign --backends`). Off by default:
+    /// plain campaigns produce byte-identical stores to the pre-backend
+    /// format. Memo entries without SSR data are treated as misses when
+    /// this is on, so resumed backend campaigns re-simulate exactly the
+    /// jobs that lack the third column.
+    pub backends: bool,
 }
 
 impl CampaignConfig {
@@ -597,6 +635,7 @@ impl CampaignConfig {
             max_jobs: None,
             shard: ShardSpec::SOLO,
             progress: false,
+            backends: false,
         }
     }
 }
@@ -843,6 +882,7 @@ pub fn run_campaign(
             let shard = cfg.shard;
             let skip_quarantined = mode != Mode::RetryQuarantined;
             let (progress, max_jobs) = (cfg.progress, cfg.max_jobs);
+            let backends = cfg.backends;
             scope.spawn(move || loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
@@ -907,11 +947,15 @@ pub fn run_campaign(
                 // simulator entirely.
                 let memo_hit = cycle_memo
                     .get(&(fingerprint, kernel.name().to_string(), config_name.clone()))
-                    .filter(|c| c.config_hash == timing_hash);
+                    .filter(|c| c.config_hash == timing_hash)
+                    // A backends run needs the SSR column; memo rows from
+                    // plain campaigns lack it (except SpMA, which has no
+                    // SSR leg) and fall through to the simulator.
+                    .filter(|c| !backends || c.ssr_cycles.is_some() || kernel == KernelKind::Spma);
                 via_sim::telemetry::record_cycle_cache(memo_hit.is_some());
                 if let Some(c) = memo_hit {
                     via_sim::telemetry::record_skipped_instructions(
-                        c.base_instructions + c.via_instructions,
+                        c.base_instructions + c.via_instructions + c.ssr_instructions.unwrap_or(0),
                     );
                     let row = c.to_result_row();
                     if let Err(e) = results_log.append(&row.to_jsonl()) {
@@ -937,13 +981,15 @@ pub fn run_campaign(
                 }
                 let source = job.source.clone();
                 let outcome = run_with_budget(budget, &name, move || {
-                    execute_job(source, kernel, via, fingerprint, timing_hash)
+                    execute_job(source, kernel, via, fingerprint, timing_hash, backends)
                 })
                 .and_then(|inner| inner);
                 match outcome {
                     Ok((row, memo)) => {
-                        simulated_cycles
-                            .fetch_add(row.base_cycles + row.via_cycles, Ordering::Relaxed);
+                        simulated_cycles.fetch_add(
+                            row.base_cycles + row.via_cycles + row.ssr_cycles.unwrap_or(0),
+                            Ordering::Relaxed,
+                        );
                         if let Err(e) = results_log.append(&row.to_jsonl()) {
                             record_io_err(e);
                         }

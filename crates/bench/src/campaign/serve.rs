@@ -690,7 +690,9 @@ impl ServerState {
         let timing_hash = self.timing_hash;
         let fingerprint = key.0;
         let outcome = run_with_budget(self.budget, &name, move || {
-            execute_job(source, kernel, via, fingerprint, timing_hash)
+            // The serve protocol has no backends knob; served jobs answer
+            // the plain baseline/VIA pair.
+            execute_job(source, kernel, via, fingerprint, timing_hash, false)
         })
         .and_then(|inner| inner);
         if let Ok((row, cycle)) = &outcome {

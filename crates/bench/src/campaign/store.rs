@@ -221,6 +221,9 @@ pub struct ResultRow {
     pub base_cycles: u64,
     /// VIA kernel cycles.
     pub via_cycles: u64,
+    /// SSR rival-backend cycles, when the campaign ran with `--backends`
+    /// (absent in rows from plain campaigns — old stores parse unchanged).
+    pub ssr_cycles: Option<u64>,
 }
 
 impl ResultRow {
@@ -234,9 +237,17 @@ impl ResultRow {
         self.base_cycles as f64 / self.via_cycles.max(1) as f64
     }
 
+    /// Baseline-over-SSR speedup, when the SSR leg was run.
+    pub fn ssr_speedup(&self) -> Option<f64> {
+        self.ssr_cycles
+            .map(|c| self.base_cycles as f64 / c.max(1) as f64)
+    }
+
     /// Serializes the row as one JSONL line (content-hashed, no newline).
+    /// The `ssr_cycles` field is emitted only when present, so stores from
+    /// plain campaigns stay byte-identical to the pre-backend format.
     pub fn to_jsonl(&self) -> String {
-        let body = format!(
+        let mut body = format!(
             "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{}",
             json_string(&self.matrix),
             self.fingerprint,
@@ -249,6 +260,9 @@ impl ResultRow {
             self.base_cycles,
             self.via_cycles,
         );
+        if let Some(ssr) = self.ssr_cycles {
+            body.push_str(&format!(",\"ssr_cycles\":{ssr}"));
+        }
         seal_row(body)
     }
 
@@ -270,6 +284,7 @@ impl ResultRow {
             key: num_field(&fields, "key")?,
             base_cycles: num_field(&fields, "base_cycles")?,
             via_cycles: num_field(&fields, "via_cycles")?,
+            ssr_cycles: num_field(&fields, "ssr_cycles"),
         })
     }
 }
@@ -318,6 +333,12 @@ pub struct CycleRow {
     pub base_instructions: u64,
     /// Instructions the VIA run simulated.
     pub via_instructions: u64,
+    /// SSR rival-backend cycles, when the campaign ran with `--backends`.
+    /// A memo entry without this field cannot answer a `--backends` job
+    /// (the run falls through to the simulator and re-records).
+    pub ssr_cycles: Option<u64>,
+    /// Instructions the SSR run simulated, when the SSR leg was run.
+    pub ssr_instructions: Option<u64>,
 }
 
 impl CycleRow {
@@ -339,12 +360,14 @@ impl CycleRow {
             key: self.key,
             base_cycles: self.base_cycles,
             via_cycles: self.via_cycles,
+            ssr_cycles: self.ssr_cycles,
         }
     }
 
     /// Serializes the row as one JSONL line (content-hashed, no newline).
+    /// SSR fields are emitted only when present (see [`ResultRow`]).
     pub fn to_jsonl(&self) -> String {
-        let body = format!(
+        let mut body = format!(
             "{{\"schema\":1,\"matrix\":{},\"fingerprint\":\"{:016x}\",\"kernel\":{},\"config\":{},\"config_hash\":\"{:016x}\",\"base_stream\":\"{:016x}\",\"via_stream\":\"{:016x}\",\"rows\":{},\"cols\":{},\"nnz\":{},\"key\":{:?},\"base_cycles\":{},\"via_cycles\":{},\"base_instructions\":{},\"via_instructions\":{}",
             json_string(&self.matrix),
             self.fingerprint,
@@ -362,6 +385,12 @@ impl CycleRow {
             self.base_instructions,
             self.via_instructions,
         );
+        if let Some(ssr) = self.ssr_cycles {
+            body.push_str(&format!(",\"ssr_cycles\":{ssr}"));
+        }
+        if let Some(ssr) = self.ssr_instructions {
+            body.push_str(&format!(",\"ssr_instructions\":{ssr}"));
+        }
         seal_row(body)
     }
 
@@ -389,6 +418,8 @@ impl CycleRow {
             via_cycles: num_field(&fields, "via_cycles")?,
             base_instructions: num_field(&fields, "base_instructions")?,
             via_instructions: num_field(&fields, "via_instructions")?,
+            ssr_cycles: num_field(&fields, "ssr_cycles"),
+            ssr_instructions: num_field(&fields, "ssr_instructions"),
         })
     }
 }
@@ -656,6 +687,7 @@ mod tests {
             key: 7.25,
             base_cycles: 10_000,
             via_cycles: 2_500,
+            ssr_cycles: None,
         }
     }
 
@@ -704,6 +736,8 @@ mod tests {
             via_cycles: 2_500,
             base_instructions: 4_000,
             via_instructions: 1_200,
+            ssr_cycles: None,
+            ssr_instructions: None,
         };
         let line = row.to_jsonl();
         assert!(line_integrity_ok(&line));
@@ -711,6 +745,21 @@ mod tests {
         assert_eq!(back, row);
         assert_eq!(back.memo_key(), back.to_result_row().manifest_key());
         assert_eq!(back.to_result_row().base_cycles, 10_000);
+    }
+
+    #[test]
+    fn ssr_fields_round_trip_and_stay_optional() {
+        // A backends row carries SSR data through serialization...
+        let mut row = sample_row();
+        row.ssr_cycles = Some(6_000);
+        let back = ResultRow::from_jsonl(&row.to_jsonl()).expect("parse");
+        assert_eq!(back.ssr_cycles, Some(6_000));
+        assert!((back.ssr_speedup().unwrap() - 10_000.0 / 6_000.0).abs() < 1e-12);
+        // ...while a plain row serializes without the field at all, so
+        // pre-backend stores and new plain stores are byte-compatible.
+        let plain = sample_row();
+        assert!(!plain.to_jsonl().contains("ssr_cycles"));
+        assert_eq!(plain.ssr_speedup(), None);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod ablations;
 pub mod campaign;
 pub mod experiments;
 pub mod microbench;
+pub mod multicore;
 pub mod paper;
 pub mod report;
 pub mod suite;
@@ -36,5 +37,6 @@ pub use experiments::{
     BoundAuditRow, CategoryRow, CompiledRun, DseRow, HistogramRow, SpmvFormatRow, StallRow,
     StencilRow, SweepMemo, TightnessRow,
 };
+pub use multicore::{multicore_sweep, BakeoffRow, MulticoreOutcome, ScalingPoint, CORE_COUNTS};
 pub use suite::{default_threads, parallel_map, ExperimentScale, Suite};
 pub use tune::{load_tuned, tune, tuned_path, write_tuned, TuneConfig, TuneOutcome, TunedRow};

@@ -1,0 +1,415 @@
+//! Multi-core socket scaling sweep and rival-backend bake-off.
+//!
+//! Two measurements over one generated suite, feeding `scorecard
+//! --backends` and the `multicore` binary's `BENCH_multicore.json`
+//! artifact:
+//!
+//! * **Backend bake-off** — per matrix, single-core cycles for the
+//!   row-partitioned kernels under each [`BackendKind`] (baseline
+//!   vectorized, VIA, SSR). The per-kernel geomean speedups over the
+//!   baseline are the scorecard's per-backend columns.
+//! * **Core scaling** — per backend, socket makespans at N ∈
+//!   [`CORE_COUNTS`] cores with [`Partition::NnzBalanced`] row bands over
+//!   one shared LLC/DRAM calendar; speedups are against the *same
+//!   backend's* one-core socket, so the curve isolates partitioning +
+//!   contention from the backend's single-core advantage.
+//!
+//! Every socket run's stitched output is verified against the dense
+//! references — a scaling point that computes the wrong answer panics
+//! rather than reporting a speedup.
+
+use crate::suite::{parallel_map, ExperimentScale, Suite};
+use via_core::BackendKind;
+use via_formats::stats::geomean;
+use via_formats::{reference, vec_approx_eq};
+use via_kernels::{Partition, SimContext, Socket};
+
+/// Core counts in the scaling sweep (the `BENCH_multicore.json` grid).
+pub const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Single-core cycles for one matrix under all three backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BakeoffRow {
+    /// Kernel machine name (`"spmv"` or `"spmm"`).
+    pub kernel: &'static str,
+    /// Matrix name.
+    pub matrix: String,
+    /// Matrix rows.
+    pub rows: usize,
+    /// Structural non-zeros.
+    pub nnz: usize,
+    /// Baseline (vectorized, no accelerator) cycles.
+    pub baseline: u64,
+    /// VIA cycles.
+    pub via: u64,
+    /// SSR cycles.
+    pub ssr: u64,
+}
+
+impl BakeoffRow {
+    /// Cycles under `backend`.
+    pub fn cycles(&self, backend: BackendKind) -> u64 {
+        match backend {
+            BackendKind::Baseline => self.baseline,
+            BackendKind::Via => self.via,
+            BackendKind::Ssr => self.ssr,
+        }
+    }
+
+    /// Baseline-over-`backend` speedup.
+    pub fn speedup(&self, backend: BackendKind) -> f64 {
+        self.baseline as f64 / self.cycles(backend).max(1) as f64
+    }
+}
+
+/// One point of the core-scaling grid: a (kernel, backend, core-count)
+/// cell aggregated over the suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Kernel machine name.
+    pub kernel: &'static str,
+    /// Backend this curve belongs to.
+    pub backend: BackendKind,
+    /// Socket core count.
+    pub cores: usize,
+    /// Geomean over the suite of `makespan(1 core) / makespan(N cores)`
+    /// for the same backend.
+    pub geomean_speedup: f64,
+    /// `geomean_speedup / cores` — 1.0 is perfect linear scaling.
+    pub efficiency: f64,
+}
+
+/// The whole sweep: bake-off rows plus the scaling grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreOutcome {
+    /// Row-partitioning policy the sockets used.
+    pub policy: Partition,
+    /// Core counts the grid covers.
+    pub cores: Vec<usize>,
+    /// Per-matrix single-core backend comparison.
+    pub bakeoff: Vec<BakeoffRow>,
+    /// The (kernel × backend × cores) scaling grid.
+    pub scaling: Vec<ScalingPoint>,
+}
+
+impl MulticoreOutcome {
+    /// Geomean baseline-over-`backend` single-core speedup for `kernel`.
+    pub fn bakeoff_geomean(&self, kernel: &str, backend: BackendKind) -> f64 {
+        let v: Vec<f64> = self
+            .bakeoff
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.speedup(backend))
+            .collect();
+        geomean(&v)
+    }
+
+    /// The scaling cell for `(kernel, backend, cores)`, if swept.
+    pub fn scaling_at(&self, kernel: &str, backend: BackendKind, cores: usize) -> Option<f64> {
+        self.scaling
+            .iter()
+            .find(|p| p.kernel == kernel && p.backend == backend && p.cores == cores)
+            .map(|p| p.geomean_speedup)
+    }
+
+    /// Geomean of every (kernel × backend) scaling speedup at `cores` —
+    /// the acceptance number (≥ 1.7x at 4 cores).
+    pub fn partitioned_geomean(&self, cores: usize) -> f64 {
+        let v: Vec<f64> = self
+            .scaling
+            .iter()
+            .filter(|p| p.cores == cores)
+            .map(|p| p.geomean_speedup)
+            .collect();
+        geomean(&v)
+    }
+
+    /// Kernel names present, in first-seen order.
+    pub fn kernels(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for r in &self.bakeoff {
+            if !out.contains(&r.kernel) {
+                out.push(r.kernel);
+            }
+        }
+        out
+    }
+
+    /// Human-readable bake-off + scaling tables.
+    pub fn render(&self) -> String {
+        use crate::report::render_table;
+        let mut out = String::new();
+        let header: Vec<String> = ["kernel", "matrices", "baseline", "VIA", "SSR"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = self
+            .kernels()
+            .iter()
+            .map(|k| {
+                let n = self.bakeoff.iter().filter(|r| r.kernel == *k).count();
+                vec![
+                    k.to_string(),
+                    n.to_string(),
+                    "1.00x".to_string(),
+                    format!("{:.2}x", self.bakeoff_geomean(k, BackendKind::Via)),
+                    format!("{:.2}x", self.bakeoff_geomean(k, BackendKind::Ssr)),
+                ]
+            })
+            .collect();
+        out.push_str("single-core backend bake-off (geomean speedup over baseline):\n");
+        out.push_str(&render_table(&header, &rows));
+
+        let mut header: Vec<String> = vec!["kernel".into(), "backend".into()];
+        for &n in &self.cores {
+            header.push(format!("{n} cores"));
+        }
+        let mut rows = Vec::new();
+        for k in self.kernels() {
+            for backend in BackendKind::ALL {
+                let mut row = vec![k.to_string(), backend.name().to_string()];
+                for &n in &self.cores {
+                    match self.scaling_at(k, backend, n) {
+                        Some(s) => row.push(format!("{s:.2}x")),
+                        None => row.push("-".to_string()),
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        out.push_str(&format!(
+            "\ncore scaling, {} partitioning (speedup over the same backend at 1 core):\n",
+            self.policy.name()
+        ));
+        out.push_str(&render_table(&header, &rows));
+        out
+    }
+
+    /// Renders the `BENCH_multicore.json` body (hand-rolled, like the
+    /// other artifacts — the workspace has no serde).
+    pub fn to_json(&self, scale: &ExperimentScale) -> String {
+        let cores: Vec<String> = self.cores.iter().map(|n| n.to_string()).collect();
+        let mut bakeoff = String::new();
+        for (i, k) in self.kernels().iter().enumerate() {
+            if i > 0 {
+                bakeoff.push_str(",\n");
+            }
+            let n = self.bakeoff.iter().filter(|r| r.kernel == *k).count();
+            bakeoff.push_str(&format!(
+                "    {{\"kernel\": \"{k}\", \"matrices\": {n}, \
+                 \"via_geomean_speedup\": {:.4}, \"ssr_geomean_speedup\": {:.4}}}",
+                self.bakeoff_geomean(k, BackendKind::Via),
+                self.bakeoff_geomean(k, BackendKind::Ssr),
+            ));
+        }
+        let mut scaling = String::new();
+        for (i, p) in self.scaling.iter().enumerate() {
+            if i > 0 {
+                scaling.push_str(",\n");
+            }
+            scaling.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"cores\": {}, \
+                 \"geomean_speedup\": {:.4}, \"efficiency\": {:.4}}}",
+                p.kernel,
+                p.backend.name(),
+                p.cores,
+                p.geomean_speedup,
+                p.efficiency,
+            ));
+        }
+        format!(
+            "{{\n  \"suite\": {{\"matrices\": {}, \"min_rows\": {}, \
+             \"max_rows\": {}, \"seed\": {}}},\n  \
+             \"partition\": \"{}\",\n  \"cores\": [{}],\n  \
+             \"bakeoff\": [\n{bakeoff}\n  ],\n  \
+             \"scaling\": [\n{scaling}\n  ],\n  \
+             \"geomean_speedup_4_cores\": {:.4}\n}}\n",
+            scale.matrices,
+            scale.min_rows,
+            scale.max_rows,
+            scale.seed,
+            self.policy.name(),
+            cores.join(", "),
+            self.partitioned_geomean(4),
+        )
+    }
+}
+
+/// Per-matrix makespans: `grid[backend][core_index]`.
+struct MatrixSweep {
+    matrix: String,
+    rows: usize,
+    nnz: usize,
+    grid: Vec<Vec<u64>>,
+}
+
+/// Runs the SpMV sweep over `suite` and the SpMM sweep over a bounded
+/// sub-suite (SpMM simulation cost is quadratic in density), returning
+/// bake-off rows and the scaling grid. Parallelizes across matrices;
+/// results are thread-count invariant (each socket is simulated
+/// sequentially and deterministically).
+pub fn multicore_sweep(scale: &ExperimentScale) -> MulticoreOutcome {
+    let policy = Partition::NnzBalanced;
+    let cores: Vec<usize> = CORE_COUNTS.to_vec();
+    let ctx = SimContext::default();
+
+    let suite = Suite::generate(scale);
+    let spmv_sweeps = parallel_map(&suite.matrices, scale.threads, |m| {
+        let x: Vec<f64> = (0..m.csr.cols()).map(|i| ((i % 7) + 1) as f64).collect();
+        let expect = reference::spmv(&m.csr, &x);
+        let grid = BackendKind::ALL
+            .iter()
+            .map(|&backend| {
+                cores
+                    .iter()
+                    .map(|&n| {
+                        let run = Socket::new(ctx.clone(), n).spmv(&m.csr, &x, backend, policy);
+                        assert!(
+                            vec_approx_eq(&run.concat_output(), &expect, 1e-9),
+                            "{}: {} x {n} cores computed the wrong SpMV",
+                            m.name,
+                            backend.name()
+                        );
+                        run.makespan()
+                    })
+                    .collect()
+            })
+            .collect();
+        MatrixSweep {
+            matrix: m.name.clone(),
+            rows: m.csr.rows(),
+            nnz: m.csr.nnz(),
+            grid,
+        }
+    });
+
+    // SpMM squares the density; bound the sub-suite like the Fig-11 sweep.
+    let spmm_scale = scale.spmm();
+    let spmm_suite = Suite::generate(&ExperimentScale {
+        matrices: spmm_scale.matrices.min(6),
+        ..spmm_scale.clone()
+    });
+    let spmm_sweeps = parallel_map(&spmm_suite.matrices, spmm_scale.threads, |m| {
+        let expect = reference::spmm_gustavson(&m.csr, &m.csr).expect("square");
+        let grid = BackendKind::ALL
+            .iter()
+            .map(|&backend| {
+                cores
+                    .iter()
+                    .map(|&n| {
+                        let run = Socket::new(ctx.clone(), n).spmm(&m.csr, &m.csr, backend, policy);
+                        let c = run.concat_output();
+                        assert_eq!(
+                            c.row_ptr(),
+                            expect.row_ptr(),
+                            "{}: {} x {n} cores computed the wrong SpMM structure",
+                            m.name,
+                            backend.name()
+                        );
+                        assert!(vec_approx_eq(c.data(), expect.data(), 1e-9));
+                        run.makespan()
+                    })
+                    .collect()
+            })
+            .collect();
+        MatrixSweep {
+            matrix: m.name.clone(),
+            rows: m.csr.rows(),
+            nnz: m.csr.nnz(),
+            grid,
+        }
+    });
+
+    let mut bakeoff = Vec::new();
+    let mut scaling = Vec::new();
+    for (kernel, sweeps) in [("spmv", &spmv_sweeps), ("spmm", &spmm_sweeps)] {
+        for s in sweeps {
+            bakeoff.push(BakeoffRow {
+                kernel,
+                matrix: s.matrix.clone(),
+                rows: s.rows,
+                nnz: s.nnz,
+                baseline: s.grid[0][0],
+                via: s.grid[1][0],
+                ssr: s.grid[2][0],
+            });
+        }
+        for (b, backend) in BackendKind::ALL.into_iter().enumerate() {
+            for (ci, &n) in cores.iter().enumerate() {
+                let speedups: Vec<f64> = sweeps
+                    .iter()
+                    .map(|s| s.grid[b][0] as f64 / s.grid[b][ci].max(1) as f64)
+                    .collect();
+                let g = geomean(&speedups);
+                scaling.push(ScalingPoint {
+                    kernel,
+                    backend,
+                    cores: n,
+                    geomean_speedup: g,
+                    efficiency: g / n as f64,
+                });
+            }
+        }
+    }
+    MulticoreOutcome {
+        policy,
+        cores,
+        bakeoff,
+        scaling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            matrices: 2,
+            min_rows: 96,
+            max_rows: 160,
+            density_range: (0.01, 0.026),
+            seed: 11,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_scales() {
+        let out = multicore_sweep(&tiny_scale());
+        assert_eq!(out.kernels(), vec!["spmv", "spmm"]);
+        // 3 backends x 4 core counts per kernel.
+        assert_eq!(out.scaling.len(), 2 * 3 * 4);
+        for backend in BackendKind::ALL {
+            // One core is the identity point of every curve.
+            let one = out.scaling_at("spmv", backend, 1).unwrap();
+            assert!((one - 1.0).abs() < 1e-12, "{one}");
+            // More cores never slow the makespan down on these suites.
+            let four = out.scaling_at("spmv", backend, 4).unwrap();
+            assert!(four > 1.0, "{}: {four}", backend.name());
+        }
+        assert!(out.partitioned_geomean(4) > 1.0);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let a = multicore_sweep(&tiny_scale());
+        let b = multicore_sweep(&ExperimentScale {
+            threads: 1,
+            ..tiny_scale()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_and_tables_render() {
+        let scale = tiny_scale();
+        let out = multicore_sweep(&scale);
+        let json = out.to_json(&scale);
+        assert!(json.contains("\"scaling\""));
+        assert!(json.contains("\"geomean_speedup_4_cores\""));
+        let txt = out.render();
+        assert!(txt.contains("core scaling"));
+        assert!(txt.contains("ssr"));
+    }
+}

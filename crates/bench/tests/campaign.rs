@@ -178,6 +178,64 @@ fn warm_cycle_memo_resumes_without_simulating() {
 }
 
 #[test]
+fn backends_campaign_records_ssr_and_rejects_plain_memo() {
+    let corpus = Corpus::Synthetic(StratifiedConfig {
+        count: 4,
+        min_rows: 48,
+        max_rows: 96,
+        density_range: (0.02, 0.1),
+        size_strata: 2,
+        density_strata: 2,
+        seed: 0xB4CE,
+    });
+    let dir = Scratch::new("backends");
+    let mut cfg = CampaignConfig::new(dir.path());
+    cfg.kernels = vec![KernelKind::SpmvCsr, KernelKind::Spma, KernelKind::Spmm];
+    cfg.threads = 2;
+
+    // Plain run: no SSR columns anywhere in the store.
+    let plain = run_campaign(&cfg, &corpus, Mode::Fresh).expect("plain run");
+    assert_eq!(plain.completed, 12);
+    assert!(load_results(dir.path())
+        .expect("load")
+        .iter()
+        .all(|r| r.ssr_cycles.is_none()));
+
+    // Backends resume against the plain memo: SpMA rows still answer from
+    // the memo (no SSR leg exists for them), but SpMV/SpMM memo rows lack
+    // the column and must re-simulate with the third leg.
+    std::fs::remove_file(results_path(dir.path())).expect("drop results");
+    cfg.backends = true;
+    let upgraded = run_campaign(&cfg, &corpus, Mode::Resume).expect("backends resume");
+    assert_eq!(upgraded.completed, 12);
+    assert_eq!(
+        upgraded.cycle_cache_hits, 4,
+        "only the SpMA rows may hit the plain memo"
+    );
+    for r in load_results(dir.path()).expect("load") {
+        if r.kernel == "spma" {
+            assert_eq!(r.ssr_cycles, None, "SpMA has no SSR leg");
+            assert_eq!(r.ssr_speedup(), None);
+        } else {
+            let ssr = r.ssr_cycles.expect("backends rows carry SSR cycles");
+            assert!(ssr > 0, "{}: empty SSR cycle count", r.matrix);
+            assert!(r.ssr_speedup().expect("speedup") > 0.0);
+        }
+    }
+
+    // The re-simulated jobs appended upgraded memo rows (later rows win on
+    // load), so a second backends resume is all memo hits.
+    std::fs::remove_file(results_path(dir.path())).expect("drop results");
+    let warm = run_campaign(&cfg, &corpus, Mode::Resume).expect("warm backends resume");
+    assert_eq!(warm.completed, 12);
+    assert_eq!(
+        warm.cycle_cache_hits, 12,
+        "upgraded memo answers everything"
+    );
+    assert_eq!(warm.simulated_cycles, 0);
+}
+
+#[test]
 fn fresh_mode_refuses_to_clobber() {
     let dir = Scratch::new("clobber");
     let corpus = Corpus::Synthetic(StratifiedConfig {

@@ -50,16 +50,22 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod fivu;
 pub mod isa;
 pub mod mode;
 mod sspm;
+mod ssr;
 mod unit;
 
+pub use backend::{
+    backend_config_hash, AcceleratorBackend, BackendKind, BaselineBackend, SsrBackend, ViaBackend,
+};
 pub use config::ViaConfig;
 pub use fivu::{Fivu, FivuCost, SspmOpClass};
 pub use isa::{render_isa, IsaEntry, IsaModes, ISA};
 pub use mode::ModeChecker;
 pub use sspm::{Sspm, SspmEvents};
+pub use ssr::SsrStreams;
 pub use unit::{AluOp, Dest, ViaUnit};

@@ -12,7 +12,8 @@
 //!   the memo hierarchy (`StreamCache` / `SweepMemo` / `cycles.jsonl`)
 //!   exactly like a kernel/config pair does today, and
 //! * an [`emit`](KernelVariant::emit) method producing the kernel's
-//!   [`KernelRun`] — the same stream the hand-written kernel emits at the
+//!   [`KernelRun`](via_kernels::KernelRun) — the same stream the
+//!   hand-written kernel emits at the
 //!   default knob point, bit-identical by construction and pinned by test.
 //!
 //! [`GenInputs`] derives every kernel's operands from *one* corpus matrix

@@ -1,7 +1,8 @@
 //! Shared simulation context and kernel result types.
 
-use via_core::{SspmEvents, ViaConfig};
-use via_sim::{CompiledStream, CoreConfig, Engine, MemConfig, RunStats, StallReport};
+use std::sync::Arc;
+use via_core::{BackendKind, SspmEvents, ViaConfig};
+use via_sim::{CompiledStream, CoreConfig, Engine, MemConfig, RunStats, SharedLlc, StallReport};
 
 /// Observability switches applied to every engine a [`SimContext`] builds.
 ///
@@ -38,7 +39,7 @@ impl TraceOptions {
 }
 
 /// Everything needed to instantiate a simulated machine for one kernel run.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimContext {
     /// Core parameters.
     pub core: CoreConfig,
@@ -48,6 +49,14 @@ pub struct SimContext {
     pub via: ViaConfig,
     /// Observability switches (off by default; timing-transparent).
     pub trace: TraceOptions,
+    /// Socket-shared last-level cache + DRAM calendar, attached to every
+    /// engine this context builds (`None` = private LLC, the single-core
+    /// default — timing is bit-identical either way for one core).
+    pub shared_llc: Option<Arc<SharedLlc>>,
+    /// Base address for this context's engines' allocators (`0` = the
+    /// default base). Sockets give each core a disjoint base so per-core
+    /// working sets never alias in the shared LLC.
+    pub alloc_base: u64,
     /// Record the emitted instruction stream so the run doubles as the
     /// *compile* phase of the compile/replay pipeline:
     /// [`KernelRun::compiled`] then carries the [`CompiledStream`] for
@@ -59,6 +68,24 @@ pub struct SimContext {
     /// bit-identical to a timed run's. The auto-tuner's cheap compile
     /// path; cycle statistics of such a run are meaningless.
     pub emit_only: bool,
+}
+
+impl PartialEq for SimContext {
+    fn eq(&self, other: &Self) -> bool {
+        let llc_eq = match (&self.shared_llc, &other.shared_llc) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        llc_eq
+            && self.core == other.core
+            && self.mem == other.mem
+            && self.via == other.via
+            && self.trace == other.trace
+            && self.alloc_base == other.alloc_base
+            && self.record == other.record
+            && self.emit_only == other.emit_only
+    }
 }
 
 impl SimContext {
@@ -92,7 +119,21 @@ impl SimContext {
         self
     }
 
+    /// This context sharing the given socket LLC/DRAM calendar and
+    /// allocating from `alloc_base` (a socket core's view of the machine).
+    pub fn for_socket_core(mut self, shared: Arc<SharedLlc>, alloc_base: u64) -> Self {
+        self.shared_llc = Some(shared);
+        self.alloc_base = alloc_base;
+        self
+    }
+
     fn apply_trace(&self, mut e: Engine) -> Engine {
+        if let Some(shared) = &self.shared_llc {
+            e.attach_shared_llc(Arc::clone(shared));
+        }
+        if self.alloc_base != 0 {
+            e.set_alloc_base(self.alloc_base);
+        }
         if self.trace.stall_accounting {
             e.enable_stall_accounting();
         }
@@ -117,6 +158,23 @@ impl SimContext {
     pub fn via_engine(&self) -> Engine {
         self.apply_trace(Engine::new(
             self.core.clone().with_custom_unit(),
+            self.mem.clone(),
+        ))
+    }
+
+    /// An engine for an SSR kernel (stream unit attached, cheap gathers).
+    pub fn ssr_engine(&self) -> Engine {
+        self.apply_trace(Engine::new(
+            BackendKind::Ssr.shape_core(self.core.clone()),
+            self.mem.clone(),
+        ))
+    }
+
+    /// An engine shaped by `kind` ([`BackendKind::shape_core`]), the
+    /// generic entry point the socket and bake-off sweeps use.
+    pub fn backend_engine(&self, kind: BackendKind) -> Engine {
+        self.apply_trace(Engine::new(
+            kind.shape_core(self.core.clone()),
             self.mem.clone(),
         ))
     }

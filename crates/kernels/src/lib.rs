@@ -33,14 +33,19 @@
 mod context;
 pub mod histogram;
 mod layout;
+mod partition;
+pub mod socket;
 pub mod spma;
 pub mod spmm;
 pub mod spmspv;
 pub mod spmv;
 pub mod sptrsv;
+pub mod ssr;
 pub mod stencil;
 pub mod symgs;
 
 pub use context::{KernelRun, SimContext, TraceOptions};
 pub use layout::{CsbLayout, CsrLayout, SellLayout, Spc5Layout, VecLayout};
+pub use partition::{extract_rows, partition_rows, Partition};
+pub use socket::{Socket, SocketRun};
 pub use sptrsv::Schedule;

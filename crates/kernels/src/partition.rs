@@ -1,0 +1,236 @@
+//! Row partitioning of CSR matrices across socket cores.
+//!
+//! SpMV/SpMM parallelize by rows: each core owns a contiguous row band of
+//! `A` (and the matching band of `y`), reads all of `x`, and never writes
+//! another core's output — no reduction step, matching how Spatz-style
+//! multi-core vector clusters split sparse kernels. Two policies:
+//!
+//! * [`Partition::Static`] — equal row counts. Free to compute, but
+//!   power-law matrices give some cores most of the nonzeros.
+//! * [`Partition::NnzBalanced`] — equal *nonzero* counts, computed by
+//!   binary-searching the CSR `row_ptr` prefix sums the format already
+//!   stores (no extra metadata pass).
+//!
+//! [`extract_rows`] materializes one band as a standalone (rebased) [`Csr`]
+//! so the existing single-core kernels run on it unchanged.
+
+use std::ops::Range;
+use via_formats::Csr;
+
+/// Row-partitioning policy for multi-core kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Partition {
+    /// Equal row counts per core.
+    Static,
+    /// Equal nonzero counts per core (split on `row_ptr` prefix sums).
+    #[default]
+    NnzBalanced,
+}
+
+impl Partition {
+    /// The policy's stable name (CLI flag value and report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Partition::Static => "static",
+            Partition::NnzBalanced => "nnz",
+        }
+    }
+}
+
+/// Splits `a`'s rows into `cores` contiguous, disjoint, covering bands.
+///
+/// Always returns exactly `cores` ranges (trailing ranges are empty when
+/// the matrix has fewer rows than cores).
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr};
+/// use via_kernels::{partition_rows, Partition};
+///
+/// // Row 0 holds 3 of the 4 nonzeros, rows 1-3 share one.
+/// let a = Csr::from_coo(&Coo::from_triplets(4, 4, [
+///     (0, 0, 1.0), (0, 1, 2.0), (0, 3, 3.0),
+///     (2, 2, 4.0),
+/// ]).unwrap());
+///
+/// let even = partition_rows(&a, 2, Partition::Static);
+/// assert_eq!(even, vec![0..2, 2..4]);
+///
+/// let balanced = partition_rows(&a, 2, Partition::NnzBalanced);
+/// assert_eq!(balanced, vec![0..1, 1..4]); // heavy row 0 gets its own core
+/// # let covered: usize = balanced.iter().map(|r| r.len()).sum();
+/// # assert_eq!(covered, a.rows());
+/// ```
+pub fn partition_rows(a: &Csr, cores: usize, policy: Partition) -> Vec<Range<usize>> {
+    assert!(cores > 0, "partitioning requires at least one core");
+    let rows = a.rows();
+    let mut bounds = Vec::with_capacity(cores + 1);
+    bounds.push(0usize);
+    match policy {
+        Partition::Static => {
+            for c in 1..cores {
+                bounds.push((rows * c) / cores);
+            }
+        }
+        Partition::NnzBalanced => {
+            let row_ptr = a.row_ptr();
+            let nnz = a.nnz();
+            let mut prev = 0usize;
+            for c in 1..cores {
+                let target = (nnz * c) / cores;
+                // First row whose prefix nnz reaches the target; clamp to
+                // keep bands monotone when many cuts land in one huge row.
+                let cut = row_ptr.partition_point(|&p| p < target).min(rows);
+                prev = cut.max(prev);
+                bounds.push(prev);
+            }
+        }
+    }
+    bounds.push(rows);
+    bounds.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Materializes the row band `range` of `a` as a standalone CSR with a
+/// rebased `row_ptr` (the band's column space is unchanged, so the band
+/// multiplies against the full `x`).
+///
+/// # Panics
+///
+/// Panics if `range` exceeds the matrix rows.
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr};
+/// use via_kernels::extract_rows;
+///
+/// let a = Csr::from_coo(&Coo::from_triplets(3, 3, [
+///     (0, 0, 1.0), (1, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0),
+/// ]).unwrap());
+/// let band = extract_rows(&a, 1..3);
+/// assert_eq!(band.rows(), 2);
+/// assert_eq!(band.cols(), 3);
+/// assert_eq!(band.row_ptr(), &[0, 2, 3]); // rebased
+/// assert_eq!(band.row(0), a.row(1));
+/// ```
+pub fn extract_rows(a: &Csr, range: Range<usize>) -> Csr {
+    assert!(range.end <= a.rows(), "row band exceeds matrix");
+    let row_ptr = a.row_ptr();
+    let lo = row_ptr[range.start];
+    let hi = row_ptr[range.end];
+    let sub_ptr: Vec<usize> = row_ptr[range.start..=range.end]
+        .iter()
+        .map(|&p| p - lo)
+        .collect();
+    Csr::from_raw(
+        range.len(),
+        a.cols(),
+        sub_ptr,
+        a.col_idx()[lo..hi].to_vec(),
+        a.data()[lo..hi].to_vec(),
+    )
+    .expect("a contiguous row band of a valid CSR is a valid CSR")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Csr {
+        // Row 0: 8 nonzeros; rows 1..8: 1 each.
+        let mut t = Vec::new();
+        for j in 0..8 {
+            t.push((0usize, j, (j + 1) as f64));
+        }
+        for i in 1..8 {
+            t.push((i, i, i as f64));
+        }
+        Csr::from_coo(&via_formats::Coo::from_triplets(8, 8, t).unwrap())
+    }
+
+    #[test]
+    fn static_splits_rows_evenly() {
+        let a = skewed();
+        let parts = partition_rows(&a, 4, Partition::Static);
+        assert_eq!(parts, vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn nnz_balanced_isolates_heavy_rows() {
+        let a = skewed(); // 15 nnz: row 0 alone carries 8
+        let parts = partition_rows(&a, 4, Partition::NnzBalanced);
+        assert_eq!(parts.len(), 4);
+        // The heavy row sits alone; the light rows spread over the rest.
+        assert_eq!(parts[0], 0..1);
+        let max_nnz = parts
+            .iter()
+            .map(|r| a.row_ptr()[r.end] - a.row_ptr()[r.start])
+            .max()
+            .unwrap();
+        assert_eq!(max_nnz, 8); // can't beat the single heavy row
+    }
+
+    #[test]
+    fn partitions_cover_and_do_not_overlap() {
+        let a = skewed();
+        for policy in [Partition::Static, Partition::NnzBalanced] {
+            for cores in 1..=10 {
+                let parts = partition_rows(&a, cores, policy);
+                assert_eq!(parts.len(), cores);
+                assert_eq!(parts[0].start, 0);
+                assert_eq!(parts[cores - 1].end, a.rows());
+                for w in parts.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_cores_than_rows_yields_empty_tails() {
+        let a = Csr::from_coo(
+            &via_formats::Coo::from_triplets(2, 2, [(0, 0, 1.0), (1, 1, 2.0)]).unwrap(),
+        );
+        let parts = partition_rows(&a, 5, Partition::NnzBalanced);
+        assert_eq!(parts.len(), 5);
+        let covered: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn extract_rows_round_trips() {
+        let a = skewed();
+        for policy in [Partition::Static, Partition::NnzBalanced] {
+            let parts = partition_rows(&a, 3, policy);
+            let mut rows_seen = 0;
+            for part in parts {
+                let band = extract_rows(&a, part.clone());
+                assert_eq!(band.rows(), part.len());
+                for (bi, ai) in part.clone().enumerate() {
+                    assert_eq!(band.row(bi), a.row(ai));
+                }
+                rows_seen += part.len();
+            }
+            assert_eq!(rows_seen, a.rows());
+        }
+    }
+
+    #[test]
+    fn extract_empty_band_is_valid() {
+        let a = skewed();
+        let band = extract_rows(&a, 3..3);
+        assert_eq!(band.rows(), 0);
+        assert_eq!(band.nnz(), 0);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(Partition::Static.name(), "static");
+        assert_eq!(Partition::NnzBalanced.name(), "nnz");
+    }
+}

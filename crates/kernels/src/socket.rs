@@ -1,0 +1,326 @@
+//! A multi-core socket: N private cores over one shared LLC/DRAM.
+//!
+//! Each core owns a private engine (ROB, functional units, L1/L2) built
+//! from its own [`SimContext`]; all cores share one last-level cache and
+//! DRAM calendar ([`via_sim::SharedLlc`]), so cross-core capacity and
+//! bandwidth contention is modeled. Cores get disjoint address-space
+//! bases, matching how a parallel runtime would place per-core partitions.
+//!
+//! Cores are simulated **sequentially in core order** (core 0 books the
+//! shared calendar first, then core 1, …), which makes multi-core cycle
+//! counts deterministic — independent of host threads — and makes the
+//! one-core socket *bit-identical* to the plain single-core engine: the
+//! shared-LLC path executes the same operations as the private path, and
+//! core 0's base address is the single-core default.
+//!
+//! The kernel entry points ([`Socket::spmv`], [`Socket::spmm`]) row-
+//! partition the matrix with [`crate::partition_rows`], run one band per
+//! core under the chosen [`BackendKind`], and return per-core runs plus
+//! the socket makespan.
+
+use crate::context::{KernelRun, SimContext};
+use crate::partition::{extract_rows, partition_rows, Partition};
+use crate::{spmm, spmv, ssr};
+use std::sync::Arc;
+use via_core::BackendKind;
+use via_formats::Csr;
+use via_sim::SharedLlc;
+
+/// Address-space span reserved per core (4 GiB): far beyond any simulated
+/// working set, so per-core allocations never alias in the shared LLC.
+pub const CORE_ADDR_SPAN: u64 = 1 << 32;
+
+/// A fixed-shape multi-core socket over one machine configuration.
+///
+/// # Example
+///
+/// ```
+/// use via_formats::{Coo, Csr};
+/// use via_kernels::{Partition, SimContext, Socket};
+/// use via_core::BackendKind;
+///
+/// let a = Csr::from_coo(&Coo::from_triplets(4, 4, [
+///     (0, 0, 2.0), (1, 1, 3.0), (2, 0, 1.0), (2, 2, 4.0), (3, 3, 5.0),
+/// ]).unwrap());
+/// let x = [1.0, 1.0, 1.0, 1.0];
+///
+/// let socket = Socket::new(SimContext::default(), 2);
+/// let run = socket.spmv(&a, &x, BackendKind::Via, Partition::NnzBalanced);
+/// assert_eq!(run.concat_output(), via_formats::reference::spmv(&a, &x));
+/// assert_eq!(run.makespan(), *run.core_cycles().iter().max().unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Socket {
+    ctx: SimContext,
+    cores: usize,
+}
+
+impl Socket {
+    /// A socket of `cores` cores, each configured like `ctx` (whose own
+    /// `shared_llc`/`alloc_base` fields are ignored — the socket installs
+    /// its own).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(ctx: SimContext, cores: usize) -> Self {
+        assert!(cores > 0, "a socket needs at least one core");
+        Socket { ctx, cores }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The base machine context cores are cloned from.
+    pub fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    /// Runs `kernel` once per core against that core's private context
+    /// (shared LLC attached, disjoint allocator base) and collects the
+    /// per-core results. Cores run sequentially in core order; the
+    /// closure receives `(core_index, context)`.
+    ///
+    /// This is the generic entry point — the partitioned SpMV/SpMM
+    /// methods are built on it, and tests drive any single-core kernel
+    /// through it to prove one-core equivalence.
+    pub fn run<T>(
+        &self,
+        mut kernel: impl FnMut(usize, &SimContext) -> KernelRun<T>,
+    ) -> SocketRun<T> {
+        let shared = Arc::new(SharedLlc::new(&self.ctx.mem));
+        let runs = (0..self.cores)
+            .map(|core| {
+                let ctx = self
+                    .ctx
+                    .clone()
+                    .for_socket_core(Arc::clone(&shared), core as u64 * CORE_ADDR_SPAN);
+                kernel(core, &ctx)
+            })
+            .collect();
+        SocketRun { runs }
+    }
+
+    /// Row-partitioned SpMV `y = y + A*x`: each core runs its band of `A`
+    /// under `backend` (baseline vectorized CSR, VIA-CSR, or SSR-CSR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != a.cols()`.
+    pub fn spmv(
+        &self,
+        a: &Csr,
+        x: &[f64],
+        backend: BackendKind,
+        policy: Partition,
+    ) -> SocketRun<Vec<f64>> {
+        let parts = partition_rows(a, self.cores, policy);
+        let bands: Vec<Csr> = parts.iter().map(|p| extract_rows(a, p.clone())).collect();
+        self.run(|core, ctx| match backend {
+            BackendKind::Baseline => spmv::csr_vec(&bands[core], x, ctx),
+            BackendKind::Via => spmv::via_csr(&bands[core], x, ctx),
+            BackendKind::Ssr => ssr::spmv_csr(&bands[core], x, ctx),
+        })
+    }
+
+    /// Row-partitioned SpMM `C = A*B`: each core multiplies its band of
+    /// `A` against all of `B` under `backend` (baseline Gustavson, VIA
+    /// CAM, or SSR Gustavson). Per-core outputs are the C row bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    pub fn spmm(
+        &self,
+        a: &Csr,
+        b: &Csr,
+        backend: BackendKind,
+        policy: Partition,
+    ) -> SocketRun<Csr> {
+        let parts = partition_rows(a, self.cores, policy);
+        let bands: Vec<Csr> = parts.iter().map(|p| extract_rows(a, p.clone())).collect();
+        let b_csc = if backend == BackendKind::Via {
+            Some(b.to_csc())
+        } else {
+            None
+        };
+        self.run(|core, ctx| match backend {
+            BackendKind::Baseline => spmm::gustavson(&bands[core], b, ctx),
+            BackendKind::Via => spmm::via_cam(&bands[core], b_csc.as_ref().expect("built"), ctx),
+            BackendKind::Ssr => ssr::spmm_gustavson(&bands[core], b, ctx),
+        })
+    }
+}
+
+/// The outcome of one socket run: one [`KernelRun`] per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocketRun<T> {
+    /// Per-core results, indexed by core.
+    pub runs: Vec<KernelRun<T>>,
+}
+
+impl<T> SocketRun<T> {
+    /// Per-core cycle counts, indexed by core.
+    pub fn core_cycles(&self) -> Vec<u64> {
+        self.runs.iter().map(|r| r.cycles()).collect()
+    }
+
+    /// Socket cycles: the slowest core (cores run concurrently in the
+    /// modeled machine; the simulation just serializes them).
+    pub fn makespan(&self) -> u64 {
+        self.runs.iter().map(|r| r.cycles()).max().unwrap_or(0)
+    }
+}
+
+impl SocketRun<Vec<f64>> {
+    /// Concatenates the per-core output bands into the full vector
+    /// (row-partitioned kernels write disjoint contiguous bands).
+    pub fn concat_output(&self) -> Vec<f64> {
+        self.runs.iter().flat_map(|r| r.output.clone()).collect()
+    }
+}
+
+impl SocketRun<Csr> {
+    /// Stitches the per-core C row bands back into one matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bands disagree on column count.
+    pub fn concat_output(&self) -> Csr {
+        let cols = self.runs.first().map(|r| r.output.cols()).unwrap_or(0);
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut data = Vec::new();
+        for r in &self.runs {
+            let band = &r.output;
+            assert_eq!(band.cols(), cols, "bands must share the column space");
+            let base = *row_ptr.last().expect("non-empty");
+            row_ptr.extend(band.row_ptr()[1..].iter().map(|&p| p + base));
+            col_idx.extend_from_slice(band.col_idx());
+            data.extend_from_slice(band.data());
+        }
+        let rows = row_ptr.len() - 1;
+        Csr::from_raw(rows, cols, row_ptr, col_idx, data)
+            .expect("valid bands concatenate to a valid CSR")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_formats::{reference, vec_approx_eq, Coo};
+
+    fn matrix(rows: usize, cols: usize, seed: u64) -> Csr {
+        // Small deterministic pseudo-random sparse matrix.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut coo = Coo::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if i == j && i < cols {
+                    // Keep the diagonal so no row is empty.
+                    coo.push(i, j, 1.0);
+                } else if next() % 4 == 0 {
+                    coo.push(i, j, ((next() % 9) + 1) as f64);
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn one_core_socket_matches_single_core_spmv() {
+        let a = matrix(12, 12, 7);
+        let x: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let ctx = SimContext::default();
+        for backend in BackendKind::ALL {
+            let single = match backend {
+                BackendKind::Baseline => spmv::csr_vec(&a, &x, &ctx),
+                BackendKind::Via => spmv::via_csr(&a, &x, &ctx),
+                BackendKind::Ssr => ssr::spmv_csr(&a, &x, &ctx),
+            };
+            let socket = Socket::new(ctx.clone(), 1).spmv(&a, &x, backend, Partition::Static);
+            assert_eq!(socket.runs.len(), 1);
+            assert_eq!(
+                socket.makespan(),
+                single.cycles(),
+                "backend {}",
+                backend.name()
+            );
+            assert_eq!(socket.runs[0].stats, single.stats);
+        }
+    }
+
+    #[test]
+    fn socket_spmv_is_correct_and_scales() {
+        let a = matrix(64, 64, 3);
+        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let expect = reference::spmv(&a, &x);
+        let ctx = SimContext::default();
+        for backend in BackendKind::ALL {
+            let one = Socket::new(ctx.clone(), 1)
+                .spmv(&a, &x, backend, Partition::NnzBalanced)
+                .makespan();
+            let four = Socket::new(ctx.clone(), 4).spmv(&a, &x, backend, Partition::NnzBalanced);
+            assert!(vec_approx_eq(&four.concat_output(), &expect, 1e-9));
+            assert!(
+                four.makespan() < one,
+                "backend {}: 4-core {} !< 1-core {}",
+                backend.name(),
+                four.makespan(),
+                one
+            );
+        }
+    }
+
+    #[test]
+    fn socket_spmm_stitches_the_product() {
+        let a = matrix(10, 8, 11);
+        let b = matrix(8, 9, 5);
+        let expect = reference::spmm_gustavson(&a, &b).unwrap();
+        let ctx = SimContext::default();
+        for backend in BackendKind::ALL {
+            let run = Socket::new(ctx.clone(), 3).spmm(&a, &b, backend, Partition::NnzBalanced);
+            let c = run.concat_output();
+            assert_eq!(c.row_ptr(), expect.row_ptr(), "{}", backend.name());
+            assert_eq!(c.col_idx(), expect.col_idx(), "{}", backend.name());
+            assert!(vec_approx_eq(c.data(), expect.data(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn socket_runs_are_deterministic() {
+        let a = matrix(32, 32, 9);
+        let x = vec![1.0; 32];
+        let ctx = SimContext::default();
+        let s = Socket::new(ctx, 4);
+        let r1 = s.spmv(&a, &x, BackendKind::Via, Partition::NnzBalanced);
+        let r2 = s.spmv(&a, &x, BackendKind::Via, Partition::NnzBalanced);
+        assert_eq!(r1.core_cycles(), r2.core_cycles());
+        assert_eq!(r1.makespan(), r2.makespan());
+    }
+
+    #[test]
+    fn shared_llc_contention_slows_heavy_cores() {
+        // The same band simulated alone (1-core socket on the band) is at
+        // least as fast as when seven siblings hammer the shared LLC.
+        let a = matrix(48, 48, 21);
+        let x = vec![1.0; 48];
+        let ctx = SimContext::default();
+        let parts = partition_rows(&a, 8, Partition::NnzBalanced);
+        let band0 = extract_rows(&a, parts[0].clone());
+        let alone = Socket::new(ctx.clone(), 1)
+            .spmv(&band0, &x, BackendKind::Baseline, Partition::Static)
+            .makespan();
+        let contended =
+            Socket::new(ctx, 8).spmv(&a, &x, BackendKind::Baseline, Partition::NnzBalanced);
+        assert!(contended.core_cycles()[0] >= alone);
+    }
+}

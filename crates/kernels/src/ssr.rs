@@ -1,0 +1,242 @@
+//! SSR-backend kernels: stream-semantic-register SpMV and SpMM.
+//!
+//! These are the rival-architecture variants for the backend bake-off
+//! (see `docs/BACKENDS.md`). They reuse the baseline kernels' memory
+//! traffic — every byte the baseline moves, the SSR variant moves — and
+//! change only what the SSR hardware actually changes:
+//!
+//! * per row, the loop's address streams are *configured once*
+//!   ([`via_core::SsrStreams::configure`], a pipelined custom op) instead
+//!   of being advanced by per-iteration scalar induction instructions;
+//! * `x` gathers run at the indirection-stream rate
+//!   ([`via_core::SsrStreams::GATHER_OVERHEAD`] cycles/element) because
+//!   [`SimContext::ssr_engine`] shapes the core that way;
+//! * everything the SSR has no answer for — the SpMM sparse-accumulator
+//!   read-modify-write traffic, compaction, sorting — is kept verbatim
+//!   from the baseline. That asymmetry (VIA absorbs output indexing in
+//!   the SSPM, SSR only accelerates input streaming) is the comparison
+//!   the bake-off is designed to surface.
+
+use crate::context::{KernelRun, SimContext};
+use crate::layout::{CsrLayout, VecLayout};
+use via_core::SsrStreams;
+use via_formats::Csr;
+use via_sim::{AluKind, VecOpKind};
+
+/// SSR CSR SpMV: `y = y + A*x` with three streams per row (column
+/// indices, matrix values, and the `x` indirection stream).
+///
+/// Functionally identical to [`crate::spmv::csr_vec`]; the instruction
+/// stream drops the per-chunk induction ops and gathers at the stream
+/// rate.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_csr(a: &Csr, x: &[f64], ctx: &SimContext) -> KernelRun<Vec<f64>> {
+    assert_eq!(x.len(), a.cols(), "x length must equal matrix columns");
+    let vl = ctx.vl();
+    let mut e = ctx.ssr_engine();
+    let mut ssr = SsrStreams::default();
+    let lay = CsrLayout::new(e.alloc_mut(), a);
+    let xl = VecLayout::new(e.alloc_mut(), a.cols().max(1));
+    let yl = VecLayout::new(e.alloc_mut(), a.rows().max(1));
+
+    let mut y = vec![0.0; a.rows()];
+    let mut addrs: Vec<u64> = Vec::with_capacity(vl);
+    e.region("row loop");
+    let mut rp = e.load(lay.row_ptr.addr_of(0), 8);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let rp_next = e.load(lay.row_ptr.addr_of(i + 1), 8);
+        let bound = e.scalar_op(AluKind::Int, &[rp, rp_next]);
+        // One setup for the row's three streams; every streamed access
+        // below depends on the configuration being live.
+        let live = ssr.configure(&mut e, &[bound]);
+        let (cols, vals) = a.row(i);
+        let base = a.row_ptr()[i];
+        let mut vacc = e.vec_op(VecOpKind::Add, &[]); // zeroed accumulator
+        let mut acc = 0.0;
+        let mut k = 0;
+        while k < cols.len() {
+            let len = vl.min(cols.len() - k);
+            let j = base + k;
+            // The streams fetch indices and values in hardware: same
+            // traffic as the baseline loads, no induction instructions.
+            let col_reg = e.load_dep(lay.col_idx.addr_of(j), (4 * len) as u32, &[live]);
+            let val_reg = e.load_dep(lay.data.addr_of(j), (8 * len) as u32, &[live]);
+            addrs.clear();
+            addrs.extend(
+                cols[k..k + len]
+                    .iter()
+                    .map(|&c| xl.data.addr_of(c as usize)),
+            );
+            let x_reg = e.gather(&addrs, 8, &[col_reg]);
+            vacc = e.vec_op(VecOpKind::Fma, &[val_reg, x_reg, vacc]);
+            for (&c, &v) in cols[k..k + len].iter().zip(&vals[k..k + len]) {
+                acc += v * x[c as usize];
+            }
+            k += len;
+        }
+        let yold = e.load(yl.data.addr_of(i), 8);
+        let sum = e.vec_op(VecOpKind::Reduce, &[vacc, yold]);
+        e.store(yl.data.addr_of(i), 8, &[sum]);
+        *yi = acc;
+        rp = rp_next;
+    }
+    e.region_end();
+    KernelRun::finish_baseline(y, e)
+}
+
+/// SSR Gustavson SpMM: `C = A*B` with streams over `A`'s row and each
+/// `B` row; the dense sparse-accumulator (SPA) workspace traffic is kept
+/// verbatim from [`crate::spmm::gustavson`] — SSR streams inputs, it does
+/// not absorb output read-modify-writes the way VIA's SSPM does.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn spmm_gustavson(a: &Csr, b: &Csr, ctx: &SimContext) -> KernelRun<Csr> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut e = ctx.ssr_engine();
+    let mut ssr = SsrStreams::default();
+    let la = CsrLayout::new(e.alloc_mut(), a);
+    let lb = CsrLayout::new(e.alloc_mut(), b);
+    let out = via_formats::reference::spmm_gustavson(a, b).expect("shapes checked");
+    let lc = CsrLayout::new(e.alloc_mut(), &out);
+    let ws = e.alloc_mut().alloc_f64(b.cols().max(1));
+    let flags = e.alloc_mut().alloc_u32(b.cols().max(1));
+
+    let mut out_pos = 0usize;
+    for i in 0..a.rows() {
+        e.region("spa update");
+        let (ac, av) = a.row(i);
+        let pa = a.row_ptr()[i];
+        let rp = e.load(la.row_ptr.addr_of(i + 1), 8);
+        // One stream setup covers A's row; each B row streamed inside gets
+        // its own (the bound comes from B's row_ptr).
+        let row_live = ssr.configure(&mut e, &[rp]);
+        let mut last_store: std::collections::HashMap<u32, via_sim::Reg> =
+            std::collections::HashMap::new();
+        let mut touched: Vec<u32> = Vec::new();
+        for (p, (&k, &va)) in ac.iter().zip(av).enumerate() {
+            let ka = e.load_dep(la.col_idx.addr_of(pa + p), 4, &[row_live]);
+            let va_reg = e.load_dep(la.data.addr_of(pa + p), 8, &[row_live]);
+            let brp = e.load_dep(lb.row_ptr.addr_of(k as usize + 1), 8, &[ka]);
+            let b_live = ssr.configure(&mut e, &[brp]);
+            let (bc, bv) = b.row(k as usize);
+            let pb = b.row_ptr()[k as usize];
+            for (q, (&c, &vb)) in bc.iter().zip(bv).enumerate() {
+                let cb = e.load_dep(lb.col_idx.addr_of(pb + q), 4, &[b_live]);
+                let vb_reg = e.load_dep(lb.data.addr_of(pb + q), 8, &[b_live]);
+                // The SPA path is untouched baseline code: occupancy check,
+                // first-touch bookkeeping, chained load/FMA/store.
+                let flag = e.load_dep(flags.addr_of(c as usize), 4, &[cb]);
+                e.scalar_op(AluKind::Int, &[flag]);
+                if !last_store.contains_key(&c) {
+                    touched.push(c);
+                    let set = e.scalar_op(AluKind::Int, &[flag]);
+                    e.store(flags.addr_of(c as usize), 4, &[set]);
+                }
+                let mut deps = vec![cb];
+                if let Some(&prev) = last_store.get(&c) {
+                    deps.push(prev);
+                }
+                let old = e.load_dep(ws.addr_of(c as usize), 8, &deps);
+                let new = e.scalar_op(AluKind::FpFma, &[va_reg, vb_reg, old]);
+                e.store(ws.addr_of(c as usize), 8, &[new]);
+                last_store.insert(c, new);
+                let _ = vb;
+            }
+            let _ = va;
+        }
+        e.region_end();
+        e.region("compact");
+        touched.sort_unstable();
+        let sort_ops = touched.len() as u32 * (32 - (touched.len() as u32).max(1).leading_zeros());
+        for _ in 0..sort_ops {
+            e.scalar_op(AluKind::Int, &[]);
+        }
+        for &c in &touched {
+            let mut deps = Vec::new();
+            if let Some(&prev) = last_store.get(&c) {
+                deps.push(prev);
+            }
+            let v = e.load_dep(ws.addr_of(c as usize), 8, &deps);
+            let col = e.scalar_op(AluKind::Int, &[]);
+            e.store(lc.col_idx.addr_of(out_pos), 4, &[col]);
+            e.store(lc.data.addr_of(out_pos), 8, &[v]);
+            let zero = e.scalar_op(AluKind::Int, &[]);
+            e.store(flags.addr_of(c as usize), 4, &[zero]);
+            out_pos += 1;
+        }
+        let rp = e.scalar_op(AluKind::Int, &[]);
+        e.store(lc.row_ptr.addr_of(i + 1), 8, &[rp]);
+        e.region_end();
+    }
+    KernelRun::finish_baseline(out, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_formats::reference;
+    use via_formats::{vec_approx_eq, Coo};
+
+    fn sample() -> Csr {
+        let t = [
+            (0usize, 0usize, 2.0),
+            (0, 3, 1.0),
+            (1, 1, 3.0),
+            (2, 0, 1.0),
+            (2, 2, 4.0),
+            (2, 3, 5.0),
+            (3, 1, 6.0),
+        ];
+        Csr::from_coo(&Coo::from_triplets(4, 4, t).unwrap())
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let ctx = SimContext::default();
+        let run = spmv_csr(&a, &x, &ctx);
+        let expect = reference::spmv(&a, &x);
+        assert!(vec_approx_eq(&run.output, &expect, 1e-12));
+        assert!(run.stats.cycles > 0);
+        assert!(run.stats.custom_ops > 0, "stream configs are custom ops");
+    }
+
+    #[test]
+    fn spmv_beats_baseline_on_gather_bound_rows() {
+        // Long rows amortize the per-row stream setup and expose the cheap
+        // indirection-stream gathers. (On very short rows the setup op can
+        // lose to the baseline — that trade-off is the point of the model.)
+        let cols = 512usize;
+        let mut coo = Coo::new(4, cols);
+        for i in 0..4 {
+            for j in (0..cols).step_by(3) {
+                coo.push(i, j, (i + j + 1) as f64);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let x = vec![1.0; cols];
+        let ctx = SimContext::default();
+        let ssr = spmv_csr(&a, &x, &ctx).cycles();
+        let base = crate::spmv::csr_vec(&a, &x, &ctx).cycles();
+        assert!(ssr < base, "ssr {ssr} !< baseline {base}");
+    }
+
+    #[test]
+    fn spmm_matches_reference() {
+        let a = sample();
+        let b = sample();
+        let ctx = SimContext::default();
+        let run = spmm_gustavson(&a, &b, &ctx);
+        let expect = reference::spmm_gustavson(&a, &b).unwrap();
+        assert_eq!(run.output.row_ptr(), expect.row_ptr());
+        assert_eq!(run.output.col_idx(), expect.col_idx());
+        assert!(vec_approx_eq(run.output.data(), expect.data(), 1e-12));
+        assert!(run.stats.custom_ops > 0);
+    }
+}

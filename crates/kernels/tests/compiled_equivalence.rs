@@ -6,7 +6,7 @@
 //! transformation; any divergence here means it changed what is simulated.
 
 use via_formats::{gen, Csb};
-use via_kernels::{histogram, spma, spmm, spmspv, spmv, sptrsv, stencil, symgs};
+use via_kernels::{histogram, spma, spmm, spmspv, spmv, sptrsv, ssr, stencil, symgs};
 use via_kernels::{KernelRun, Schedule, SimContext, TraceOptions};
 use via_rng::StdRng;
 use via_sim::verify;
@@ -199,6 +199,24 @@ fn histogram_compiled_paths_are_equivalent() {
         "histogram::via",
         |ctx| histogram::via(&keys, 256, ctx),
         SimContext::via_engine,
+    );
+}
+
+#[test]
+fn ssr_compiled_paths_are_equivalent() {
+    let a = gen::uniform(96, 96, 0.04, 11);
+    let x = xvec(a.cols());
+    assert_equivalent(
+        "ssr::spmv_csr",
+        |ctx| ssr::spmv_csr(&a, &x, ctx),
+        SimContext::ssr_engine,
+    );
+    let a2 = gen::uniform(48, 48, 0.06, 21);
+    let b = gen::uniform(48, 48, 0.06, 22);
+    assert_equivalent(
+        "ssr::spmm_gustavson",
+        |ctx| ssr::spmm_gustavson(&a2, &b, ctx),
+        SimContext::ssr_engine,
     );
 }
 

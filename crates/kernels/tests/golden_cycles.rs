@@ -11,7 +11,7 @@
 //! in the same commit and say so; an unexplained diff here is a regression.
 
 use via_formats::{gen, Csb, Csr};
-use via_kernels::{histogram, spma, spmv, sptrsv, symgs, Schedule, SimContext};
+use via_kernels::{histogram, spma, spmv, sptrsv, ssr, symgs, Schedule, SimContext};
 use via_rng::StdRng;
 
 fn ctx() -> SimContext {
@@ -42,6 +42,23 @@ fn spmv_cycles_are_pinned() {
     assert_eq!(
         got, expected,
         "SpMV golden cycle counts moved (scalar, csr_vec, via_csr, via_csb)"
+    );
+}
+
+#[test]
+fn ssr_cycles_are_pinned() {
+    let ctx = ctx();
+    let a = golden_a();
+    let x = xvec(a.cols());
+    let b = gen::uniform(256, 256, 0.02, 43);
+    let got = [
+        ssr::spmv_csr(&a, &x, &ctx).cycles(),
+        ssr::spmm_gustavson(&a, &b, &ctx).cycles(),
+    ];
+    let expected = [9_258u64, 109_789];
+    assert_eq!(
+        got, expected,
+        "SSR golden cycle counts moved (spmv_csr, spmm_gustavson)"
     );
 }
 

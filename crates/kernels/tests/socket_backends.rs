@@ -1,0 +1,211 @@
+//! Socket/backend equivalence: the one-core socket is the degenerate case
+//! of the multi-core machine, so driving any kernel through [`Socket::run`]
+//! with one core must be **bit-identical** to the plain single-core run —
+//! same output, same [`RunStats`], same stall attribution, same SSPM
+//! events, and the same captured verify diagnostics. The shared-LLC path
+//! and the per-core allocator base are pure refactorings at N=1; any
+//! divergence here means the socket changed what is simulated.
+//!
+//! Also pins the multi-core guarantees the bake-off relies on: socket
+//! cycle counts are deterministic (independent of host threads and run
+//! order), and row-partitioned kernels stay correct under every
+//! backend × partition-policy combination.
+
+use via_core::BackendKind;
+use via_formats::{gen, reference, vec_approx_eq, Csb};
+use via_kernels::{
+    histogram, spma, spmm, spmspv, spmv, sptrsv, ssr, stencil, symgs, KernelRun, Partition,
+    Schedule, SimContext, Socket,
+};
+use via_rng::StdRng;
+use via_sim::verify;
+
+/// Runs `kernel` standalone and through a one-core [`Socket`], asserting
+/// every observable — output, stats, stall breakdown, SSPM events, verify
+/// diagnostics — is bit-identical.
+fn assert_one_core_identical<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    kernel: impl Fn(&SimContext) -> KernelRun<T>,
+) {
+    let ctx = SimContext::default();
+
+    let guard = verify::capture_guard();
+    let single = kernel(&ctx);
+    let single_reports = verify::drain_captured();
+    drop(guard);
+
+    let guard = verify::capture_guard();
+    let socket = Socket::new(ctx, 1).run(|_core, core_ctx| kernel(core_ctx));
+    let socket_reports = verify::drain_captured();
+    drop(guard);
+
+    assert_eq!(socket.runs.len(), 1, "{name}: one core, one run");
+    assert_eq!(
+        socket.runs[0], single,
+        "{name}: one-core socket diverged from the single-core engine"
+    );
+    assert_eq!(
+        socket.makespan(),
+        single.cycles(),
+        "{name}: makespan must be the single core's cycles"
+    );
+    assert_eq!(
+        socket_reports, single_reports,
+        "{name}: verify diagnostics diverged"
+    );
+}
+
+fn xvec(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 13) as f64) * 0.25 - 1.5).collect()
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_spmv() {
+    let a = gen::uniform(96, 96, 0.04, 11);
+    let x = xvec(a.cols());
+    assert_one_core_identical("spmv::csr_vec", |ctx| spmv::csr_vec(&a, &x, ctx));
+    assert_one_core_identical("spmv::via_csr", |ctx| spmv::via_csr(&a, &x, ctx));
+    let csb = Csb::from_csr(&a, SimContext::default().via.csb_block_size()).unwrap();
+    assert_one_core_identical("spmv::via_csb", |ctx| spmv::via_csb(&csb, &x, ctx));
+    assert_one_core_identical("ssr::spmv_csr", |ctx| ssr::spmv_csr(&a, &x, ctx));
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_spma() {
+    let a = gen::uniform(96, 96, 0.04, 11);
+    let b = gen::uniform(96, 96, 0.04, 12);
+    assert_one_core_identical("spma::merge_csr", |ctx| spma::merge_csr(&a, &b, ctx));
+    assert_one_core_identical("spma::via_cam", |ctx| spma::via_cam(&a, &b, ctx));
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_spmm() {
+    let a = gen::uniform(48, 48, 0.06, 21);
+    let b = gen::uniform(48, 48, 0.06, 22);
+    let b_csc = b.to_csc();
+    assert_one_core_identical("spmm::gustavson", |ctx| spmm::gustavson(&a, &b, ctx));
+    assert_one_core_identical("spmm::via_cam", |ctx| spmm::via_cam(&a, &b_csc, ctx));
+    assert_one_core_identical("ssr::spmm_gustavson", |ctx| {
+        ssr::spmm_gustavson(&a, &b, ctx)
+    });
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_spmspv() {
+    let a = gen::uniform(96, 96, 0.05, 31).to_csc();
+    let x = spmspv::SparseVector::from_pairs((0..12).map(|i| (i * 7 % 96, 1.0 + i as f64)));
+    assert_one_core_identical("spmspv::spa_dense", |ctx| spmspv::spa_dense(&a, &x, ctx));
+    assert_one_core_identical("spmspv::via_cam", |ctx| spmspv::via_cam(&a, &x, ctx));
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_sptrsv() {
+    let l = gen::lower_triangular(96, 0.06, 11);
+    let b = gen::dense_vector(96, 12);
+    assert_one_core_identical("sptrsv::scalar[levels]", |ctx| {
+        sptrsv::scalar_with(&l, &b, ctx, Schedule::Levels)
+    });
+    assert_one_core_identical("sptrsv::via_sspm[levels]", |ctx| {
+        sptrsv::via_sspm_with(&l, &b, ctx, Schedule::Levels, 8)
+    });
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_symgs() {
+    let a = gen::make_diagonally_dominant(&gen::uniform(96, 96, 0.05, 11));
+    let b = gen::dense_vector(96, 12);
+    let x0 = gen::dense_vector(96, 13);
+    assert_one_core_identical("symgs::scalar", |ctx| symgs::scalar(&a, &b, &x0, ctx));
+    assert_one_core_identical("symgs::via_sspm[levels]", |ctx| {
+        symgs::via_sspm_with(&a, &b, &x0, ctx, Schedule::Levels, 8)
+    });
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_histogram() {
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let keys: Vec<u32> = (0..1000).map(|_| rng.random_range(0u32..256)).collect();
+    assert_one_core_identical("histogram::vector_cd", |ctx| {
+        histogram::vector_cd(&keys, 256, ctx)
+    });
+    assert_one_core_identical("histogram::via", |ctx| histogram::via(&keys, 256, ctx));
+}
+
+#[test]
+fn one_core_socket_is_bit_identical_for_stencil() {
+    let side = 20;
+    let image: Vec<f64> = (0..side * side).map(|i| ((i % 17) as f64) * 0.5).collect();
+    let filter = stencil::gaussian4();
+    assert_one_core_identical("stencil::vector", |ctx| {
+        stencil::vector(&image, side, side, &filter, ctx)
+    });
+    assert_one_core_identical("stencil::via", |ctx| {
+        stencil::via(&image, side, side, &filter, ctx)
+    });
+}
+
+/// Multi-core cycle counts depend only on the inputs — not on host
+/// threading, not on other sockets having run first. This is what lets the
+/// bench layer fan socket sweeps across `parallel_map` without perturbing
+/// the recorded numbers.
+#[test]
+fn two_core_socket_cycles_are_deterministic_across_host_threads() {
+    let a = gen::uniform(128, 128, 0.05, 17);
+    let x = xvec(a.cols());
+    let run_once = move || {
+        let socket = Socket::new(SimContext::default(), 2);
+        let run = socket.spmv(&a, &x, BackendKind::Via, Partition::NnzBalanced);
+        (run.core_cycles(), run.makespan())
+    };
+    let reference = run_once();
+
+    // Same thread, repeated (fresh shared LLC per run).
+    assert_eq!(run_once(), reference);
+
+    // Concurrent host threads, each running its own socket.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let f = run_once.clone();
+            std::thread::spawn(f)
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("no panic"), reference);
+    }
+}
+
+/// Row-partitioned kernels stay correct for every backend × policy pair,
+/// including row counts that do not divide evenly across cores.
+#[test]
+fn partitioned_kernels_match_scalar_references_for_all_backends() {
+    let a = gen::uniform(67, 67, 0.07, 29);
+    let x = xvec(a.cols());
+    let expect_y = reference::spmv(&a, &x);
+    let b = gen::uniform(67, 67, 0.05, 30);
+    let expect_c = reference::spmm_gustavson(&a, &b).unwrap();
+    for cores in [2usize, 3, 5] {
+        let socket = Socket::new(SimContext::default(), cores);
+        for backend in BackendKind::ALL {
+            for policy in [Partition::Static, Partition::NnzBalanced] {
+                let y = socket.spmv(&a, &x, backend, policy).concat_output();
+                assert!(
+                    vec_approx_eq(&y, &expect_y, 1e-9),
+                    "spmv {}c {} {:?}",
+                    cores,
+                    backend.name(),
+                    policy
+                );
+                let c = socket.spmm(&a, &b, backend, policy).concat_output();
+                assert_eq!(c.row_ptr(), expect_c.row_ptr());
+                assert_eq!(c.col_idx(), expect_c.col_idx());
+                assert!(
+                    vec_approx_eq(c.data(), expect_c.data(), 1e-9),
+                    "spmm {}c {} {:?}",
+                    cores,
+                    backend.name(),
+                    policy
+                );
+            }
+        }
+    }
+}

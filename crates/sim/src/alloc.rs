@@ -71,9 +71,12 @@ impl Region {
 /// Bump allocator over the simulated flat address space.
 ///
 /// Starts at a non-zero base so address 0 is never valid, which catches
-/// uninitialized-address bugs in kernel builders.
+/// uninitialized-address bugs in kernel builders. Multi-core sockets give
+/// each core a disjoint base ([`AddressSpace::with_base`]) so per-core
+/// working sets never alias in a shared last-level cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressSpace {
+    base: u64,
     next: u64,
 }
 
@@ -89,7 +92,20 @@ impl AddressSpace {
 
     /// A fresh address space.
     pub fn new() -> Self {
-        AddressSpace { next: Self::BASE }
+        Self::with_base(Self::BASE)
+    }
+
+    /// A fresh address space whose first allocation lands at `base`
+    /// (rounded up to the default base if below it, so address 0 stays
+    /// invalid).
+    pub fn with_base(base: u64) -> Self {
+        let base = base.max(Self::BASE);
+        AddressSpace { base, next: base }
+    }
+
+    /// The first allocatable address of this space.
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Allocates `len` elements of `elem_bytes` each, aligned to `align`
@@ -128,13 +144,13 @@ impl AddressSpace {
 
     /// Total bytes allocated so far (high-water mark).
     pub fn used_bytes(&self) -> u64 {
-        self.next - Self::BASE
+        self.next - self.base
     }
 
-    /// Rewinds the bump pointer to [`AddressSpace::BASE`]. Regions handed
+    /// Rewinds the bump pointer to this space's base. Regions handed
     /// out before the reset must no longer be used.
     pub fn reset(&mut self) {
-        self.next = Self::BASE;
+        self.next = self.base;
     }
 }
 
@@ -205,5 +221,29 @@ mod tests {
         let mut a = AddressSpace::new();
         let r = a.alloc_f64(1);
         assert!(r.base() >= AddressSpace::BASE);
+    }
+
+    #[test]
+    fn with_base_offsets_allocations() {
+        let mut a = AddressSpace::with_base(1 << 32);
+        let r = a.alloc_f64(4);
+        assert_eq!(r.base(), 1 << 32);
+        assert_eq!(a.used_bytes(), 32);
+        a.reset();
+        assert_eq!(a.used_bytes(), 0);
+        assert_eq!(a.alloc_f64(1).base(), 1 << 32);
+    }
+
+    #[test]
+    fn with_base_clamps_to_default_minimum() {
+        // Address 0 must stay invalid regardless of the requested base.
+        let a = AddressSpace::with_base(0);
+        assert_eq!(a.base(), AddressSpace::BASE);
+    }
+
+    #[test]
+    fn default_base_matches_new() {
+        assert_eq!(AddressSpace::new(), AddressSpace::with_base(0));
+        assert_eq!(AddressSpace::new().base(), AddressSpace::BASE);
     }
 }

@@ -200,6 +200,22 @@ impl Engine {
         &mut self.alloc
     }
 
+    /// Attaches a socket-shared LLC ([`crate::mem::SharedLlc`]): this
+    /// engine's L2 misses then walk the shared L3 and book the shared DRAM
+    /// calendar, contending with every other attached engine. Call before
+    /// pushing any instruction.
+    pub fn attach_shared_llc(&mut self, shared: Arc<crate::mem::SharedLlc>) {
+        self.hier.attach_shared(shared);
+    }
+
+    /// Rebases the simulated address space so this engine's allocations
+    /// start at `base` (clamped up to [`AddressSpace::BASE`]). A socket
+    /// gives each core a disjoint base so working sets never alias in the
+    /// shared LLC. Call before any allocation.
+    pub fn set_alloc_base(&mut self, base: u64) {
+        self.alloc = AddressSpace::with_base(base);
+    }
+
     /// Allocates a fresh virtual register.
     pub fn fresh_reg(&mut self) -> Reg {
         let r = self.next_reg;

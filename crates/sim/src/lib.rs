@@ -60,6 +60,7 @@ pub use analyze::{analyze, AnalysisCache, AnalysisReport, AnalyzeConfig, StaticB
 pub use compile::{config_hash, fnv1a64, stream_hash, CompiledStream, StreamCache};
 pub use config::{CacheConfig, CoreConfig, MemConfig};
 pub use engine::Engine;
+pub use mem::SharedLlc;
 pub use prog::{AluKind, Inst, Op, Reg, VecOpKind};
 pub use stats::{CacheStats, RunStats};
 pub use telemetry::{simulated_instructions, TelemetrySnapshot, ThroughputProbe};

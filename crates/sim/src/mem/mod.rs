@@ -4,9 +4,165 @@ mod cache;
 
 pub use cache::{Access, Cache};
 
+use std::sync::{Arc, Mutex};
+
 use crate::calendar::Calendar;
 use crate::config::MemConfig;
 use crate::stats::{CacheStats, RunStats};
+
+/// The last-level state a socket's cores share: one L3 cache plus the DRAM
+/// channel calendar.
+#[derive(Debug)]
+struct LlcState {
+    l3: Cache,
+    dram: Calendar,
+}
+
+/// An L3 + DRAM channel shared by every core of a simulated socket.
+///
+/// Attach one handle to each core's [`Hierarchy`] (via
+/// [`Hierarchy::attach_shared`]) and the cores' L2 misses walk a *common*
+/// L3 and book transfers on a *common* DRAM calendar — which is what
+/// models inter-core contention: a line transfer booked by one core
+/// pushes another core's fill later in time. Cores of a socket are
+/// simulated sequentially (deterministic arbitration: earlier-simulated
+/// cores win equal-time slots), so the interior mutex is uncontended; it
+/// exists so engines holding a handle stay `Send` for the bench harness's
+/// worker threads.
+///
+/// With a single attached core the shared walk performs exactly the same
+/// cache and calendar operations as a private hierarchy, so an N=1 socket
+/// is bit-identical to the plain single-core engine.
+#[derive(Debug)]
+pub struct SharedLlc {
+    state: Mutex<LlcState>,
+}
+
+impl SharedLlc {
+    /// A fresh shared LLC sized by `cfg.l3` with one DRAM channel.
+    pub fn new(cfg: &MemConfig) -> Self {
+        SharedLlc {
+            state: Mutex::new(LlcState {
+                l3: Cache::new(cfg.l3),
+                dram: Calendar::new(1),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LlcState> {
+        self.state.lock().expect("shared LLC lock poisoned")
+    }
+
+    /// Empties the shared L3 and DRAM calendar (all attached cores see the
+    /// reset; only meaningful between whole-socket runs).
+    pub fn reset(&self) {
+        let mut st = self.lock();
+        st.l3.reset();
+        st.dram.reset();
+    }
+
+    /// Aggregate L3 statistics across every attached core.
+    pub fn l3_stats(&self) -> CacheStats {
+        self.lock().l3.stats()
+    }
+}
+
+/// Counter deltas produced by one walk of the L3/DRAM leg; merged into the
+/// owning core's observation counters after the (possibly shared) state
+/// lock is released.
+#[derive(Default)]
+struct LlcEffects {
+    level: u8,
+    read_bytes: u64,
+    write_bytes: u64,
+    busy_cycles: u64,
+    wait_cycles: u64,
+}
+
+fn transfer_cycles(bytes: u64, bytes_per_cycle: f64) -> u64 {
+    ((bytes as f64 / bytes_per_cycle).ceil() as u64).max(1)
+}
+
+/// Books a dirty-line writeback on the DRAM channel.
+fn llc_writeback(cfg: &MemConfig, dram: &mut Calendar, at: u64, fx: &mut LlcEffects) {
+    let line = cfg.l3.line_bytes as u64;
+    let occupancy = transfer_cycles(line, cfg.dram_bytes_per_cycle);
+    dram.book_span(at, occupancy);
+    fx.busy_cycles += occupancy;
+    fx.write_bytes += line;
+}
+
+/// Installs an L2 victim into L3, cascading an evicted dirty line to DRAM.
+fn llc_install_dirty(
+    cfg: &MemConfig,
+    l3: &mut Cache,
+    dram: &mut Calendar,
+    line_addr: u64,
+    at: u64,
+    fx: &mut LlcEffects,
+) {
+    if l3.install_dirty(line_addr).is_some() {
+        llc_writeback(cfg, dram, at, fx);
+    }
+}
+
+/// The demand-fill L3 lookup + DRAM transfer on miss. `latency` already
+/// includes the L1 + L2 + L3 lookup latencies; returns `done - now`.
+fn llc_demand(
+    cfg: &MemConfig,
+    l3: &mut Cache,
+    dram: &mut Calendar,
+    addr: u64,
+    now: u64,
+    latency: u64,
+    fx: &mut LlcEffects,
+) -> u64 {
+    match l3.access(addr, false) {
+        Access::Hit => {
+            fx.level = 3;
+            return latency;
+        }
+        Access::Miss { dirty_victim } => {
+            if dirty_victim.is_some() {
+                llc_writeback(cfg, dram, now + latency, fx);
+            }
+        }
+    }
+    // DRAM: wait for a channel slot, transfer one line.
+    fx.level = 4;
+    let request_at = now + latency;
+    let line = cfg.l3.line_bytes as u64;
+    let occupancy = transfer_cycles(line, cfg.dram_bytes_per_cycle);
+    let start = dram.book_span(request_at, occupancy);
+    fx.wait_cycles += start.saturating_sub(request_at);
+    fx.busy_cycles += occupancy;
+    fx.read_bytes += line;
+    let done = start + cfg.dram_latency as u64;
+    done - now
+}
+
+/// The L3/DRAM leg of a prefetch: fills the line off the demand path,
+/// consuming DRAM bandwidth but adding no latency (and not touching the
+/// level mark). `line` is the prefetcher's transfer size (L2 line).
+fn llc_prefetch(
+    cfg: &MemConfig,
+    l3: &mut Cache,
+    dram: &mut Calendar,
+    target: u64,
+    at: u64,
+    line: u64,
+    fx: &mut LlcEffects,
+) {
+    if let Access::Miss { dirty_victim } = l3.access(target, false) {
+        if dirty_victim.is_some() {
+            llc_writeback(cfg, dram, at, fx);
+        }
+        let occupancy = transfer_cycles(line, cfg.dram_bytes_per_cycle);
+        dram.book_span(at, occupancy);
+        fx.busy_cycles += occupancy;
+        fx.read_bytes += line;
+    }
+}
 
 /// The three-level cache hierarchy plus a DRAM channel with latency and
 /// bandwidth limits.
@@ -25,6 +181,11 @@ pub struct Hierarchy {
     l3: Cache,
     /// DRAM channel occupancy calendar (one transfer at a time).
     dram: Calendar,
+    /// A socket-shared L3 + DRAM channel. When attached, the private
+    /// `l3`/`dram` above go unused: every L2 miss walks the shared state
+    /// instead, modeling inter-core LLC capacity and DRAM bandwidth
+    /// contention. All observation counters below stay per-core.
+    shared: Option<Arc<SharedLlc>>,
     dram_read_bytes: u64,
     dram_write_bytes: u64,
     dram_busy_cycles: u64,
@@ -50,6 +211,7 @@ impl Hierarchy {
             l3: Cache::new(cfg.l3),
             cfg,
             dram: Calendar::new(1),
+            shared: None,
             dram_read_bytes: 0,
             dram_write_bytes: 0,
             dram_busy_cycles: 0,
@@ -109,32 +271,41 @@ impl Hierarchy {
             }
         }
         latency += self.cfg.l3.latency as u64;
-        match self.l3.access(addr, false) {
-            Access::Hit => {
-                self.note_level(3);
-                return latency;
-            }
-            Access::Miss { dirty_victim } => {
-                if let Some(victim) = dirty_victim {
-                    self.writeback_to_dram(victim, now + latency);
-                }
-            }
-        }
-        // DRAM: wait for a channel slot, transfer one line.
-        self.note_level(4);
-        let request_at = now + latency;
-        let line = self.cfg.l3.line_bytes as u64;
-        let occupancy = Self::transfer_cycles(line, self.cfg.dram_bytes_per_cycle);
-        let start = self.dram.book_span(request_at, occupancy);
-        self.dram_wait_cycles += start.saturating_sub(request_at);
-        self.dram_busy_cycles += occupancy;
-        self.dram_read_bytes += line;
-        let done = start + self.cfg.dram_latency as u64;
-        done - now
+        let mut fx = LlcEffects::default();
+        let total = if let Some(shared) = &self.shared {
+            let st = &mut *shared.lock();
+            llc_demand(
+                &self.cfg,
+                &mut st.l3,
+                &mut st.dram,
+                addr,
+                now,
+                latency,
+                &mut fx,
+            )
+        } else {
+            llc_demand(
+                &self.cfg,
+                &mut self.l3,
+                &mut self.dram,
+                addr,
+                now,
+                latency,
+                &mut fx,
+            )
+        };
+        self.merge_effects(fx);
+        total
     }
 
-    fn transfer_cycles(bytes: u64, bytes_per_cycle: f64) -> u64 {
-        ((bytes as f64 / bytes_per_cycle).ceil() as u64).max(1)
+    /// Merges one L3/DRAM walk's counter deltas into the per-core
+    /// observation counters.
+    fn merge_effects(&mut self, fx: LlcEffects) {
+        self.dram_read_bytes += fx.read_bytes;
+        self.dram_write_bytes += fx.write_bytes;
+        self.dram_busy_cycles += fx.busy_cycles;
+        self.dram_wait_cycles += fx.wait_cycles;
+        self.note_level(fx.level);
     }
 
     fn writeback_to_l2(&mut self, line_addr: u64, at: u64) {
@@ -144,25 +315,48 @@ impl Hierarchy {
     }
 
     fn writeback_to_l3(&mut self, line_addr: u64, at: u64) {
-        if let Some(victim) = self.l3.install_dirty(line_addr) {
-            // Off the critical path, but queued no earlier than the access
-            // that evicted it.
-            self.writeback_to_dram(victim, at);
+        // Off the critical path, but queued no earlier than the access
+        // that evicted it.
+        let mut fx = LlcEffects::default();
+        if let Some(shared) = &self.shared {
+            let st = &mut *shared.lock();
+            llc_install_dirty(&self.cfg, &mut st.l3, &mut st.dram, line_addr, at, &mut fx);
+        } else {
+            llc_install_dirty(
+                &self.cfg,
+                &mut self.l3,
+                &mut self.dram,
+                line_addr,
+                at,
+                &mut fx,
+            );
         }
+        self.merge_effects(fx);
     }
 
-    fn writeback_to_dram(&mut self, _line_addr: u64, at: u64) {
-        let line = self.cfg.l3.line_bytes as u64;
-        let occupancy = Self::transfer_cycles(line, self.cfg.dram_bytes_per_cycle);
-        self.dram.book_span(at, occupancy);
-        self.dram_busy_cycles += occupancy;
-        self.dram_write_bytes += line;
+    /// Attaches a socket-shared LLC: from now on L2 misses walk `shared`'s
+    /// L3 and book its DRAM calendar instead of the private ones. Attach
+    /// before any traffic (the private L3's contents are not migrated).
+    pub fn attach_shared(&mut self, shared: Arc<SharedLlc>) {
+        self.shared = Some(shared);
+    }
+
+    /// The attached shared LLC, if any.
+    pub fn shared_llc(&self) -> Option<&Arc<SharedLlc>> {
+        self.shared.as_ref()
     }
 
     /// Discards DRAM channel bookings below `t` (called by the engine as
-    /// the fetch frontier advances).
+    /// the fetch frontier advances). With a shared LLC attached this is a
+    /// no-op: sibling cores are simulated sequentially from cycle 0, so
+    /// "history" for this core is still the future for the next one —
+    /// pruning would erase cross-core contention. (Pruning is timing-
+    /// neutral for the pruning core itself, so skipping it keeps N=1
+    /// bit-identical.)
     pub fn prune_below(&mut self, t: u64) {
-        self.dram.prune_below(t);
+        if self.shared.is_none() {
+            self.dram.prune_below(t);
+        }
     }
 
     /// Issues `prefetch_degree` next-line prefetches into L2 starting after
@@ -181,15 +375,30 @@ impl Hierarchy {
                 if let Some(victim) = dirty_victim {
                     self.writeback_to_l3(victim, at);
                 }
-                if let Access::Miss { dirty_victim } = self.l3.access(target, false) {
-                    if let Some(victim) = dirty_victim {
-                        self.writeback_to_dram(victim, at);
-                    }
-                    let occupancy = Self::transfer_cycles(line, self.cfg.dram_bytes_per_cycle);
-                    self.dram.book_span(at, occupancy);
-                    self.dram_busy_cycles += occupancy;
-                    self.dram_read_bytes += line;
+                let mut fx = LlcEffects::default();
+                if let Some(shared) = &self.shared {
+                    let st = &mut *shared.lock();
+                    llc_prefetch(
+                        &self.cfg,
+                        &mut st.l3,
+                        &mut st.dram,
+                        target,
+                        at,
+                        line,
+                        &mut fx,
+                    );
+                } else {
+                    llc_prefetch(
+                        &self.cfg,
+                        &mut self.l3,
+                        &mut self.dram,
+                        target,
+                        at,
+                        line,
+                        &mut fx,
+                    );
                 }
+                self.merge_effects(fx);
             }
         }
     }
@@ -282,11 +491,17 @@ impl Hierarchy {
         (first..=last).step_by(line as usize)
     }
 
-    /// Copies the hierarchy counters into `stats`.
+    /// Copies the hierarchy counters into `stats`. With a shared LLC
+    /// attached, `stats.l3` carries the *socket-wide* L3 statistics (hits
+    /// and misses are not separable per core once the cache is shared);
+    /// the DRAM byte/busy counters stay per-core.
     pub fn fill_stats(&self, stats: &mut RunStats) {
         stats.l1 = self.l1.stats();
         stats.l2 = self.l2.stats();
-        stats.l3 = self.l3.stats();
+        stats.l3 = match &self.shared {
+            Some(shared) => shared.l3_stats(),
+            None => self.l3.stats(),
+        };
         stats.dram_read_bytes = self.dram_read_bytes;
         stats.dram_write_bytes = self.dram_write_bytes;
         stats.dram_busy_cycles = self.dram_busy_cycles;
@@ -294,12 +509,17 @@ impl Hierarchy {
 
     /// Empties all cache levels, the DRAM channel calendar, and the traffic
     /// counters — the hierarchy behaves exactly like a freshly-built one,
-    /// but keeps its allocated set storage.
+    /// but keeps its allocated set storage. With a shared LLC attached the
+    /// shared state is reset too (every attached core sees it), matching
+    /// the "freshly built" contract; socket runs reset whole sockets.
     pub fn reset(&mut self) {
         self.l1.reset();
         self.l2.reset();
         self.l3.reset();
         self.dram.reset();
+        if let Some(shared) = &self.shared {
+            shared.reset();
+        }
         self.dram_read_bytes = 0;
         self.dram_write_bytes = 0;
         self.dram_busy_cycles = 0;
@@ -439,6 +659,89 @@ mod tests {
             h.access(0x50_0000 + i * 64, false, i * 10);
         }
         assert_eq!(h.prefetches_issued(), 0);
+    }
+
+    #[test]
+    fn shared_llc_single_core_is_bit_identical() {
+        // A lone hierarchy attached to a shared LLC must behave exactly
+        // like a private one: same latencies, same counters.
+        let mut private = hierarchy();
+        let mut shared_h = hierarchy();
+        shared_h.attach_shared(Arc::new(SharedLlc::new(&MemConfig::default())));
+        let (mut tp, mut ts) = (0u64, 0u64);
+        for i in 0..512u64 {
+            let addr = 0x10_0000 + (i * 4096) % (32 << 20);
+            tp += private.access(addr, i % 3 == 0, tp);
+            ts += shared_h.access(addr, i % 3 == 0, ts);
+        }
+        assert_eq!(tp, ts);
+        let (mut sp, mut ss) = (RunStats::default(), RunStats::default());
+        private.fill_stats(&mut sp);
+        shared_h.fill_stats(&mut ss);
+        assert_eq!(sp, ss);
+        assert_eq!(private.dram_wait_cycles(), shared_h.dram_wait_cycles());
+    }
+
+    #[test]
+    fn shared_llc_models_cross_core_contention() {
+        // Two cores streaming cold lines through one shared LLC: the
+        // second core's fills queue behind the first core's bookings,
+        // so it runs slower than it would alone.
+        let shared = Arc::new(SharedLlc::new(&MemConfig::default()));
+        let mut core0 = hierarchy();
+        core0.attach_shared(shared.clone());
+        let mut core1 = hierarchy();
+        core1.attach_shared(shared.clone());
+        let mut alone = hierarchy();
+        // Core 0 saturates the channel first (sequential simulation).
+        let mut t0 = 0u64;
+        for i in 0..256u64 {
+            t0 += core0.access(0x100_0000 + i * 64, false, t0);
+        }
+        let (mut t1, mut ta) = (0u64, 0u64);
+        for i in 0..256u64 {
+            t1 += core1.access(0x800_0000 + i * 64, false, t1);
+            ta += alone.access(0x800_0000 + i * 64, false, ta);
+        }
+        assert!(
+            t1 > ta,
+            "contended core ({t1}) should be slower than uncontended ({ta})"
+        );
+        assert!(core1.dram_wait_cycles() > alone.dram_wait_cycles());
+    }
+
+    #[test]
+    fn shared_llc_shares_capacity() {
+        // A line filled by one core hits in L3 for another core.
+        let shared = Arc::new(SharedLlc::new(&MemConfig::default()));
+        let mut core0 = hierarchy();
+        core0.attach_shared(shared.clone());
+        let mut core1 = hierarchy();
+        core1.attach_shared(shared.clone());
+        core0.access(0x42_0000, false, 0);
+        let cfg = core1.config().clone();
+        let lat = core1.access(0x42_0000, false, 10_000);
+        assert_eq!(
+            lat,
+            (cfg.l1.latency + cfg.l2.latency + cfg.l3.latency) as u64,
+            "second core should hit the shared L3"
+        );
+    }
+
+    #[test]
+    fn shared_llc_prune_is_a_no_op() {
+        let shared = Arc::new(SharedLlc::new(&MemConfig::default()));
+        let mut h = hierarchy();
+        h.attach_shared(shared);
+        h.access(0x77_0000, false, 0);
+        // Pruning must not discard shared-calendar history (a sibling core
+        // simulated later still contends with it).
+        h.prune_below(1_000_000);
+        let mut sibling = hierarchy();
+        sibling.attach_shared(h.shared_llc().unwrap().clone());
+        let uncontended = hierarchy().access(0x99_0000, false, 0);
+        let contended = sibling.access(0x99_0000, false, 0);
+        assert!(contended > uncontended, "booking history must survive");
     }
 
     #[test]
